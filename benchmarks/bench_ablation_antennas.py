@@ -1,0 +1,24 @@
+"""ABL-ANT — antenna directionality (ours).
+
+The paper's routers are omnidirectional.  Expected shape: omni is best
+(direction-independent power keeps PDP-vs-distance monotone); inward-
+pointing sectors cost a little (bearing-dependent gain perturbs pairwise
+orderings); mis-pointed (outward) sectors are the worst case.
+"""
+
+from repro.eval import ablation_antennas, format_stats_table
+
+from conftest import run_once
+
+
+def test_ablation_antennas(benchmark, save_result):
+    out = run_once(benchmark, ablation_antennas, "lab")
+
+    means = {name: stats.mean for name, stats in out.items()}
+    assert means["omni"] <= means["sector-inward"] + 0.15, means
+    assert means["sector-inward"] < means["sector-outward"], means
+    # Even mis-pointed sectors stay meter-scale: the relaxation absorbs
+    # the flipped low-confidence judgements.
+    assert means["sector-outward"] < 3.5, means
+
+    save_result("ABL-ANT", format_stats_table(out))

@@ -1,0 +1,25 @@
+"""ABL-CONF — choice of the confidence function f (ours).
+
+Sec. IV-A: "there exists a wide variety of f function[s]" satisfying
+``f(x) + f(1/x) = 1`` and ``f(1) = 1/2``.  Expected shape: the specific
+choice barely matters — the relaxation consumes only the *relative*
+weights of conflicting rows, and all valid f's are monotone in the PDP
+ratio — so every variant lands in the same accuracy class as the paper's
+Eq. 4.
+"""
+
+from repro.eval import ablation_confidence_functions, format_stats_table
+
+from conftest import run_once
+
+
+def test_ablation_confidence_functions(benchmark, save_result):
+    out = run_once(benchmark, ablation_confidence_functions, "lab")
+
+    means = {name: stats.mean for name, stats in out.items()}
+    assert set(means) == {"paper", "rational", "power2"}
+    # Same accuracy class across all valid f's.
+    assert max(means.values()) - min(means.values()) < 0.8, means
+    assert all(m < 3.0 for m in means.values()), means
+
+    save_result("ABL-CONF", format_stats_table(out))

@@ -1,0 +1,40 @@
+"""ABL-HETERO — device heterogeneity vs constraint formulation (ours).
+
+Mixed hardware gives each AP a systematic receive-gain offset, corrupting
+*cross-device* PDP comparisons; a nomadic AP's offset travels with it, so
+*same-device* site-pair comparisons are immune.  Expected shape: the
+generalized formulation (site pairs on, this repo's default) stays flat
+as heterogeneity grows, while the paper-literal Eq. 13 (site-vs-static
+only) degrades — an argument for the documented deviation that the
+paper's own hardware (identical TL-WR941NDs) never surfaced.
+"""
+
+from repro.eval import format_table
+from repro.eval.experiments import ablation_device_heterogeneity
+
+from conftest import run_once
+
+
+def test_ablation_device_heterogeneity(benchmark, save_result):
+    out = run_once(benchmark, ablation_device_heterogeneity, "lab")
+
+    sigmas = sorted(out)
+    hi = max(sigmas)
+    gen = {s: out[s]["generalized"].mean for s in sigmas}
+    lit = {s: out[s]["paper-literal"].mean for s in sigmas}
+    # Same-device pairs keep the generalized form flat under heterogeneity.
+    assert gen[hi] <= gen[0.0] + 0.4, gen
+    # At strong heterogeneity the generalized form beats paper-literal.
+    assert gen[hi] <= lit[hi] + 0.1, (gen, lit)
+
+    rows = [
+        [s, lit[s], gen[s]]
+        for s in sigmas
+    ]
+    save_result(
+        "ABL-HETERO",
+        format_table(
+            ["offset sigma (dB)", "paper-literal mean(m)", "generalized mean(m)"],
+            rows,
+        ),
+    )

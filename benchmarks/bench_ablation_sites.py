@@ -1,0 +1,37 @@
+"""ABL-SITES — nomadic site-count sweep (ours).
+
+Sec. IV-B3: "the further the nomadic AP moves, the more CSI measurements
+will be collected ... resulting in finer granularity segmentation.  In
+return, higher accuracy can be expected."  Expected shape: mean error
+trends downward as S grows; a well-travelled nomadic AP beats the static
+deployment (S=0).
+"""
+
+from repro.eval import ablation_site_count, format_table
+
+from conftest import run_once
+
+
+def test_ablation_site_count(benchmark, save_result):
+    out = run_once(benchmark, ablation_site_count)
+
+    counts = sorted(out)
+    means = {s: out[s].mean for s in counts}
+    # Mobility helps: the largest site set beats the static deployment.
+    assert means[max(counts)] < means[0], means
+    # The overall trend is downward (compare the halves' averages).
+    lo = [means[s] for s in counts[: len(counts) // 2]]
+    hi = [means[s] for s in counts[len(counts) // 2 :]]
+    assert sum(hi) / len(hi) < sum(lo) / len(lo), means
+
+    rows = [
+        [s, out[s].mean, out[s].p90, out[s].slv, 3 + s * 3 if s else 6]
+        for s in counts
+    ]
+    save_result(
+        "ABL-SITES",
+        format_table(
+            ["S (sites)", "mean err(m)", "p90(m)", "SLV", "pairwise rows"],
+            rows,
+        ),
+    )

@@ -1,0 +1,34 @@
+"""EXT-MULTI — aggregating multiple nomadic APs (paper future work).
+
+Sec. VI: "the performance can be greatly improved by employing multiple
+nomadic APs which is left for our future work."  Expected shape: accuracy
+improves (or at worst holds) as more APs go nomadic in the Lobby.
+"""
+
+from repro.eval import ext_multi_nomadic, format_table
+
+from conftest import run_once
+
+
+def test_ext_multi_nomadic(benchmark, save_result):
+    out = run_once(benchmark, ext_multi_nomadic)
+
+    means = {count: out[count].mean for count in sorted(out)}
+    # More nomadic APs must not hurt, and three should clearly beat one
+    # (the paper: "the performance can be greatly improved by employing
+    # multiple nomadic APs").
+    assert means[3] < means[1] + 0.2, means
+    assert means[2] < means[1] + 0.5, means
+    # The error tail must not grow either.
+    assert out[3].p90 <= out[1].p90 + 0.3
+
+    rows = [
+        [count, out[count].mean, out[count].p90, out[count].slv]
+        for count in sorted(out)
+    ]
+    save_result(
+        "EXT-MULTI",
+        format_table(
+            ["nomadic APs", "mean err(m)", "p90(m)", "SLV"], rows
+        ),
+    )

@@ -1,0 +1,27 @@
+"""EXT-PATTERN — movement-pattern impact (paper future work).
+
+Sec. VI: "understand the impact of moving patterns of nomadic APs on the
+overall performance."  Expected shape: patterns that cover all sites
+(sweep, patrol, Markov) perform comparably; the hotspot pattern — which
+dwells mostly at one site — covers fewer sites per walk and cannot be
+better than the full-coverage sweeps.
+"""
+
+from repro.eval import ext_mobility_patterns, format_stats_table
+
+from conftest import run_once
+
+
+def test_ext_mobility_patterns(benchmark, save_result):
+    out = run_once(benchmark, ext_mobility_patterns, "lobby")
+
+    means = {name: stats.mean for name, stats in out.items()}
+    coverage_patterns = ("sweep", "patrol")
+    # Deterministic full-coverage walks are at least as good as the
+    # dwell-heavy hotspot pattern.
+    best_cover = min(means[p] for p in coverage_patterns)
+    assert best_cover <= means["hotspot"] + 0.2, means
+    # Everything stays in the meter-scale class.
+    assert all(m < 7.0 for m in means.values()), means
+
+    save_result("EXT-PATTERN", format_stats_table(out))

@@ -1,0 +1,48 @@
+"""FIG3 — channel response delay profile, LOS vs NLOS (paper Fig. 3).
+
+Paper shape: with the LOS path blocked, the first tap collapses while
+later (reflected) energy remains, so the NLOS profile's leading amplitude
+is far below the LOS profile's.
+"""
+
+import numpy as np
+
+from repro.eval import fig3_delay_profiles, format_delay_profile
+
+from conftest import run_once
+
+
+def test_fig3_delay_profiles(benchmark, save_result):
+    result = run_once(benchmark, fig3_delay_profiles)
+
+    los, nlos = result.los_profile, result.nlos_profile
+
+    # Shape: NLOS first tap is a small fraction of the LOS first tap.
+    assert result.first_tap_ratio() < 0.7, (
+        f"NLOS/LOS first-tap ratio {result.first_tap_ratio():.3f}; expected "
+        "a collapsed direct path"
+    )
+    # Shape: the NLOS profile has relatively more late energy.
+    def late_fraction(profile):
+        power = profile.powers
+        return float(power[2:].sum() / power.sum())
+
+    assert late_fraction(nlos) > late_fraction(los)
+    # Both profiles span 0-1.5us like the paper's axes.
+    assert los.delays_s.max() <= 1.5e-6 + 1e-12
+
+    save_result(
+        "FIG3",
+        "\n\n".join(
+            [
+                f"LOS link: {result.los_link[0].as_tuple()} -> "
+                f"{result.los_link[1].as_tuple()}",
+                format_delay_profile(los, "LOS delay profile"),
+                f"NLOS link: {result.nlos_link[0].as_tuple()} -> "
+                f"{result.nlos_link[1].as_tuple()}",
+                format_delay_profile(nlos, "NLOS delay profile"),
+                f"NLOS/LOS first-tap amplitude ratio: "
+                f"{result.first_tap_ratio():.3f}",
+            ]
+        ),
+    )

@@ -1,0 +1,44 @@
+"""FIG7 — PDP-based proximity determination accuracy (paper Fig. 7).
+
+Paper shape: per-site accuracy is high (most sites above ~85%), errors
+concentrate at sites nearly equidistant from AP pairs, and the sparser
+Lobby deployment outperforms the cluttered Lab.
+"""
+
+import numpy as np
+
+from repro.eval import fig7_pdp_accuracy, format_table
+
+from conftest import run_once
+
+
+def _run_both():
+    return (
+        fig7_pdp_accuracy("lab", rounds=10),
+        fig7_pdp_accuracy("lobby", rounds=10),
+    )
+
+
+def test_fig7_pdp_accuracy(benchmark, save_result):
+    lab, lobby = run_once(benchmark, _run_both)
+
+    # Shape: well above the 50% coin-flip floor everywhere on average.
+    assert lab.mean_accuracy > 0.72, f"lab mean {lab.mean_accuracy:.3f}"
+    assert lobby.mean_accuracy > 0.8, f"lobby mean {lobby.mean_accuracy:.3f}"
+    # Shape: "PDP-based proximity ... even outperforms the Lab scenario"
+    # because the lobby deployment is sparser.
+    assert lobby.mean_accuracy >= lab.mean_accuracy - 0.02
+    # Shape: a solid majority of sites are highly accurate.
+    assert lab.fraction_above(0.7) >= 0.6
+    assert lobby.fraction_above(0.7) >= 0.7
+
+    rows = []
+    for name, res in (("lab", lab), ("lobby", lobby)):
+        for idx, acc in enumerate(res.site_accuracies, start=1):
+            rows.append([name, idx, acc])
+    save_result(
+        "FIG7",
+        format_table(["scenario", "position index", "PDP accuracy"], rows)
+        + f"\n\nlab mean = {lab.mean_accuracy:.3f}, "
+        f"lobby mean = {lobby.mean_accuracy:.3f}",
+    )

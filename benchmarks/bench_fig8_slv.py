@@ -1,0 +1,41 @@
+"""FIG8 — spatial localizability variance, static vs nomadic (paper Fig. 8).
+
+Paper shape: (1) NomLoc's SLV is below the static deployment's in both
+scenarios; (2) the superiority is more evident in the Lobby, where the
+static deployment has the larger SLV.
+"""
+
+from repro.eval import fig8_slv, format_table
+
+from conftest import run_once
+
+
+def test_fig8_slv(benchmark, save_result):
+    result = run_once(benchmark, fig8_slv)
+
+    for scen in ("lab", "lobby"):
+        assert (
+            result.slv[scen]["nomadic"] < result.slv[scen]["static"]
+        ), f"{scen}: nomadic SLV must beat static"
+    # The static deployment suffers more in the Lobby...
+    assert result.slv["lobby"]["static"] > result.slv["lab"]["static"]
+    # ...and the nomadic gain is correspondingly larger there.
+    assert result.reduction("lobby") > result.reduction("lab")
+
+    rows = []
+    for scen in ("lab", "lobby"):
+        for mode in ("static", "nomadic"):
+            stats = result.stats[scen][mode]
+            rows.append(
+                [scen, mode, result.slv[scen][mode], stats.mean, stats.p90]
+            )
+    save_result(
+        "FIG8",
+        format_table(
+            ["scenario", "deployment", "SLV", "mean err(m)", "p90(m)"], rows
+        )
+        + "\n\nSLV reduction: "
+        + ", ".join(
+            f"{s}={result.reduction(s) * 100:.0f}%" for s in ("lab", "lobby")
+        ),
+    )

@@ -1,0 +1,45 @@
+"""FIG9 — localization error CDF, static vs nomadic (paper Fig. 9).
+
+Paper shape: (a) Lab — both deployments achieve mean accuracy below ~2 m,
+with NomLoc clearly ahead; (b) Lobby — NomLoc yields meter-scale accuracy
+while the static deployment degrades significantly.
+"""
+
+from repro.eval import fig9_error_cdf, format_cdf_table
+
+from conftest import run_once
+
+
+def _run_both():
+    return fig9_error_cdf("lab"), fig9_error_cdf("lobby")
+
+
+def test_fig9_error_cdf(benchmark, save_result):
+    lab, lobby = run_once(benchmark, _run_both)
+
+    # Lab (Fig. 9a): both under ~2.5 m mean, nomadic ahead.
+    assert lab.nomadic_cdf.mean < lab.static_cdf.mean
+    assert lab.nomadic_cdf.mean < 2.5
+    assert lab.static_cdf.mean < 3.5
+    assert lab.nomadic_cdf.percentile(90) <= lab.static_cdf.percentile(90)
+
+    # Lobby (Fig. 9b): nomadic ahead on mean and on the tail.
+    assert lobby.nomadic_cdf.mean < lobby.static_cdf.mean
+    assert lobby.nomadic_cdf.percentile(90) < lobby.static_cdf.percentile(90)
+    # The static deployment degrades much more in the open venue.
+    assert lobby.static_cdf.mean > lab.static_cdf.mean
+
+    text = []
+    for res in (lab, lobby):
+        text.append(
+            f"--- {res.scenario} ---\n"
+            + format_cdf_table(
+                {"static": res.static_cdf, "nomadic": res.nomadic_cdf},
+                points=11,
+            )
+            + f"\nmean: static={res.static_cdf.mean:.2f} m, "
+            f"nomadic={res.nomadic_cdf.mean:.2f} m; "
+            f"p90: static={res.static_cdf.percentile(90):.2f} m, "
+            f"nomadic={res.nomadic_cdf.percentile(90):.2f} m"
+        )
+    save_result("FIG9", "\n\n".join(text))

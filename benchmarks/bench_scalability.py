@@ -1,0 +1,69 @@
+"""SCALE — localization cost vs anchor count (paper Sec. IV-B4).
+
+"the LP problem can be solved using interior-point method within weakly
+polynomial time.  Therefore, the scalability of the proposed NomLoc
+system is very high."  This bench times the full SP stage (constraint
+construction + relaxation LP + region centring) as the anchor count grows
+— e.g. many nomadic sites or many nomadic APs.  Expected shape: smooth
+polynomial growth, milliseconds even at 32 anchors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Anchor, NomLocLocalizer
+from repro.geometry import Point, Polygon
+
+AREA = Polygon.rectangle(0, 0, 30, 20)
+
+
+def synthetic_anchors(count: int, seed: int = 0) -> list[Anchor]:
+    rng = np.random.default_rng(seed)
+    obj = Point(12.0, 8.0)
+    anchors = []
+    for i in range(count):
+        pos = Point(float(rng.uniform(1, 29)), float(rng.uniform(1, 19)))
+        pdp = 1.0 / (0.1 + obj.distance_to(pos)) ** 2
+        pdp *= float(rng.lognormal(0.0, 0.2))  # measurement noise
+        anchors.append(Anchor(f"A{i}", pos, pdp, nomadic=i >= 4))
+    return anchors
+
+
+@pytest.mark.parametrize("count", [4, 8, 16, 32])
+def test_locate_scales_with_anchor_count(benchmark, count):
+    localizer = NomLocLocalizer(AREA)
+    anchors = synthetic_anchors(count)
+    estimate = benchmark(localizer.locate, anchors)
+    assert AREA.contains(estimate.position)
+    # C(n,2) pairwise rows + 4 boundary rows.
+    assert estimate.num_constraints == count * (count - 1) // 2 + 4
+
+
+def test_scalability_is_polynomial(benchmark, save_result=None):
+    """One-shot wall-clock curve for the results file."""
+    import time
+
+    from repro.eval import format_table
+
+    rows = []
+    for count in (4, 8, 16, 32, 48):
+        localizer = NomLocLocalizer(AREA)
+        anchors = synthetic_anchors(count)
+        start = time.perf_counter()
+        runs = 5
+        for _ in range(runs):
+            localizer.locate(anchors)
+        elapsed_ms = (time.perf_counter() - start) / runs * 1e3
+        rows.append([count, count * (count - 1) // 2 + 4, round(elapsed_ms, 2)])
+
+    def run():
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # Polynomial, not explosive: 48 anchors (1132 constraint rows) stays
+    # well under a second per query.
+    assert rows[-1][2] < 1000.0, rows
+    table = format_table(["anchors", "LP rows", "ms/query"], rows)
+    results_dir = __import__("pathlib").Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "SCALE.txt").write_text(table + "\n")

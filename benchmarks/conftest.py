@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module reproduces one figure/table of the paper (see
+DESIGN.md's experiment index): it times the experiment via
+pytest-benchmark, asserts the paper's qualitative *shape*, and persists the
+rendered rows/series under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist one experiment's formatted output as results/<id>.txt."""
+
+    def _save(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (experiments are seconds-long)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

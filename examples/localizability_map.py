@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Visualizing spatial localizability variance — the paper's Fig. 1, live.
+
+Samples the localization error over a dense grid of the Lab under the
+static and the nomadic deployments, and renders both as ASCII heatmaps on
+a shared scale.  The static map shows the "blind" high-error pockets the
+paper motivates with; the nomadic map shows them washed out.
+
+Usage:  python examples/localizability_map.py
+"""
+
+import numpy as np
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.viz import render_heatmap
+
+
+def main() -> None:
+    scenario = get_scenario("lab")
+    fast = SystemConfig(packets_per_link=8, trace_steps=10)
+    systems = {
+        "static": NomLocSystem(
+            scenario, SystemConfig(packets_per_link=8, use_nomadic=False)
+        ),
+        "nomadic": NomLocSystem(scenario, fast),
+    }
+
+    def error_fn(system):
+        def sample(p):
+            errs = [
+                system.localization_error(
+                    p, np.random.default_rng(hash((round(p.x, 2), round(p.y, 2), r)) % 2**32)
+                )
+                for r in range(2)
+            ]
+            return float(np.mean(errs))
+
+        return sample
+
+    print("Sampling localization error over a 1 m grid "
+          "(a few hundred queries per map)...\n")
+    maps = {}
+    for label, system in systems.items():
+        maps[label] = render_heatmap(
+            scenario.plan,
+            error_fn(system),
+            grid_spacing_m=1.0,
+            width=60,
+            vmin=0.0,
+            vmax=4.0,
+        )
+
+    for label in ("static", "nomadic"):
+        hm = maps[label]
+        values = np.array(hm.values)
+        print(f"=== {label} deployment ===")
+        print(hm.text)
+        print(hm.legend())
+        print(f"mean error {values.mean():.2f} m, "
+              f"worst cell {values.max():.2f} m, "
+              f"SLV {values.var():.2f}\n")
+
+    print("Dense darker pockets in the static map are the 'blind areas' "
+          "of the paper's\nFig. 1; the nomadic AP's extra partition "
+          "constraints flatten them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Retail analytics: how localizability variance distorts footfall stats.
+
+The paper's Sec. I marketplace motivation: "merchants seek for the best
+locations to advertise ... the statistic data can be misleading or even
+crash profits due to spatial localizability variance."
+
+This example places simulated customers across the Lab, localizes every
+visit with the static and the nomadic deployment, bins the estimates into
+store zones, and compares each zone's *measured* footfall share against
+ground truth.  High-SLV deployments systematically misattribute visits.
+
+Usage:  python examples/retail_analytics.py
+"""
+
+import numpy as np
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.geometry import Point
+
+ZONES = {
+    "entrance (SW)": (0.0, 0.0, 6.0, 4.0),
+    "electronics (SE)": (6.0, 0.0, 12.0, 4.0),
+    "apparel (NW)": (0.0, 4.0, 6.0, 8.0),
+    "grocery (NE)": (6.0, 4.0, 12.0, 8.0),
+}
+
+
+def zone_of(p: Point) -> str:
+    for name, (x0, y0, x1, y1) in ZONES.items():
+        if x0 <= p.x < x1 and y0 <= p.y < y1:
+            return name
+    return min(
+        ZONES,
+        key=lambda n: abs(p.x - (ZONES[n][0] + ZONES[n][2]) / 2)
+        + abs(p.y - (ZONES[n][1] + ZONES[n][3]) / 2),
+    )
+
+
+def main() -> None:
+    scenario = get_scenario("lab")
+    rng = np.random.default_rng(2026)
+    # Ground truth: customers dwell mostly near the entrance and grocery.
+    weights = {"entrance (SW)": 0.4, "electronics (SE)": 0.1,
+               "apparel (NW)": 0.15, "grocery (NE)": 0.35}
+    customers = []
+    for name, w in weights.items():
+        x0, y0, x1, y1 = ZONES[name]
+        count = int(80 * w)
+        for _ in range(count):
+            for _ in range(100):
+                p = Point(float(rng.uniform(x0 + 0.4, x1 - 0.4)),
+                          float(rng.uniform(y0 + 0.4, y1 - 0.4)))
+                if not any(o.polygon.contains(p, boundary=False)
+                           for o in scenario.plan.obstacles):
+                    customers.append(p)
+                    break
+
+    systems = {
+        "static": NomLocSystem(scenario, SystemConfig(
+            use_nomadic=False, packets_per_link=12)),
+        "nomadic": NomLocSystem(scenario, SystemConfig(packets_per_link=12)),
+    }
+
+    true_counts = {z: 0 for z in ZONES}
+    for c in customers:
+        true_counts[zone_of(c)] += 1
+
+    measured = {}
+    mean_err = {}
+    for label, system in systems.items():
+        counts = {z: 0 for z in ZONES}
+        errors = []
+        for idx, customer in enumerate(customers):
+            q_rng = np.random.default_rng(np.random.SeedSequence([7, idx]))
+            est = system.locate(customer, q_rng)
+            errors.append(est.error_to(customer))
+            counts[zone_of(est.position)] += 1
+        measured[label] = counts
+        mean_err[label] = float(np.mean(errors))
+
+    total = len(customers)
+    print(f"{total} customer visits, footfall share per zone:\n")
+    print(f"{'zone':>18s}  {'truth':>6s}  {'static':>7s}  {'nomadic':>7s}")
+    for z in ZONES:
+        print(f"{z:>18s}  {true_counts[z]/total:6.1%}  "
+              f"{measured['static'][z]/total:7.1%}  "
+              f"{measured['nomadic'][z]/total:7.1%}")
+
+    def distortion(counts):
+        return sum(abs(counts[z] - true_counts[z]) for z in ZONES) / total
+
+    print(f"\nTotal footfall misattribution: "
+          f"static={distortion(measured['static']):.1%}, "
+          f"nomadic={distortion(measured['nomadic']):.1%}")
+    print(f"Mean localization error:       "
+          f"static={mean_err['static']:.2f} m, "
+          f"nomadic={mean_err['nomadic']:.2f} m")
+    print("\nBoth deployments misattribute visits near zone borders, but "
+          "the nomadic deployment\nlocalizes each visit "
+          f"{mean_err['static'] - mean_err['nomadic']:.1f} m more "
+          "accurately on average - the raw position\nstream a merchant "
+          "would mine for dwell analysis is substantially cleaner.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Security patrol: eliminating localization blind spots with a patrol AP.
+
+The paper's Sec. I motivation: "Secure inspectors need to monitor every
+place of the region ... spatial localizability variance will result in
+miss detection at a blind area where the suspect can slip in."
+
+This example localizes an intruder standing at every test site of the
+L-shaped Lobby under (a) the fixed AP deployment and (b) a guard carrying
+a nomadic AP on a patrol beat, and reports the blind spots (sites whose
+mean error exceeds an alarm-resolution threshold).
+
+Usage:  python examples/security_patrol.py
+"""
+
+import numpy as np
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.eval import run_campaign, slv
+from repro.extensions import PatternBoundLocalizer
+from repro.mobility import PatrolPattern
+
+ALARM_RESOLUTION_M = 5.0  # a guard can check a 5 m radius quickly
+
+
+def main() -> None:
+    scenario = get_scenario("lobby")
+    print(f"Venue: {scenario.name} ({scenario.plan.boundary.area():.0f} m^2)")
+    print(f"Alarm resolution: {ALARM_RESOLUTION_M} m\n")
+
+    static = NomLocSystem(scenario, SystemConfig(use_nomadic=False))
+    num_sites = len(scenario.nomadic_aps[0].sites)
+    patrol = PatternBoundLocalizer(
+        NomLocSystem(scenario), PatrolPattern(num_sites)
+    )
+
+    static_run = run_campaign(
+        static, scenario.test_sites, repetitions=3, seed=7, name="static"
+    )
+    patrol_run = run_campaign(
+        patrol, scenario.test_sites, repetitions=3, seed=7, name="patrol"
+    )
+
+    print(f"{'site':>14s}  {'static err':>10s}  {'patrol err':>10s}")
+    blind_static = blind_patrol = 0
+    for s_res, p_res in zip(static_run.sites, patrol_run.sites):
+        site = s_res.site
+        s_blind = s_res.mean_error > ALARM_RESOLUTION_M
+        p_blind = p_res.mean_error > ALARM_RESOLUTION_M
+        blind_static += s_blind
+        blind_patrol += p_blind
+        flag_s = " BLIND" if s_blind else ""
+        flag_p = " BLIND" if p_blind else ""
+        print(f"({site.x:5.1f},{site.y:5.1f})  "
+              f"{s_res.mean_error:8.2f} m{flag_s:6s}  "
+              f"{p_res.mean_error:8.2f} m{flag_p}")
+
+    print(f"\nBlind spots:     static={blind_static}, "
+          f"patrol={blind_patrol} (of {len(scenario.test_sites)} sites)")
+    print(f"Mean error:      static={static_run.stats.mean:.2f} m, "
+          f"patrol={patrol_run.stats.mean:.2f} m")
+    print(f"SLV (Eq. 22):    static={slv(static_run.per_site_means()):.2f}, "
+          f"patrol={slv(patrol_run.per_site_means()):.2f}")
+    print("\nThe patrol AP removes the blind areas the fixed deployment "
+          "leaves in the far arm of the L.")
+
+
+if __name__ == "__main__":
+    main()

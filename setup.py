@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` (which builds a wheel for modern editable installs)
+cannot run.  ``python setup.py develop`` performs the equivalent editable
+install using only the locally available setuptools.
+"""
+
+from setuptools import setup
+
+setup()

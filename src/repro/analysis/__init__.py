@@ -1,0 +1,17 @@
+"""Measurement-property analysis: temporal stability, frequency diversity."""
+
+from .csi_properties import (
+    LinkPropertyReport,
+    analyze_link,
+    frequency_selectivity,
+    rms_delay_spread_s,
+    temporal_stability,
+)
+
+__all__ = [
+    "temporal_stability",
+    "frequency_selectivity",
+    "rms_delay_spread_s",
+    "LinkPropertyReport",
+    "analyze_link",
+]

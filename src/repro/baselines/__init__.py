@@ -1,0 +1,21 @@
+"""Comparison localizers: static SP, calibrated ranging, fingerprinting,
+weighted centroid."""
+
+from .centroid import WeightedCentroidLocalizer
+from .fingerprint import Fingerprint, FingerprintLocalizer
+from .ranging import CSIRangingModel, TrilaterationLocalizer, trilaterate
+from .sequence import SequenceLocalizer, kendall_tau, rank_sequence
+from .static_sp import StaticSPLocalizer
+
+__all__ = [
+    "StaticSPLocalizer",
+    "CSIRangingModel",
+    "trilaterate",
+    "TrilaterationLocalizer",
+    "Fingerprint",
+    "FingerprintLocalizer",
+    "WeightedCentroidLocalizer",
+    "SequenceLocalizer",
+    "rank_sequence",
+    "kendall_tau",
+]

@@ -1,0 +1,75 @@
+"""Weighted-centroid baseline.
+
+The simplest calibration-free comparator: the position estimate is the
+PDP-weighted average of the AP positions.  Needs no model fitting and no
+survey, but its accuracy is bounded by the AP geometry — a useful floor to
+measure NomLoc's SP machinery against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel import CSISynthesizer, LinkSimulator, PropagationModel
+from ..core import SystemConfig, measure_link_pdp
+from ..environment import Scenario
+from ..geometry import Point
+
+__all__ = ["WeightedCentroidLocalizer"]
+
+
+class WeightedCentroidLocalizer:
+    """PDP-weighted centroid of the static AP positions.
+
+    Parameters
+    ----------
+    exponent:
+        Weight sharpening: ``w_i = pdp_i ** exponent``.  Larger values
+        pull the estimate harder towards the strongest AP.
+    """
+
+    name = "weighted-centroid"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SystemConfig | None = None,
+        exponent: float = 1.0,
+    ) -> None:
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        self.scenario = scenario
+        self.config = config or SystemConfig()
+        self.exponent = exponent
+        self.link_sim = LinkSimulator(
+            scenario.plan,
+            CSISynthesizer(
+                propagation=PropagationModel(
+                    path_loss_exponent=scenario.path_loss_exponent
+                )
+            ),
+        )
+        self._ap_positions = [ap.position for ap in scenario.aps]
+
+    def locate(self, object_position: Point, rng: np.random.Generator) -> Point:
+        """One weighted-centroid query."""
+        weights = []
+        for ap in self._ap_positions:
+            pdp = measure_link_pdp(
+                self.link_sim,
+                object_position,
+                ap,
+                self.config.packets_per_link,
+                rng,
+            )
+            weights.append(pdp**self.exponent)
+        total = sum(weights)
+        x = sum(w * p.x for w, p in zip(weights, self._ap_positions)) / total
+        y = sum(w * p.y for w, p in zip(weights, self._ap_positions)) / total
+        return Point(x, y)
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.locate(object_position, rng).distance_to(object_position)

@@ -1,0 +1,139 @@
+"""RADAR/Horus-style fingerprinting baseline.
+
+The other conventional WLAN technique the paper discusses: an offline
+war-driving phase builds a radio map (per-AP signal statistics on a grid of
+reference positions), and online queries match against it with weighted
+K-nearest-neighbours in signal space.  The paper's point stands in the
+implementation itself: the offline phase needs a dense survey with ground
+truth *and is impossible with nomadic APs* — only static home positions can
+be fingerprinted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel import CSISynthesizer, LinkSimulator, PropagationModel
+from ..core import SystemConfig, measure_link_pdp
+from ..environment import Scenario
+from ..geometry import Point
+
+__all__ = ["Fingerprint", "FingerprintLocalizer"]
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """One radio-map entry: a reference position and its signal vector."""
+
+    position: Point
+    signature_db: np.ndarray
+
+    def distance_to_signature(self, other_db: np.ndarray) -> float:
+        """Euclidean distance in dB signal space."""
+        return float(np.linalg.norm(self.signature_db - other_db))
+
+
+class FingerprintLocalizer:
+    """Weighted-KNN fingerprinting over a surveyed grid.
+
+    Parameters
+    ----------
+    scenario:
+        Venue and deployment (static AP home positions only).
+    config:
+        Measurement parameters.
+    grid_spacing_m:
+        Survey density of the offline phase.
+    k:
+        Neighbours used by the online matcher.
+    """
+
+    name = "fingerprint"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SystemConfig | None = None,
+        grid_spacing_m: float = 2.0,
+        k: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if grid_spacing_m <= 0:
+            raise ValueError("grid spacing must be positive")
+        self.scenario = scenario
+        self.config = config or SystemConfig()
+        self.k = k
+        self.link_sim = LinkSimulator(
+            scenario.plan,
+            CSISynthesizer(
+                propagation=PropagationModel(
+                    path_loss_exponent=scenario.path_loss_exponent
+                )
+            ),
+        )
+        self._ap_positions = [ap.position for ap in scenario.aps]
+        self.radio_map: list[Fingerprint] = []
+        self._survey(grid_spacing_m, rng or np.random.default_rng(0xF19E))
+
+    def _signature(
+        self, position: Point, rng: np.random.Generator
+    ) -> np.ndarray:
+        sig = []
+        for ap in self._ap_positions:
+            pdp = measure_link_pdp(
+                self.link_sim, position, ap, self.config.packets_per_link, rng
+            )
+            sig.append(10.0 * math.log10(pdp))
+        return np.array(sig)
+
+    def _survey(self, spacing: float, rng: np.random.Generator) -> None:
+        """The offline war-driving phase NomLoc exists to avoid."""
+        refs = self.scenario.plan.boundary.grid_points(spacing, margin=0.2)
+        refs = [
+            p
+            for p in refs
+            if not any(
+                o.polygon.contains(p, boundary=False)
+                for o in self.scenario.plan.obstacles
+            )
+        ]
+        if len(refs) < self.k:
+            raise ValueError(
+                "survey grid too coarse for the requested k; "
+                "decrease grid_spacing_m"
+            )
+        self.radio_map = [
+            Fingerprint(p, self._signature(p, rng)) for p in refs
+        ]
+
+    def locate(self, object_position: Point, rng: np.random.Generator) -> Point:
+        """One fingerprint-matching query."""
+        observed = self._signature(object_position, rng)
+        scored = sorted(
+            self.radio_map,
+            key=lambda fp: fp.distance_to_signature(observed),
+        )[: self.k]
+        weights = []
+        for fp in scored:
+            d = fp.distance_to_signature(observed)
+            weights.append(1.0 / (d + 1e-6))
+        total = sum(weights)
+        x = sum(w * fp.position.x for w, fp in zip(weights, scored)) / total
+        y = sum(w * fp.position.y for w, fp in zip(weights, scored)) / total
+        return Point(x, y)
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.locate(object_position, rng).distance_to(object_position)
+
+    @property
+    def survey_size(self) -> int:
+        """Number of surveyed reference points (the calibration cost)."""
+        return len(self.radio_map)

@@ -1,0 +1,239 @@
+"""FILA-style range-based baseline: CSI ranging + trilateration.
+
+The paper contrasts NomLoc with range-based systems (FILA [17]) that invert
+a radio propagation model to get AP-object distances and trilaterate.
+Crucially these need *calibration* — fitting the venue's path-loss
+parameters from reference measurements — which is exactly the cost NomLoc
+avoids.  This baseline implements the full pipeline:
+
+1. offline: fit ``PDP_dB = A - 10 n log10(d)`` by least squares over
+   calibration points with known positions;
+2. online: invert each link's PDP to a distance estimate;
+3. solve the nonlinear least-squares trilateration with a from-scratch
+   Levenberg–Marquardt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import SystemConfig, measure_link_pdp
+from ..channel import CSISynthesizer, LinkSimulator, PropagationModel
+from ..environment import Scenario
+from ..geometry import Point
+
+__all__ = ["CSIRangingModel", "TrilaterationLocalizer", "trilaterate"]
+
+
+@dataclass
+class CSIRangingModel:
+    """Calibrated log-distance inversion from PDP to distance.
+
+    Attributes
+    ----------
+    intercept_db:
+        Fitted ``A`` — the PDP in dB at 1 m.
+    exponent:
+        Fitted path-loss exponent ``n``.
+    """
+
+    intercept_db: float = 0.0
+    exponent: float = 2.0
+    _fitted: bool = False
+
+    def calibrate(self, pdps_mw: np.ndarray, distances_m: np.ndarray) -> None:
+        """Least-squares fit of the log-distance model.
+
+        Requires at least two calibration measurements at distinct
+        distances.
+        """
+        pdps_mw = np.asarray(pdps_mw, dtype=float)
+        distances_m = np.asarray(distances_m, dtype=float)
+        if pdps_mw.shape != distances_m.shape or pdps_mw.size < 2:
+            raise ValueError("need >= 2 aligned calibration samples")
+        if np.any(pdps_mw <= 0) or np.any(distances_m <= 0):
+            raise ValueError("calibration samples must be positive")
+        log_d = np.log10(distances_m)
+        if np.ptp(log_d) < 1e-9:
+            raise ValueError("calibration distances must be distinct")
+        pdp_db = 10.0 * np.log10(pdps_mw)
+        # pdp_db = A - 10 n log_d  ->  linear regression on log_d.
+        slope, intercept = np.polyfit(log_d, pdp_db, 1)
+        self.exponent = max(-slope / 10.0, 0.5)
+        self.intercept_db = float(intercept)
+        self._fitted = True
+
+    def distance(self, pdp_mw: float) -> float:
+        """Invert one PDP measurement to a distance estimate."""
+        if not self._fitted:
+            raise RuntimeError("ranging model has not been calibrated")
+        if pdp_mw <= 0:
+            raise ValueError("PDP must be positive")
+        pdp_db = 10.0 * math.log10(pdp_mw)
+        log_d = (self.intercept_db - pdp_db) / (10.0 * self.exponent)
+        return float(np.clip(10.0**log_d, 0.05, 1e4))
+
+
+def trilaterate(
+    anchors: list[Point],
+    distances: list[float],
+    initial: Point,
+    max_iterations: int = 100,
+) -> Point:
+    """Nonlinear least-squares position fix (Levenberg–Marquardt).
+
+    Minimizes ``sum_i (|z - p_i| - d_i)^2`` from ``initial``.
+    """
+    if len(anchors) != len(distances):
+        raise ValueError("anchors and distances must align")
+    if len(anchors) < 3:
+        raise ValueError("trilateration needs at least three anchors")
+    z = np.array([initial.x, initial.y], dtype=float)
+    lam = 1e-3
+
+    def residuals(zz: np.ndarray) -> np.ndarray:
+        return np.array(
+            [
+                math.hypot(zz[0] - p.x, zz[1] - p.y) - d
+                for p, d in zip(anchors, distances)
+            ]
+        )
+
+    r = residuals(z)
+    cost = float(r @ r)
+    for _ in range(max_iterations):
+        # Jacobian of |z - p_i| is the unit vector towards z.
+        jac = np.zeros((len(anchors), 2))
+        for i, p in enumerate(anchors):
+            dx, dy = z[0] - p.x, z[1] - p.y
+            norm = math.hypot(dx, dy)
+            if norm < 1e-9:
+                jac[i] = (1.0, 0.0)
+            else:
+                jac[i] = (dx / norm, dy / norm)
+        jtj = jac.T @ jac
+        jtr = jac.T @ r
+        step = np.linalg.solve(jtj + lam * np.eye(2), -jtr)
+        candidate = z + step
+        r_new = residuals(candidate)
+        cost_new = float(r_new @ r_new)
+        if cost_new < cost:
+            z, r, cost = candidate, r_new, cost_new
+            lam = max(lam / 4.0, 1e-10)
+            if np.linalg.norm(step) < 1e-9:
+                break
+        else:
+            lam = min(lam * 8.0, 1e8)
+            if lam >= 1e8:
+                break
+    return Point(float(z[0]), float(z[1]))
+
+
+class TrilaterationLocalizer:
+    """The complete calibrated range-based baseline over a scenario.
+
+    Parameters
+    ----------
+    scenario:
+        Venue and deployment; only the static home positions are used
+        (ranging against a moving anchor with uncertain position degrades
+        badly — the paper's argument in Sec. III-A).
+    config:
+        Measurement parameters (packet counts).
+    calibration_points:
+        Reference positions with known ground truth used to fit the
+        ranging model; defaults to an interior grid.
+    """
+
+    name = "trilateration"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SystemConfig | None = None,
+        calibration_points: list[Point] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or SystemConfig()
+        self.link_sim = LinkSimulator(
+            scenario.plan,
+            CSISynthesizer(
+                propagation=PropagationModel(
+                    path_loss_exponent=scenario.path_loss_exponent
+                )
+            ),
+        )
+        self.ranging = CSIRangingModel()
+        self._ap_positions = [ap.position for ap in scenario.aps]
+        self._calibrate(
+            calibration_points, rng or np.random.default_rng(0xCA11B)
+        )
+
+    def _calibrate(
+        self, points: list[Point] | None, rng: np.random.Generator
+    ) -> None:
+        if points is None:
+            points = self.scenario.plan.boundary.sample_points(
+                12, rng, margin=0.5
+            )
+        pdps, dists = [], []
+        for ref in points:
+            for ap in self._ap_positions:
+                d = ref.distance_to(ap)
+                if d < 0.3:
+                    continue
+                pdps.append(
+                    measure_link_pdp(
+                        self.link_sim,
+                        ref,
+                        ap,
+                        self.config.packets_per_link,
+                        rng,
+                    )
+                )
+                dists.append(d)
+        self.ranging.calibrate(np.array(pdps), np.array(dists))
+
+    def locate(self, object_position: Point, rng: np.random.Generator) -> Point:
+        """One range-based localization query."""
+        distances = []
+        for ap in self._ap_positions:
+            pdp = measure_link_pdp(
+                self.link_sim,
+                object_position,
+                ap,
+                self.config.packets_per_link,
+                rng,
+            )
+            distances.append(self.ranging.distance(pdp))
+        initial = self.scenario.plan.boundary.centroid()
+        estimate = trilaterate(self._ap_positions, distances, initial)
+        return _clamp_into(estimate, self.scenario)
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.locate(object_position, rng).distance_to(object_position)
+
+
+def _clamp_into(p: Point, scenario: Scenario) -> Point:
+    """Project estimates that escaped the venue back to the boundary."""
+    if scenario.plan.contains(p):
+        return p
+    from ..geometry import distance_point_to_segment
+
+    best_edge = min(
+        scenario.plan.boundary.edges(),
+        key=lambda e: distance_point_to_segment(p, e),
+    )
+    # Closest point on the best edge.
+    d = best_edge.b - best_edge.a
+    denom = d.x * d.x + d.y * d.y
+    t = ((p.x - best_edge.a.x) * d.x + (p.y - best_edge.a.y) * d.y) / denom
+    t = max(0.0, min(1.0, t))
+    return best_edge.a + d * t

@@ -1,0 +1,171 @@
+"""Sequence-based localization (the paper's SP ancestor, ref. [2]).
+
+Yedavalli & Krishnamachari, *Sequence-Based Localization in Wireless
+Sensor Networks*, IEEE TMC 2008: the perpendicular bisectors of ``n``
+anchors partition the plane into faces, each with a unique *rank
+sequence* of anchor distances.  Offline, the feasible sequences and their
+face centroids are tabulated; online, the measured signal-strength rank
+sequence is matched to the nearest feasible sequence by rank correlation
+and the face centroid is returned.
+
+Implemented here with dense grid sampling of the venue (exact face
+enumeration is unnecessary at floor-plan scale) and a from-scratch
+Kendall-tau matcher.  Like NomLoc this is calibration-free — it only uses
+distance *ordering* — which is precisely why the paper adopts the
+space-partition family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel import CSISynthesizer, LinkSimulator, PropagationModel
+from ..core import SystemConfig, measure_link_pdp
+from ..environment import Scenario
+from ..geometry import Point
+
+__all__ = ["rank_sequence", "kendall_tau", "SequenceLocalizer"]
+
+
+def rank_sequence(values: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Rank vector of ``values`` (0 = smallest; ties broken by index).
+
+    With ``descending=True`` the largest value gets rank 0 — handy for
+    signal strengths, where stronger means nearer.
+    """
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(-values if descending else values, kind="stable")
+    ranks = np.empty(len(values), dtype=int)
+    ranks[order] = np.arange(len(values))
+    return ranks
+
+
+def kendall_tau(a: np.ndarray, b: np.ndarray) -> float:
+    """Kendall rank correlation of two equal-length rank vectors.
+
+    ``+1`` for identical orderings, ``-1`` for reversed.  O(n^2), which is
+    fine for the handful of anchors a deployment has.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("rank vectors must have equal length")
+    n = len(a)
+    if n < 2:
+        raise ValueError("need at least two entries to correlate")
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            sign_a = np.sign(a[i] - a[j])
+            sign_b = np.sign(b[i] - b[j])
+            product = sign_a * sign_b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = n * (n - 1) / 2
+    return float((concordant - discordant) / total)
+
+
+@dataclass(frozen=True)
+class _Face:
+    """One feasible rank sequence and the centroid of its face."""
+
+    sequence: tuple[int, ...]
+    centroid: Point
+    support: int  # grid points that produced this sequence
+
+
+class SequenceLocalizer:
+    """Grid-sampled sequence-based localization over a scenario.
+
+    Parameters
+    ----------
+    scenario:
+        Venue and deployment; static AP home positions are the anchors.
+    config:
+        Measurement parameters (packets per link).
+    grid_spacing_m:
+        Sampling density for the offline sequence table.  Finer grids
+        discover more (smaller) faces.
+    """
+
+    name = "sequence"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SystemConfig | None = None,
+        grid_spacing_m: float = 0.5,
+    ) -> None:
+        if grid_spacing_m <= 0:
+            raise ValueError("grid spacing must be positive")
+        self.scenario = scenario
+        self.config = config or SystemConfig()
+        self.link_sim = LinkSimulator(
+            scenario.plan,
+            CSISynthesizer(
+                propagation=PropagationModel(
+                    path_loss_exponent=scenario.path_loss_exponent
+                )
+            ),
+        )
+        self._anchors = [ap.position for ap in scenario.aps]
+        self.faces: list[_Face] = self._build_table(grid_spacing_m)
+
+    # ------------------------------------------------------------------
+    def _build_table(self, spacing: float) -> list[_Face]:
+        """Enumerate feasible rank sequences by venue sampling.
+
+        Purely geometric — no radio measurements, no calibration.
+        """
+        points = self.scenario.plan.boundary.grid_points(spacing, margin=0.05)
+        groups: dict[tuple[int, ...], list[Point]] = {}
+        for p in points:
+            distances = np.array([p.distance_to(a) for a in self._anchors])
+            seq = tuple(rank_sequence(distances))
+            groups.setdefault(seq, []).append(p)
+        faces = [
+            _Face(seq, Point.centroid(pts), len(pts))
+            for seq, pts in groups.items()
+        ]
+        if not faces:
+            raise ValueError("venue too small for the sampling grid")
+        return faces
+
+    @property
+    def num_faces(self) -> int:
+        """Distinct feasible rank sequences found in the venue."""
+        return len(self.faces)
+
+    # ------------------------------------------------------------------
+    def locate(self, object_position: Point, rng: np.random.Generator) -> Point:
+        """One sequence-matching localization query."""
+        pdps = np.array(
+            [
+                measure_link_pdp(
+                    self.link_sim,
+                    object_position,
+                    anchor,
+                    self.config.packets_per_link,
+                    rng,
+                )
+                for anchor in self._anchors
+            ]
+        )
+        # Strongest PDP = nearest anchor = rank 0, matching the distance
+        # ranks of the offline table.
+        measured = rank_sequence(pdps, descending=True)
+        best = max(
+            self.faces,
+            key=lambda f: (kendall_tau(measured, np.array(f.sequence)), f.support),
+        )
+        return best.centroid
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.locate(object_position, rng).distance_to(object_position)

@@ -1,0 +1,49 @@
+"""Static-deployment SP baseline.
+
+The comparison target of Figs. 8 and 9: the identical SP pipeline run with
+the nomadic AP pinned at its home position.  Provided as a thin wrapper so
+experiments can instantiate "the corresponding static AP deployment" in one
+line, exactly mirroring the paper's benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import LocalizerConfig, LocationEstimate, NomLocSystem, SystemConfig
+from ..environment import Scenario
+from ..geometry import Point
+
+__all__ = ["StaticSPLocalizer"]
+
+
+class StaticSPLocalizer:
+    """SP localization with every AP static (nomadic APs pinned at home)."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SystemConfig | None = None,
+        localizer_config: LocalizerConfig | None = None,
+    ) -> None:
+        base = config or SystemConfig()
+        if base.use_nomadic:
+            base = SystemConfig(
+                packets_per_link=base.packets_per_link,
+                trace_steps=base.trace_steps,
+                position_error=base.position_error,
+                use_nomadic=False,
+            )
+        self.system = NomLocSystem(scenario, base, localizer_config)
+
+    def locate(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> LocationEstimate:
+        """One static-deployment localization query."""
+        return self.system.locate(object_position, rng)
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.locate(object_position, rng).error_to(object_position)

@@ -1,0 +1,72 @@
+"""Simulated 802.11n RF substrate.
+
+Replaces the Intel 5300 CSI-capable NIC of the paper's prototype: an
+image-method multipath tracer over a polygonal floor plan, OFDM CSI
+synthesis with Rician fading and receiver noise, and CSI-to-CIR processing
+for power-delay-profile extraction.
+"""
+
+from .antenna import OMNI, AntennaPattern
+from .cir import DelayProfile, csi_to_cir, delay_profile
+from .csi import INTEL5300_SUBCARRIERS, CSIMeasurement, CSISynthesizer, OFDMConfig
+from .fading import FadingModel, rician_gain
+from .link import LinkSimulator
+from .materials import (
+    BRICK,
+    CONCRETE,
+    DRYWALL,
+    GLASS,
+    HUMAN_BODY,
+    MATERIALS,
+    METAL,
+    WOOD,
+    Material,
+)
+from .multipath import PathComponent, PathKind, TraceConfig, trace_paths
+from .noise import NoiseModel, thermal_noise_dbm
+from .shadowing import ShadowingModel
+from .propagation import (
+    SPEED_OF_LIGHT,
+    PropagationModel,
+    db_to_linear_amplitude,
+    dbm_to_mw,
+    free_space_path_loss_db,
+    mw_to_dbm,
+)
+
+__all__ = [
+    "Material",
+    "MATERIALS",
+    "CONCRETE",
+    "BRICK",
+    "DRYWALL",
+    "GLASS",
+    "WOOD",
+    "METAL",
+    "HUMAN_BODY",
+    "SPEED_OF_LIGHT",
+    "PropagationModel",
+    "free_space_path_loss_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear_amplitude",
+    "PathKind",
+    "PathComponent",
+    "TraceConfig",
+    "trace_paths",
+    "FadingModel",
+    "rician_gain",
+    "NoiseModel",
+    "thermal_noise_dbm",
+    "ShadowingModel",
+    "AntennaPattern",
+    "OMNI",
+    "OFDMConfig",
+    "CSIMeasurement",
+    "CSISynthesizer",
+    "INTEL5300_SUBCARRIERS",
+    "DelayProfile",
+    "csi_to_cir",
+    "delay_profile",
+    "LinkSimulator",
+]

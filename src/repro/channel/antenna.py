@@ -1,0 +1,72 @@
+"""Antenna radiation patterns.
+
+The paper's TL-WR941ND APs are omnidirectional; real deployments often
+mix in sector antennas.  Directional gain changes the received power as a
+function of the object's bearing, which perturbs PDP-vs-distance
+monotonicity — the ABL-ANT ablation quantifies NomLoc's sensitivity.
+
+The model is link-level (first-order): the gain of the AP's antenna
+towards the direct-path bearing scales the whole link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import Point
+
+__all__ = ["AntennaPattern", "OMNI"]
+
+
+@dataclass(frozen=True, slots=True)
+class AntennaPattern:
+    """A smooth cardioid-family azimuth pattern.
+
+    ``gain(theta) = front_gain - roll * (1 - cos(theta - boresight)) / 2``
+    where ``roll = front_gain + back_loss``: the boresight direction gets
+    ``front_gain_db``, the back direction ``-back_loss_db``.  Setting both
+    to zero yields an omni.
+
+    Attributes
+    ----------
+    boresight_deg:
+        Pointing azimuth, degrees CCW from +x.
+    front_gain_db:
+        Gain at boresight relative to an isotropic radiator.
+    back_loss_db:
+        Attenuation directly behind the antenna.
+    """
+
+    boresight_deg: float = 0.0
+    front_gain_db: float = 0.0
+    back_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.front_gain_db < 0 or self.back_loss_db < 0:
+            raise ValueError("gains/losses must be non-negative")
+
+    @property
+    def is_omni(self) -> bool:
+        """True when the pattern is direction-independent."""
+        return self.front_gain_db == 0.0 and self.back_loss_db == 0.0
+
+    def gain_db(self, azimuth_deg: float) -> float:
+        """Gain towards an azimuth (degrees CCW from +x)."""
+        if self.is_omni:
+            return 0.0
+        delta = math.radians(azimuth_deg - self.boresight_deg)
+        roll = self.front_gain_db + self.back_loss_db
+        return self.front_gain_db - roll * (1.0 - math.cos(delta)) / 2.0
+
+    def gain_towards_db(self, antenna_at: Point, target: Point) -> float:
+        """Gain of an antenna at ``antenna_at`` towards ``target``."""
+        dx = target.x - antenna_at.x
+        dy = target.y - antenna_at.y
+        if abs(dx) < 1e-12 and abs(dy) < 1e-12:
+            return self.front_gain_db  # on top of the antenna
+        return self.gain_db(math.degrees(math.atan2(dy, dx)))
+
+
+#: The paper's setting: omnidirectional APs.
+OMNI = AntennaPattern()

@@ -1,0 +1,90 @@
+"""Frequency-domain CSI to time-domain channel impulse response.
+
+The core of NomLoc's PDP mechanism (Sec. IV-A): IFFT the measured CSI onto
+the 64-tap grid of the 20 MHz channel, giving the power delay profile.  The
+maximum tap power approximates the power of the direct path (PDP) because
+the direct path plus its near reflections dominate one early tap, while
+NLOS penetration crushes it relative to the LOS case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csi import CSIMeasurement
+
+__all__ = ["DelayProfile", "csi_to_cir", "delay_profile"]
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Discrete power delay profile of one CSI snapshot.
+
+    Attributes
+    ----------
+    delays_s:
+        Tap delays, starting at 0, spaced by the OFDM tap resolution.
+    amplitudes:
+        Tap amplitudes ``|h[n]|`` (sqrt-mW units, like the CSI itself).
+    """
+
+    delays_s: np.ndarray
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.delays_s, dtype=float)
+        a = np.asarray(self.amplitudes, dtype=float)
+        if d.shape != a.shape:
+            raise ValueError("delays and amplitudes must align")
+        object.__setattr__(self, "delays_s", d)
+        object.__setattr__(self, "amplitudes", a)
+
+    @property
+    def powers(self) -> np.ndarray:
+        """Per-tap powers ``|h[n]|^2`` in mW."""
+        return self.amplitudes**2
+
+    def max_power(self) -> float:
+        """Maximum tap power — the paper's PDP estimator."""
+        return float(self.powers.max())
+
+    def first_tap_power(self) -> float:
+        """Power of the earliest tap (misleading under NLOS; kept for
+        comparison against the max-power estimator)."""
+        return float(self.powers[0])
+
+    def peak_delay_s(self) -> float:
+        """Delay of the strongest tap."""
+        return float(self.delays_s[int(np.argmax(self.powers))])
+
+    def truncated(self, max_delay_s: float) -> "DelayProfile":
+        """Profile restricted to taps at or before ``max_delay_s``."""
+        mask = self.delays_s <= max_delay_s + 1e-15
+        return DelayProfile(self.delays_s[mask], self.amplitudes[mask])
+
+
+def csi_to_cir(measurement: CSIMeasurement) -> np.ndarray:
+    """IFFT the CSI snapshot onto the full FFT tap grid.
+
+    The active subcarriers are placed at their FFT bin positions (negative
+    indices wrap, DC and guard bins stay zero) and a standard inverse FFT
+    produces ``n_fft`` complex taps spaced ``1 / bandwidth`` apart.
+    """
+    cfg = measurement.config
+    grid = np.zeros(cfg.n_fft, dtype=complex)
+    for value, idx in zip(measurement.csi, cfg.active_subcarriers):
+        grid[idx % cfg.n_fft] = value
+    # Scale so a flat channel of unit gain yields a unit first tap,
+    # independent of how many subcarriers were measured.
+    taps = np.fft.ifft(grid) * (cfg.n_fft / len(cfg.active_subcarriers))
+    return taps
+
+
+def delay_profile(measurement: CSIMeasurement) -> DelayProfile:
+    """Power delay profile (Fig. 3 of the paper) of one CSI snapshot."""
+    cfg = measurement.config
+    taps = csi_to_cir(measurement)
+    delays = np.arange(cfg.n_fft) * cfg.tap_resolution_s
+    return DelayProfile(delays, np.abs(taps))

@@ -1,0 +1,230 @@
+"""802.11n CSI synthesis over traced multipath.
+
+The frequency-domain channel state information on subcarrier ``i`` is
+
+    H(f_i) = sum_k g_k * a_k * exp(-j 2 pi (f_c + f_i) tau_k) + n_i
+
+where ``a_k`` is the large-scale amplitude of path ``k`` (path loss +
+excess loss), ``g_k`` the per-packet Rician fading gain, ``tau_k`` the
+path delay, and ``n_i`` receiver noise.  The layout mirrors a 20 MHz
+802.11n channel: a 64-point FFT grid with 56 occupied subcarriers
+(indices -28..-1, 1..28), of which an Intel-5300-style report exposes 30.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .fading import FadingModel
+from .multipath import PathComponent
+from .noise import NoiseModel
+from .propagation import PropagationModel, db_to_linear_amplitude
+
+__all__ = ["OFDMConfig", "CSIMeasurement", "CSISynthesizer", "INTEL5300_SUBCARRIERS"]
+
+#: Subcarrier indices reported by the Intel 5300 CSI tool in 20 MHz HT mode.
+INTEL5300_SUBCARRIERS: tuple[int, ...] = (
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+    1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+)
+
+
+@dataclass(frozen=True)
+class OFDMConfig:
+    """20 MHz 802.11n OFDM parameters.
+
+    Attributes
+    ----------
+    n_fft:
+        FFT size; CIR taps come out at ``1 / bandwidth_hz`` spacing.
+    bandwidth_hz:
+        Sampled channel bandwidth.
+    carrier_hz:
+        RF carrier (2.412 GHz = channel 1).
+    active_subcarriers:
+        Occupied subcarrier indices relative to the carrier (DC excluded).
+    """
+
+    n_fft: int = 64
+    bandwidth_hz: float = 20e6
+    carrier_hz: float = 2.412e9
+    active_subcarriers: tuple[int, ...] = field(
+        default_factory=lambda: tuple(
+            i for i in range(-28, 29) if i != 0
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_fft <= 0 or self.bandwidth_hz <= 0 or self.carrier_hz <= 0:
+            raise ValueError("OFDM parameters must be positive")
+        half = self.n_fft // 2
+        for idx in self.active_subcarriers:
+            if not -half <= idx <= half - 1:
+                raise ValueError(f"subcarrier index {idx} outside FFT grid")
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Frequency gap between adjacent subcarriers."""
+        return self.bandwidth_hz / self.n_fft
+
+    @property
+    def tap_resolution_s(self) -> float:
+        """Time resolution of one CIR tap (50 ns at 20 MHz)."""
+        return 1.0 / self.bandwidth_hz
+
+    def subcarrier_frequencies_hz(self) -> np.ndarray:
+        """Baseband offsets of the active subcarriers."""
+        return np.array(self.active_subcarriers, dtype=float) * self.subcarrier_spacing_hz
+
+
+@dataclass(frozen=True)
+class CSIMeasurement:
+    """One CSI snapshot from a single packet on one TX-RX link.
+
+    Attributes
+    ----------
+    csi:
+        Complex channel gains on the active subcarriers, in sqrt(mW) units
+        (``|csi|^2`` is a per-subcarrier received power in mW).
+    config:
+        OFDM layout the snapshot was measured under.
+    rssi_dbm:
+        The coarse per-packet RSSI the NIC firmware reports alongside the
+        CSI: total power corrupted by AGC jitter and dB quantization
+        (``None`` when the synthesizer did not model it).  This is the
+        "coarse received signal strength" the paper contrasts CSI with.
+    """
+
+    csi: np.ndarray
+    config: OFDMConfig
+    rssi_dbm: float | None = None
+
+    def __post_init__(self) -> None:
+        csi = np.asarray(self.csi, dtype=complex)
+        if csi.shape != (len(self.config.active_subcarriers),):
+            raise ValueError(
+                "CSI length must match the number of active subcarriers"
+            )
+        object.__setattr__(self, "csi", csi)
+
+    def total_power_mw(self) -> float:
+        """Aggregate received power across subcarriers (wideband power)."""
+        return float(np.sum(np.abs(self.csi) ** 2))
+
+    def rssi_mw(self) -> float:
+        """The firmware RSSI in mW; falls back to wideband power."""
+        if self.rssi_dbm is None:
+            return self.total_power_mw()
+        return 10.0 ** (self.rssi_dbm / 10.0)
+
+    def subsample_intel5300(self) -> "CSIMeasurement":
+        """Restrict to the 30 subcarriers the Intel 5300 driver exports."""
+        index_of = {sc: i for i, sc in enumerate(self.config.active_subcarriers)}
+        try:
+            picks = [index_of[sc] for sc in INTEL5300_SUBCARRIERS]
+        except KeyError as exc:
+            raise ValueError(
+                f"subcarrier {exc.args[0]} not present in this measurement"
+            ) from None
+        sub_cfg = OFDMConfig(
+            n_fft=self.config.n_fft,
+            bandwidth_hz=self.config.bandwidth_hz,
+            carrier_hz=self.config.carrier_hz,
+            active_subcarriers=INTEL5300_SUBCARRIERS,
+        )
+        return CSIMeasurement(self.csi[picks], sub_cfg)
+
+
+@dataclass(frozen=True)
+class CSISynthesizer:
+    """Generates per-packet CSI snapshots from a traced path set.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power (TL-WR941ND class routers transmit around 20 dBm;
+        we default slightly lower for client devices).
+    propagation:
+        Large-scale path loss model.
+    fading:
+        Small-scale per-packet fading model.
+    noise:
+        Receiver noise model (``None`` disables noise).
+    ofdm:
+        Subcarrier layout.
+    rssi_jitter_db:
+        Std of the per-packet AGC/gain error on the reported RSSI (coarse
+        RSS is unstable packet-to-packet; CSI magnitudes are not).
+    rssi_quantization_db:
+        Step size the firmware rounds RSSI to (1 dB on typical NICs).
+    """
+
+    tx_power_dbm: float = 15.0
+    propagation: PropagationModel = field(default_factory=PropagationModel)
+    fading: FadingModel = field(default_factory=FadingModel)
+    noise: NoiseModel | None = field(default_factory=NoiseModel)
+    ofdm: OFDMConfig = field(default_factory=OFDMConfig)
+    rssi_jitter_db: float = 2.0
+    rssi_quantization_db: float = 1.0
+
+    def path_amplitude(self, component: PathComponent) -> float:
+        """Mean linear amplitude of one component, in sqrt(mW)."""
+        rx_dbm = component.received_power_dbm(self.tx_power_dbm, self.propagation)
+        return db_to_linear_amplitude(rx_dbm)
+
+    def synthesize(
+        self,
+        paths: Sequence[PathComponent],
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> CSIMeasurement:
+        """Produce one packet's CSI snapshot over the given path set."""
+        if not paths:
+            raise ValueError("need at least one path component")
+        freqs = self.ofdm.carrier_hz + self.ofdm.subcarrier_frequencies_hz()
+        csi = np.zeros(len(freqs), dtype=complex)
+        for component in paths:
+            amplitude = self.path_amplitude(component)
+            gain = (
+                self.fading.sample_gain(component, rng) if with_fading else 1.0
+            )
+            csi += (
+                amplitude
+                * gain
+                * np.exp(-2j * np.pi * freqs * component.delay_s)
+            )
+        if self.noise is not None:
+            csi += self.noise.sample_subcarrier_noise(len(freqs), rng)
+        rssi = self._report_rssi(csi, rng)
+        return CSIMeasurement(csi, self.ofdm, rssi)
+
+    def _report_rssi(self, csi: np.ndarray, rng: np.random.Generator) -> float:
+        """The firmware's coarse RSSI: jittered, quantized total power."""
+        power_mw = float(np.sum(np.abs(csi) ** 2))
+        power_mw = max(power_mw, 1e-30)
+        dbm = 10.0 * np.log10(power_mw)
+        if self.rssi_jitter_db > 0:
+            dbm += float(rng.normal(0.0, self.rssi_jitter_db))
+        if self.rssi_quantization_db > 0:
+            dbm = (
+                round(dbm / self.rssi_quantization_db)
+                * self.rssi_quantization_db
+            )
+        return float(dbm)
+
+    def synthesize_batch(
+        self,
+        paths: Sequence[PathComponent],
+        num_packets: int,
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> list[CSIMeasurement]:
+        """Independent CSI snapshots for ``num_packets`` packets."""
+        if num_packets < 0:
+            raise ValueError("num_packets must be non-negative")
+        return [
+            self.synthesize(paths, rng, with_fading) for _ in range(num_packets)
+        ]

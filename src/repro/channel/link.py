@@ -1,0 +1,117 @@
+"""Link-level simulator: floor plan + tracer + CSI synthesis, with caching.
+
+One :class:`LinkSimulator` wraps a venue.  Path traces are deterministic
+per endpoint pair and cached, so generating thousands of packets per site
+costs one trace plus cheap per-packet fading/noise draws — mirroring how
+the real prototype pings "thousands of packages at each site".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..geometry import Point
+
+if TYPE_CHECKING:  # avoid a channel <-> environment import cycle
+    from ..environment.floorplan import FloorPlan
+from .cir import DelayProfile, delay_profile
+from .csi import CSIMeasurement, CSISynthesizer
+from .multipath import PathComponent, TraceConfig, trace_paths
+from .shadowing import ShadowingModel
+
+__all__ = ["LinkSimulator"]
+
+
+@dataclass
+class LinkSimulator:
+    """Generates CSI measurements between arbitrary points of a venue.
+
+    Attributes
+    ----------
+    plan:
+        The floor plan radio paths are traced through.
+    synthesizer:
+        CSI synthesis parameters (TX power, fading, noise, OFDM layout).
+    trace_config:
+        Multipath tracer options.
+    shadowing:
+        Optional spatially correlated shadowing field applied per link.
+    """
+
+    plan: FloorPlan
+    synthesizer: CSISynthesizer = field(default_factory=CSISynthesizer)
+    trace_config: TraceConfig = field(default_factory=TraceConfig)
+    shadowing: ShadowingModel | None = None
+    _trace_cache: dict[tuple[float, float, float, float], list[PathComponent]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def paths(self, tx: Point, rx: Point) -> list[PathComponent]:
+        """Traced multipath components for one link (cached).
+
+        When a shadowing model is attached, the link's (time-invariant)
+        shadowing offset is folded into every component's excess loss.
+        """
+        key = (tx.x, tx.y, rx.x, rx.y)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            cached = trace_paths(self.plan, tx, rx, self.trace_config)
+            if self.shadowing is not None:
+                offset = self.shadowing.link_shadowing_db(tx, rx)
+                cached = [
+                    PathComponent(
+                        kind=c.kind,
+                        length_m=c.length_m,
+                        delay_s=c.delay_s,
+                        excess_loss_db=c.excess_loss_db + offset,
+                        bounces=c.bounces,
+                        blocked=c.blocked,
+                    )
+                    for c in cached
+                ]
+            self._trace_cache[key] = cached
+        return cached
+
+    def is_los(self, tx: Point, rx: Point) -> bool:
+        """True when the direct path between the endpoints is clear."""
+        return self.plan.is_los(tx, rx)
+
+    def measure(
+        self,
+        tx: Point,
+        rx: Point,
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> CSIMeasurement:
+        """One packet's CSI snapshot on the ``tx -> rx`` link."""
+        return self.synthesizer.synthesize(self.paths(tx, rx), rng, with_fading)
+
+    def measure_batch(
+        self,
+        tx: Point,
+        rx: Point,
+        num_packets: int,
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> list[CSIMeasurement]:
+        """Independent CSI snapshots for ``num_packets`` packets."""
+        return self.synthesizer.synthesize_batch(
+            self.paths(tx, rx), num_packets, rng, with_fading
+        )
+
+    def measure_delay_profile(
+        self,
+        tx: Point,
+        rx: Point,
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> DelayProfile:
+        """One packet's power delay profile on the link (Fig. 3 view)."""
+        return delay_profile(self.measure(tx, rx, rng, with_fading))
+
+    def clear_cache(self) -> None:
+        """Drop cached traces (call after mutating the floor plan)."""
+        self._trace_cache.clear()

@@ -1,0 +1,287 @@
+"""Image-method multipath tracer over a floor plan.
+
+Produces the set of propagation paths between a transmitter and a receiver:
+
+* the **direct** path (attenuated by every wall/obstacle it penetrates —
+  this is what makes a link NLOS),
+* **specular reflections** off wall surfaces up to a configurable order
+  (mirror-image method), and
+* **diffuse scatter** off clutter obstacles (single bounce via the obstacle
+  centroid).
+
+Each path carries its geometric length, its propagation delay, and the
+total *excess* loss (reflection/scatter/penetration) beyond large-scale
+path loss over its length.  Per-packet effects (fading, noise) are applied
+later by :mod:`repro.channel.csi`, so a trace is computed once per link and
+reused across thousands of packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..geometry import Point, Segment, segment_intersection_point
+from .propagation import PropagationModel
+
+if TYPE_CHECKING:  # avoid a channel <-> environment import cycle
+    from ..environment.floorplan import FloorPlan, Obstacle, Wall
+
+__all__ = ["PathKind", "PathComponent", "TraceConfig", "trace_paths"]
+
+
+class PathKind(enum.Enum):
+    """How a path component came to exist."""
+
+    DIRECT = "direct"
+    REFLECTED = "reflected"
+    SCATTERED = "scattered"
+
+
+@dataclass(frozen=True, slots=True)
+class PathComponent:
+    """One resolvable propagation path between TX and RX.
+
+    Attributes
+    ----------
+    kind:
+        Direct, specular reflection, or diffuse scatter.
+    length_m:
+        Total geometric path length.
+    delay_s:
+        Propagation delay (``length_m / c``).
+    excess_loss_db:
+        Reflection + scatter + penetration loss along the path,
+        *excluding* the distance-dependent large-scale path loss.
+    bounces:
+        Number of reflections (0 for the direct path).
+    blocked:
+        True when the path penetrates at least one wall or obstacle.
+    """
+
+    kind: PathKind
+    length_m: float
+    delay_s: float
+    excess_loss_db: float
+    bounces: int = 0
+    blocked: bool = False
+
+    def received_power_dbm(
+        self, tx_power_dbm: float, model: PropagationModel
+    ) -> float:
+        """Mean received power of this component alone."""
+        return model.received_power_dbm(
+            tx_power_dbm, self.length_m, self.excess_loss_db
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Knobs for the multipath tracer.
+
+    Attributes
+    ----------
+    max_reflection_order:
+        0 disables reflections, 1 single-bounce, 2 double-bounce.
+    include_scatter:
+        Add one diffuse component per clutter obstacle.
+    min_component_db:
+        Components whose excess loss exceeds this are dropped (they would
+        be invisible under any realistic noise floor anyway).
+    """
+
+    max_reflection_order: int = 2
+    include_scatter: bool = True
+    min_component_db: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.max_reflection_order not in (0, 1, 2):
+            raise ValueError("max_reflection_order must be 0, 1, or 2")
+        if self.min_component_db <= 0:
+            raise ValueError("min_component_db must be positive")
+
+
+def trace_paths(
+    plan: FloorPlan,
+    tx: Point,
+    rx: Point,
+    config: TraceConfig | None = None,
+) -> list[PathComponent]:
+    """Trace all resolvable paths from ``tx`` to ``rx`` through ``plan``.
+
+    The direct path is always present (possibly heavily attenuated when
+    blocked); reflections and scatter are subject to validity and the
+    ``min_component_db`` cutoff.  Components are returned sorted by delay.
+    """
+    cfg = config or TraceConfig()
+    components = [_direct_path(plan, tx, rx)]
+
+    if cfg.max_reflection_order >= 1:
+        walls = plan.reflective_walls()
+        for wall in walls:
+            comp = _first_order_reflection(plan, tx, rx, wall)
+            if comp is not None and comp.excess_loss_db <= cfg.min_component_db:
+                components.append(comp)
+        if cfg.max_reflection_order >= 2:
+            for w1 in walls:
+                for w2 in walls:
+                    if w1 is w2:
+                        continue
+                    comp = _second_order_reflection(plan, tx, rx, w1, w2)
+                    if (
+                        comp is not None
+                        and comp.excess_loss_db <= cfg.min_component_db
+                    ):
+                        components.append(comp)
+
+    if cfg.include_scatter:
+        for obstacle in plan.obstacles:
+            comp = _scatter_path(plan, tx, rx, obstacle)
+            if comp is not None and comp.excess_loss_db <= cfg.min_component_db:
+                components.append(comp)
+
+    components.sort(key=lambda c: c.delay_s)
+    return components
+
+
+# ----------------------------------------------------------------------
+# Path constructors
+# ----------------------------------------------------------------------
+
+def _leg_penetration_db(
+    plan: FloorPlan,
+    leg: Segment,
+    skip_walls: tuple[Wall, ...] = (),
+    skip_obstacles: tuple[Obstacle, ...] = (),
+) -> tuple[float, bool]:
+    """Penetration loss of one path leg, skipping the interacting surfaces.
+
+    Returns ``(loss_db, blocked)``.
+    """
+    loss = 0.0
+    blocked = False
+    for wall in plan.blocking_walls(leg):
+        if any(wall is s for s in skip_walls):
+            continue
+        loss += wall.material.penetration_loss_db
+        blocked = True
+    for obstacle in plan.blocking_obstacles(leg):
+        if any(obstacle is s for s in skip_obstacles):
+            continue
+        loss += obstacle.material.penetration_loss_db
+        blocked = True
+    return loss, blocked
+
+
+def _direct_path(plan: FloorPlan, tx: Point, rx: Point) -> PathComponent:
+    leg = Segment(tx, rx)
+    model = PropagationModel()  # delay only; loss handled via length
+    loss, blocked = _leg_penetration_db(plan, leg)
+    length = leg.length()
+    return PathComponent(
+        kind=PathKind.DIRECT,
+        length_m=length,
+        delay_s=model.delay_s(length),
+        excess_loss_db=loss,
+        bounces=0,
+        blocked=blocked,
+    )
+
+
+def _mirror_across_wall(p: Point, wall: Wall) -> Point:
+    from ..geometry.mirror import reflect_point
+
+    return reflect_point(p, wall.segment)
+
+
+def _first_order_reflection(
+    plan: FloorPlan, tx: Point, rx: Point, wall: Wall
+) -> PathComponent | None:
+    image = _mirror_across_wall(tx, wall)
+    if image.almost_equals(tx):
+        return None  # TX lies on the wall plane; no distinct reflection
+    hit = segment_intersection_point(Segment(image, rx), wall.segment)
+    if hit is None:
+        return None
+    if hit.almost_equals(tx) or hit.almost_equals(rx):
+        return None
+    leg1 = Segment(tx, hit)
+    leg2 = Segment(hit, rx)
+    loss1, _ = _leg_penetration_db(plan, leg1, skip_walls=(wall,))
+    loss2, _ = _leg_penetration_db(plan, leg2, skip_walls=(wall,))
+    length = leg1.length() + leg2.length()
+    if length <= 1e-9:
+        return None
+    excess = wall.material.reflection_loss_db + loss1 + loss2
+    model = PropagationModel()
+    return PathComponent(
+        kind=PathKind.REFLECTED,
+        length_m=length,
+        delay_s=model.delay_s(length),
+        excess_loss_db=excess,
+        bounces=1,
+        blocked=False,
+    )
+
+
+def _second_order_reflection(
+    plan: FloorPlan, tx: Point, rx: Point, w1: Wall, w2: Wall
+) -> PathComponent | None:
+    image1 = _mirror_across_wall(tx, w1)
+    if image1.almost_equals(tx):
+        return None
+    image2 = _mirror_across_wall(image1, w2)
+    if image2.almost_equals(image1):
+        return None
+    hit2 = segment_intersection_point(Segment(image2, rx), w2.segment)
+    if hit2 is None:
+        return None
+    hit1 = segment_intersection_point(Segment(image1, hit2), w1.segment)
+    if hit1 is None:
+        return None
+    if hit1.almost_equals(hit2):
+        return None  # degenerate corner case
+    legs = [Segment(tx, hit1), Segment(hit1, hit2), Segment(hit2, rx)]
+    length = sum(leg.length() for leg in legs)
+    if length <= 1e-9:
+        return None
+    loss = w1.material.reflection_loss_db + w2.material.reflection_loss_db
+    skip = (w1, w2)
+    for leg in legs:
+        if leg.length() <= 1e-9:
+            return None
+        leg_loss, _ = _leg_penetration_db(plan, leg, skip_walls=skip)
+        loss += leg_loss
+    model = PropagationModel()
+    return PathComponent(
+        kind=PathKind.REFLECTED,
+        length_m=length,
+        delay_s=model.delay_s(length),
+        excess_loss_db=loss,
+        bounces=2,
+        blocked=False,
+    )
+
+
+def _scatter_path(
+    plan: FloorPlan, tx: Point, rx: Point, obstacle: Obstacle
+) -> PathComponent | None:
+    centre = obstacle.scatter_point()
+    if centre.almost_equals(tx) or centre.almost_equals(rx):
+        return None
+    leg1 = Segment(tx, centre)
+    leg2 = Segment(centre, rx)
+    loss1, _ = _leg_penetration_db(plan, leg1, skip_obstacles=(obstacle,))
+    loss2, _ = _leg_penetration_db(plan, leg2, skip_obstacles=(obstacle,))
+    length = leg1.length() + leg2.length()
+    excess = obstacle.material.scatter_loss_db + loss1 + loss2
+    model = PropagationModel()
+    return PathComponent(
+        kind=PathKind.SCATTERED,
+        length_m=length,
+        delay_s=model.delay_s(length),
+        excess_loss_db=excess,
+        bounces=1,
+        blocked=False,
+    )

@@ -1,0 +1,110 @@
+"""Large-scale propagation: free-space and log-distance path loss.
+
+All powers are dBm, all gains/losses dB, all distances metres.  The
+log-distance exponent is a property of the venue and is owned by the
+:class:`PropagationModel` instance — the NomLoc algorithm itself never sees
+it (that is the point of being calibration-free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear_amplitude",
+    "free_space_path_loss_db",
+    "PropagationModel",
+]
+
+#: Propagation speed used for delay computation, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm."""
+    if mw <= 0:
+        raise ValueError("power must be positive to express in dBm")
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear_amplitude(db: float) -> float:
+    """Convert a dB power ratio to a linear *amplitude* ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Friis free-space path loss in dB.
+
+    ``20 log10(4 pi d f / c)``; requires ``distance_m > 0``.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return 20.0 * math.log10(
+        4.0 * math.pi * distance_m * frequency_hz / SPEED_OF_LIGHT
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PropagationModel:
+    """Log-distance path loss around a free-space reference point.
+
+    ``PL(d) = FSPL(d0) + 10 n log10(d / d0)`` for ``d >= d_min``; distances
+    below ``d_min`` are clamped to avoid the near-field singularity.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Carrier frequency (2.412 GHz: 802.11 channel 1).
+    path_loss_exponent:
+        ``n``; 2.0 in free space, larger indoors.
+    reference_distance_m:
+        ``d0`` of the model.
+    d_min:
+        Near-field clamp distance.
+    """
+
+    frequency_hz: float = 2.412e9
+    path_loss_exponent: float = 2.2
+    reference_distance_m: float = 1.0
+    d_min: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path loss exponent must be positive")
+        if self.reference_distance_m <= 0 or self.d_min <= 0:
+            raise ValueError("reference and clamp distances must be positive")
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Large-scale path loss at ``distance_m`` (clamped to ``d_min``)."""
+        d = max(distance_m, self.d_min)
+        pl0 = free_space_path_loss_db(self.reference_distance_m, self.frequency_hz)
+        return pl0 + 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance_m
+        )
+
+    def received_power_dbm(
+        self, tx_power_dbm: float, distance_m: float, extra_loss_db: float = 0.0
+    ) -> float:
+        """Received power over a path of the given length and extra losses.
+
+        ``extra_loss_db`` may be negative: correlated shadow fading can
+        constructively bias a link above the distance-only prediction.
+        """
+        return tx_power_dbm - self.path_loss_db(distance_m) - extra_loss_db
+
+    def delay_s(self, distance_m: float) -> float:
+        """Propagation delay along a path of the given length."""
+        if distance_m < 0:
+            raise ValueError("distance must be non-negative")
+        return distance_m / SPEED_OF_LIGHT

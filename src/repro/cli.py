@@ -1,0 +1,325 @@
+"""Command-line interface for the NomLoc reproduction.
+
+Usage::
+
+    python -m repro scenarios                 # list venues, render maps
+    python -m repro locate lab 6.4 4.2        # one localization query
+    python -m repro locate lab 6.4 4.2 --static --seed 7
+    python -m repro experiment fig8           # run a paper experiment
+    python -m repro experiment fig9 --scenario lobby
+    python -m repro record lab out.json       # record a measurement campaign
+    python -m repro replay out.json           # re-localize it offline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NomLoc (ICDCS 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list built-in venues and render them")
+
+    locate = sub.add_parser("locate", help="run one localization query")
+    locate.add_argument("scenario", help="scenario name (lab, lobby)")
+    locate.add_argument("x", type=float, help="object x coordinate (m)")
+    locate.add_argument("y", type=float, help="object y coordinate (m)")
+    locate.add_argument(
+        "--static", action="store_true", help="pin the nomadic AP at home"
+    )
+    locate.add_argument("--seed", type=int, default=0)
+    locate.add_argument(
+        "--packets", type=int, default=30, help="CSI packets per link"
+    )
+    locate.add_argument(
+        "--no-map", action="store_true", help="skip the ASCII rendering"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="run one paper experiment and print its rows"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["fig3", "fig7", "fig8", "fig9", "fig10", "baselines"],
+    )
+    experiment.add_argument(
+        "--scenario", default="lab", help="scenario for per-venue experiments"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--repetitions", type=int, default=3)
+    experiment.add_argument(
+        "--packets", type=int, default=15, help="CSI packets per link"
+    )
+
+    record = sub.add_parser("record", help="record a measurement campaign")
+    record.add_argument("scenario")
+    record.add_argument("output", help="output JSON path")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--repetitions", type=int, default=1)
+    record.add_argument("--packets", type=int, default=30)
+
+    replay = sub.add_parser("replay", help="re-localize a recorded campaign")
+    replay.add_argument("dataset", help="dataset JSON path")
+    replay.add_argument(
+        "--paper-literal",
+        action="store_true",
+        help="disable nomadic site-pair constraints (Eq. 13 exactly)",
+    )
+
+    heatmap = sub.add_parser(
+        "heatmap", help="render a localization-error heatmap of a venue"
+    )
+    heatmap.add_argument("scenario")
+    heatmap.add_argument(
+        "--static", action="store_true", help="pin the nomadic AP at home"
+    )
+    heatmap.add_argument("--spacing", type=float, default=1.5)
+    heatmap.add_argument("--packets", type=int, default=8)
+    heatmap.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "scenarios": _cmd_scenarios,
+        "locate": _cmd_locate,
+        "experiment": _cmd_experiment,
+        "record": _cmd_record,
+        "replay": _cmd_replay,
+        "heatmap": _cmd_heatmap,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .environment import SCENARIOS, get_scenario
+    from .viz import render_scenario
+
+    for name in sorted(SCENARIOS):
+        scenario = get_scenario(name)
+        nomadic = ", ".join(ap.name for ap in scenario.nomadic_aps)
+        print(
+            f"== {name}: {scenario.plan.boundary.area():.0f} m^2, "
+            f"{len(scenario.aps)} APs (nomadic: {nomadic}), "
+            f"{len(scenario.test_sites)} test sites, "
+            f"clutter {scenario.plan.clutter_density():.0%} =="
+        )
+        print(render_scenario(scenario, width=72))
+        print()
+    return 0
+
+
+def _cmd_locate(args: argparse.Namespace) -> int:
+    from .core import NomLocSystem, SystemConfig
+    from .environment import get_scenario
+    from .geometry import Point
+    from .viz import render_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    truth = Point(args.x, args.y)
+    if not scenario.plan.contains(truth):
+        print(
+            f"error: ({args.x}, {args.y}) is outside the {args.scenario} venue",
+            file=sys.stderr,
+        )
+        return 2
+    system = NomLocSystem(
+        scenario,
+        SystemConfig(
+            packets_per_link=args.packets, use_nomadic=not args.static
+        ),
+    )
+    estimate = system.locate(truth, np.random.default_rng(args.seed))
+    mode = "static" if args.static else "nomadic"
+    print(
+        f"{mode} estimate: ({estimate.position.x:.2f}, "
+        f"{estimate.position.y:.2f}); error "
+        f"{estimate.error_to(truth):.2f} m; "
+        f"{estimate.num_constraints} constraints, relaxation cost "
+        f"{estimate.relaxation_cost:.3f}"
+    )
+    if not args.no_map:
+        print(
+            render_scenario(
+                scenario,
+                width=72,
+                truth=truth,
+                estimate=estimate.position,
+                region=estimate.region,
+            )
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .eval import (
+        ExperimentConfig,
+        baseline_comparison,
+        fig3_delay_profiles,
+        fig7_pdp_accuracy,
+        fig8_slv,
+        fig9_error_cdf,
+        fig10_position_error,
+        format_cdf_table,
+        format_delay_profile,
+        format_stats_table,
+        format_table,
+    )
+
+    config = ExperimentConfig(
+        repetitions=args.repetitions,
+        packets_per_link=args.packets,
+        seed=args.seed,
+    )
+    if args.name == "fig3":
+        result = fig3_delay_profiles(config)
+        print(format_delay_profile(result.los_profile, "LOS"))
+        print()
+        print(format_delay_profile(result.nlos_profile, "NLOS"))
+        print(f"\nNLOS/LOS first-tap ratio: {result.first_tap_ratio():.3f}")
+    elif args.name == "fig7":
+        result = fig7_pdp_accuracy(args.scenario, config)
+        rows = [
+            [i + 1, acc] for i, acc in enumerate(result.site_accuracies)
+        ]
+        print(format_table(["position index", "PDP accuracy"], rows))
+        print(f"\nmean accuracy: {result.mean_accuracy:.3f}")
+    elif args.name == "fig8":
+        result = fig8_slv(config)
+        rows = [
+            [scen, mode, result.slv[scen][mode], result.stats[scen][mode].mean]
+            for scen in result.slv
+            for mode in ("static", "nomadic")
+        ]
+        print(format_table(["scenario", "deployment", "SLV", "mean err(m)"], rows))
+    elif args.name == "fig9":
+        result = fig9_error_cdf(args.scenario, config)
+        print(
+            format_cdf_table(
+                {"static": result.static_cdf, "nomadic": result.nomadic_cdf}
+            )
+        )
+    elif args.name == "fig10":
+        result = fig10_position_error(args.scenario, config)
+        print(
+            format_cdf_table(
+                {f"ER={er:.0f}": cdf for er, cdf in sorted(result.cdfs.items())}
+            )
+        )
+    else:  # baselines
+        print(format_stats_table(baseline_comparison(args.scenario, config)))
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .core import NomLocSystem, SystemConfig
+    from .data import record_dataset
+    from .environment import get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = NomLocSystem(
+        scenario, SystemConfig(packets_per_link=args.packets)
+    )
+    dataset = record_dataset(
+        system, repetitions=args.repetitions, seed=args.seed
+    )
+    dataset.save(args.output)
+    print(
+        f"recorded {len(dataset)} queries over {len(scenario.test_sites)} "
+        f"sites -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .core import LocalizerConfig
+    from .data import Dataset, replay_dataset
+    from .eval import ErrorStats
+
+    try:
+        dataset = Dataset.load(args.dataset)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = (
+        LocalizerConfig(include_nomadic_pairs=False)
+        if args.paper_literal
+        else None
+    )
+    errors = replay_dataset(dataset, config)
+    stats = ErrorStats.from_errors(errors)
+    print(
+        f"{len(errors)} queries: mean {stats.mean:.2f} m, median "
+        f"{stats.median:.2f} m, p90 {stats.p90:.2f} m, SLV {stats.slv:.2f}"
+    )
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from .core import NomLocSystem, SystemConfig
+    from .environment import get_scenario
+    from .viz import render_heatmap
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = NomLocSystem(
+        scenario,
+        SystemConfig(
+            packets_per_link=args.packets, use_nomadic=not args.static
+        ),
+    )
+
+    def sample(p):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [args.seed, int(p.x * 100), int(p.y * 100)]
+            )
+        )
+        return system.localization_error(p, rng)
+
+    mode = "static" if args.static else "nomadic"
+    print(f"{mode} deployment localization error over a "
+          f"{args.spacing} m grid:")
+    hm = render_heatmap(
+        scenario.plan, sample, grid_spacing_m=args.spacing, width=72
+    )
+    print(hm.text)
+    print(hm.legend())
+    values = list(hm.values)
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    print(f"mean error {mean:.2f} m, SLV {var:.2f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

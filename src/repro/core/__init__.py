@@ -1,0 +1,68 @@
+"""The NomLoc core: PDP proximity, SP constraints, relaxation, localizer."""
+
+from .center import CenterMethod, feasible_polygon, region_center
+from .constraints import (
+    BOUNDARY_WEIGHT,
+    Anchor,
+    ConstraintKind,
+    ConstraintSystem,
+    WeightedConstraint,
+    boundary_constraints,
+    pairwise_constraints,
+)
+from .localizer import (
+    LocalizerConfig,
+    LocationEstimate,
+    NomLocLocalizer,
+    PieceSolution,
+)
+from .pdp import (
+    CONFIDENCE_FUNCTIONS,
+    PROXIMITY_METRICS,
+    ProximityJudgement,
+    confidence_factor,
+    confidence_factor_power,
+    confidence_factor_rational,
+    estimate_first_tap,
+    estimate_pdp,
+    estimate_pdp_median,
+    estimate_rss,
+    judge_proximity,
+    proximity_confidence,
+)
+from .relaxation import RelaxationResult, solve_relaxation
+from .system import NomLocSystem, SystemConfig, measure_link_pdp
+
+__all__ = [
+    "confidence_factor",
+    "confidence_factor_rational",
+    "confidence_factor_power",
+    "CONFIDENCE_FUNCTIONS",
+    "proximity_confidence",
+    "estimate_pdp",
+    "estimate_pdp_median",
+    "estimate_rss",
+    "estimate_first_tap",
+    "PROXIMITY_METRICS",
+    "ProximityJudgement",
+    "judge_proximity",
+    "ConstraintKind",
+    "WeightedConstraint",
+    "ConstraintSystem",
+    "Anchor",
+    "BOUNDARY_WEIGHT",
+    "pairwise_constraints",
+    "boundary_constraints",
+    "RelaxationResult",
+    "solve_relaxation",
+    "CenterMethod",
+    "region_center",
+    "feasible_polygon",
+    "LocalizerConfig",
+    "LocationEstimate",
+    "PieceSolution",
+    "NomLocLocalizer",
+    "NomLocSystem",
+    "SystemConfig",
+    "measure_link_pdp",
+]

@@ -1,0 +1,201 @@
+"""Constraint construction for SP-based location estimation (Sec. IV-B).
+
+Three constraint families, each a weighted halfspace on the unknown
+position ``z``:
+
+* **pairwise** (Eq. 8): one perpendicular-bisector constraint per anchor
+  pair, oriented by the PDP proximity judgement, weighted by its
+  confidence factor;
+* **boundary** (Eq. 9–11): the area-of-interest edges via virtual APs,
+  with a large preset weight so they are satisfied "with high priority";
+* **nomadic** (Eq. 13–15): for each site the nomadic AP measured from,
+  one constraint against every static AP — ``S x (n - 1)`` extra rows.
+
+In the paper's formulation the nomadic constraints assume the object is
+closer to the nomadic AP; here the direction of every pairwise row is
+decided by the actual PDP comparison, which reduces to the paper's form
+when the nomadic AP wins all comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import HalfSpace, Point, Polygon, bisector_halfspace, boundary_halfspaces
+from .pdp import confidence_factor, judge_proximity
+
+__all__ = [
+    "ConstraintKind",
+    "WeightedConstraint",
+    "ConstraintSystem",
+    "Anchor",
+    "BOUNDARY_WEIGHT",
+    "pairwise_constraints",
+    "boundary_constraints",
+]
+
+#: Preset weight for area-boundary constraints (Sec. IV-B4: "a large
+#: weight to guarantee the corresponding constraint satisfied with high
+#: priority").
+BOUNDARY_WEIGHT = 100.0
+
+
+class ConstraintKind(enum.Enum):
+    """Which family a constraint row belongs to."""
+
+    PAIRWISE = "pairwise"
+    BOUNDARY = "boundary"
+    NOMADIC = "nomadic"
+
+
+@dataclass(frozen=True, slots=True)
+class Anchor:
+    """A position the object's PDP was measured against.
+
+    Static APs contribute one anchor each; a nomadic AP contributes one
+    anchor per visited site (with the coordinates it *reported*, which may
+    be wrong — Sec. V-E).
+    """
+
+    name: str
+    position: Point
+    pdp: float
+    nomadic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pdp <= 0:
+            raise ValueError("anchor PDP must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedConstraint:
+    """One weighted halfspace row of the relaxation LP."""
+
+    halfspace: HalfSpace
+    weight: float
+    kind: ConstraintKind
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("constraint weight must be positive")
+
+
+@dataclass(frozen=True)
+class ConstraintSystem:
+    """An ordered stack of weighted constraints (the LP's ``A z <= b``)."""
+
+    constraints: tuple[WeightedConstraint, ...]
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(A, b, w)`` with rows in constraint order."""
+        if not self.constraints:
+            return np.zeros((0, 2)), np.zeros(0), np.zeros(0)
+        a = np.array(
+            [[c.halfspace.ax, c.halfspace.ay] for c in self.constraints]
+        )
+        b = np.array([c.halfspace.b for c in self.constraints])
+        w = np.array([c.weight for c in self.constraints])
+        return a, b, w
+
+    def of_kind(self, kind: ConstraintKind) -> list[WeightedConstraint]:
+        """Constraints from one family, preserving order."""
+        return [c for c in self.constraints if c.kind is kind]
+
+    def extended(self, extra: Sequence[WeightedConstraint]) -> "ConstraintSystem":
+        """A new system with ``extra`` appended."""
+        return ConstraintSystem(self.constraints + tuple(extra))
+
+
+def pairwise_constraints(
+    anchors: Sequence[Anchor],
+    include_nomadic_pairs: bool = False,
+    normalize: bool = True,
+    confidence_fn=confidence_factor,
+) -> list[WeightedConstraint]:
+    """Bisector constraints for anchor pairs, oriented by PDP.
+
+    Parameters
+    ----------
+    anchors:
+        All anchors with their measured PDPs.  Pairs where both anchors
+        are nomadic sites are skipped unless ``include_nomadic_pairs`` —
+        the paper only compares nomadic sites against static APs
+        (Eq. 13 contributes ``n - 1`` rows per site).
+    normalize:
+        Scale each halfspace to a unit normal so LP slack variables are
+        measured in metres for every row; without this, rows from
+        far-apart anchor pairs get numerically larger coefficients and the
+        relaxation trades them off inconsistently.
+    confidence_fn:
+        Which Eq. 2-3-satisfying ``f`` weights the rows (the paper's
+        Eq. 4 by default; see
+        :data:`repro.core.pdp.CONFIDENCE_FUNCTIONS`).
+    """
+    out: list[WeightedConstraint] = []
+    for i in range(len(anchors)):
+        for j in range(i + 1, len(anchors)):
+            a_i, a_j = anchors[i], anchors[j]
+            if a_i.nomadic and a_j.nomadic and not include_nomadic_pairs:
+                continue
+            if a_i.position.almost_equals(a_j.position):
+                continue  # coincident anchors give no information
+            judgement = judge_proximity(
+                [a.pdp for a in anchors], i, j, confidence_fn
+            )
+            near = anchors[judgement.near_index]
+            far = anchors[judgement.far_index]
+            hs = bisector_halfspace(near.position, far.position)
+            if normalize:
+                hs = hs.normalized()
+            kind = (
+                ConstraintKind.NOMADIC
+                if (a_i.nomadic or a_j.nomadic)
+                else ConstraintKind.PAIRWISE
+            )
+            out.append(
+                WeightedConstraint(
+                    hs,
+                    judgement.confidence,
+                    kind,
+                    label=f"{near.name}<{far.name}",
+                )
+            )
+    return out
+
+
+def boundary_constraints(
+    area: Polygon,
+    anchor_position: Point | None = None,
+    weight: float = BOUNDARY_WEIGHT,
+    normalize: bool = True,
+) -> list[WeightedConstraint]:
+    """Area-boundary constraints via virtual APs (Eq. 9-11).
+
+    ``area`` must be convex (non-convex areas are decomposed first by the
+    localizer).  ``anchor_position`` defaults to the area centroid — the
+    paper notes any interior site works.
+    """
+    if not area.is_convex():
+        raise ValueError("boundary constraints require a convex area")
+    anchor = anchor_position or area.centroid()
+    out = []
+    for edge_idx, hs in enumerate(boundary_halfspaces(anchor, area)):
+        if normalize:
+            hs = hs.normalized()
+        out.append(
+            WeightedConstraint(
+                hs, weight, ConstraintKind.BOUNDARY, label=f"edge{edge_idx}"
+            )
+        )
+    return out

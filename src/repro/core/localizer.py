@@ -1,0 +1,294 @@
+"""SP-based location estimation (Sec. IV-B): the NomLoc localizer.
+
+Pipeline per location query:
+
+1. build pairwise bisector constraints from the anchors' PDPs (Eq. 8 and,
+   for nomadic measurement sites, Eq. 13);
+2. for each convex piece of the area of interest, add the piece's
+   boundary constraints (Eq. 9) and solve the weighted relaxation LP
+   (Eq. 19);
+3. clip the relaxed halfspaces into the exact feasible polygon and take
+   its centre; pieces with (near-)co-optimal relaxation cost are merged
+   by area-weighted centroid, following the paper's "merge the areas with
+   feasible solutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Point, Polygon, decompose_convex
+from .center import CenterMethod, feasible_polygon, region_center
+from .constraints import (
+    BOUNDARY_WEIGHT,
+    Anchor,
+    ConstraintSystem,
+    boundary_constraints,
+    pairwise_constraints,
+)
+from .relaxation import RelaxationResult, solve_relaxation
+
+__all__ = ["LocalizerConfig", "PieceSolution", "LocationEstimate", "NomLocLocalizer"]
+
+
+@dataclass(frozen=True)
+class LocalizerConfig:
+    """Tunable knobs of the SP localizer.
+
+    Attributes
+    ----------
+    center_method:
+        Region-centre estimator (ablated in ABL-CTR).
+    boundary_weight:
+        Relaxation weight of the area-boundary constraints.
+    include_nomadic_pairs:
+        Also compare nomadic measurement sites against each other.  The
+        paper's Eq. 13 only compares them against static APs, but PDPs of
+        the *same* device measured from different sites are the most
+        directly comparable measurements in the system, and without the
+        site-site rows one erroneous site-vs-static judgement can leave a
+        feasible-but-wrong region that nothing contradicts.  Default on;
+        ablated in ABL-PAIRS.
+    cost_merge_tolerance:
+        Pieces whose relaxation cost is within this of the best are
+        merged into the final estimate.
+    confidence_fn:
+        Name of the confidence function weighting the pairwise rows (a
+        key of :data:`repro.core.pdp.CONFIDENCE_FUNCTIONS`; the paper's
+        Eq. 4 by default).
+    """
+
+    center_method: CenterMethod = CenterMethod.CENTROID
+    boundary_weight: float = BOUNDARY_WEIGHT
+    include_nomadic_pairs: bool = True
+    cost_merge_tolerance: float = 1e-6
+    confidence_fn: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.boundary_weight <= 0:
+            raise ValueError("boundary weight must be positive")
+        if self.cost_merge_tolerance < 0:
+            raise ValueError("merge tolerance must be non-negative")
+        from .pdp import CONFIDENCE_FUNCTIONS
+
+        if self.confidence_fn not in CONFIDENCE_FUNCTIONS:
+            raise ValueError(
+                f"unknown confidence function {self.confidence_fn!r}; "
+                f"available: {sorted(CONFIDENCE_FUNCTIONS)}"
+            )
+
+    def resolve_confidence_fn(self):
+        """The callable behind :attr:`confidence_fn`."""
+        from .pdp import CONFIDENCE_FUNCTIONS
+
+        return CONFIDENCE_FUNCTIONS[self.confidence_fn]
+
+
+@dataclass(frozen=True)
+class PieceSolution:
+    """Relaxation outcome on one convex piece of the area."""
+
+    piece_index: int
+    piece: Polygon
+    relaxation: RelaxationResult
+    region: Polygon | None
+    center: Point
+
+    @property
+    def cost(self) -> float:
+        return self.relaxation.cost
+
+
+@dataclass(frozen=True)
+class LocationEstimate:
+    """Final output of one localization query.
+
+    Attributes
+    ----------
+    position:
+        The estimated object location.
+    relaxation_cost:
+        ``w . t`` of the winning piece (0 when fully feasible).
+    region:
+        Feasible polygon of the winning piece (None if degenerate).
+    pieces:
+        Per-piece diagnostics, winning piece(s) first is NOT guaranteed;
+        order follows the convex decomposition.
+    num_constraints:
+        Rows in the winning piece's LP.
+    """
+
+    position: Point
+    relaxation_cost: float
+    region: Polygon | None
+    pieces: tuple[PieceSolution, ...]
+    num_constraints: int
+
+    @property
+    def was_feasible(self) -> bool:
+        return self.relaxation_cost <= 1e-6
+
+    @property
+    def confidence_radius_m(self) -> float:
+        """Radius of a disk with the feasible region's area.
+
+        A self-reported uncertainty: the SP estimate cannot be pinned
+        down more precisely than its cell, so the equivalent-disk radius
+        is an honest error bar an application can act on (e.g. "the
+        suspect is within ~r of here").  Infinity when the region is
+        degenerate/unknown.
+        """
+        if self.region is None:
+            return float("inf")
+        import math
+
+        return math.sqrt(self.region.area() / math.pi)
+
+    def error_to(self, truth: Point) -> float:
+        """Euclidean localization error against a ground-truth position."""
+        return self.position.distance_to(truth)
+
+
+class NomLocLocalizer:
+    """Calibration-free SP localizer over a (possibly non-convex) area.
+
+    Parameters
+    ----------
+    area:
+        The area of interest; decomposed into convex pieces once.
+    config:
+        Behavioural knobs; defaults reproduce the paper.
+    """
+
+    def __init__(self, area: Polygon, config: LocalizerConfig | None = None) -> None:
+        self.area = area
+        self.config = config or LocalizerConfig()
+        self.pieces: list[Polygon] = decompose_convex(area)
+        # Clipping bound: the area's bounding box with head-room so mildly
+        # relaxed boundary constraints still produce a region.
+        xmin, ymin, xmax, ymax = area.bounding_box()
+        margin = 0.25 * max(xmax - xmin, ymax - ymin) + 1.0
+        self._bound = Polygon.rectangle(
+            xmin - margin, ymin - margin, xmax + margin, ymax + margin
+        )
+
+    # ------------------------------------------------------------------
+    def locate(self, anchors: Sequence[Anchor]) -> LocationEstimate:
+        """Estimate the object's position from anchor PDPs.
+
+        Requires at least two anchors (one bisector); realistic use has
+        four static APs plus the nomadic sites.
+        """
+        if len(anchors) < 2:
+            raise ValueError("need at least two anchors to partition space")
+        shared = pairwise_constraints(
+            anchors,
+            include_nomadic_pairs=self.config.include_nomadic_pairs,
+            confidence_fn=self.config.resolve_confidence_fn(),
+        )
+        if not shared:
+            raise ValueError(
+                "no usable anchor pairs (all anchors coincident or filtered)"
+            )
+
+        solutions = [
+            self._solve_piece(idx, piece, shared)
+            for idx, piece in enumerate(self.pieces)
+        ]
+        best_cost = min(s.cost for s in solutions)
+        winners = [
+            s
+            for s in solutions
+            if s.cost <= best_cost + self.config.cost_merge_tolerance
+        ]
+        merged_position = self._project_into_area(_merge_centers(winners))
+        winner = winners[0]
+        return LocationEstimate(
+            position=merged_position,
+            relaxation_cost=best_cost,
+            region=winner.region,
+            pieces=tuple(solutions),
+            num_constraints=len(winner.relaxation.system),
+        )
+
+    def _project_into_area(self, p: Point) -> Point:
+        """Guarantee in-venue estimates.
+
+        Slightly relaxed boundary rows (the degeneracy fallback) can put a
+        centre a few centimetres outside; project it to the nearest
+        boundary point in that case.
+        """
+        if self.area.contains(p):
+            return p
+        from ..geometry import distance_point_to_segment
+
+        best_edge = min(
+            self.area.edges(), key=lambda e: distance_point_to_segment(p, e)
+        )
+        d = best_edge.b - best_edge.a
+        denom = d.x * d.x + d.y * d.y
+        if denom <= 0:
+            return best_edge.a
+        t = ((p.x - best_edge.a.x) * d.x + (p.y - best_edge.a.y) * d.y) / denom
+        t = max(0.0, min(1.0, t))
+        return best_edge.a + d * t
+
+    # ------------------------------------------------------------------
+    def _solve_piece(
+        self,
+        index: int,
+        piece: Polygon,
+        shared: Sequence,
+    ) -> PieceSolution:
+        system = ConstraintSystem(
+            tuple(shared)
+            + tuple(
+                boundary_constraints(piece, weight=self.config.boundary_weight)
+            )
+        )
+        relaxation = solve_relaxation(system)
+        # Centre over the rows the relaxation kept: the minimally relaxed
+        # full stack is typically degenerate (conflicting rows just touch),
+        # while the satisfied sub-system usually has proper interior.  If
+        # even the satisfied rows are degenerate (e.g. opposing ties pin a
+        # line), inflate them slightly to recover a thin but centreable
+        # region rather than falling back to an arbitrary LP vertex.
+        epsilon = 0.05  # metres (rows are unit-normalized)
+        candidate_sets = [
+            relaxation.satisfied_halfspaces(),
+            [h.relaxed(epsilon) for h in relaxation.satisfied_halfspaces()],
+            relaxation.relaxed_halfspaces(),
+            [h.relaxed(epsilon) for h in relaxation.relaxed_halfspaces()],
+        ]
+        halfspaces = candidate_sets[0]
+        region = None
+        for candidate in candidate_sets:
+            region = feasible_polygon(candidate, self._bound)
+            if region is not None:
+                halfspaces = candidate
+                break
+        center = region_center(
+            halfspaces,
+            self._bound,
+            self.config.center_method,
+            fallback=relaxation.feasible_point,
+        )
+        assert center is not None  # fallback point guarantees an estimate
+        return PieceSolution(index, piece, relaxation, region, center)
+
+
+def _merge_centers(winners: Sequence[PieceSolution]) -> Point:
+    """Area-weighted merge of co-optimal pieces' centres."""
+    if len(winners) == 1:
+        return winners[0].center
+    total_area = 0.0
+    sx = sy = 0.0
+    for sol in winners:
+        weight = sol.region.area() if sol.region is not None else 0.0
+        if weight <= 0:
+            weight = 1e-9
+        total_area += weight
+        sx += sol.center.x * weight
+        sy += sol.center.y * weight
+    return Point(sx / total_area, sy / total_area)

@@ -1,0 +1,166 @@
+"""The weighted constraint-relaxation LP (Eq. 19).
+
+Erroneous proximity judgements can make the raw constraint stack
+infeasible, so NomLoc solves
+
+    minimize   w . t
+    subject to A z - t <= b,   t >= 0
+
+retaining high-weight constraints and sacrificing cheap ones.  When the
+stack is feasible the optimum has ``t = 0`` and the problem reduces to the
+pure feasibility LP of Eq. 16.  The relaxed slacks then define the final
+*feasible region* ``{z : A z <= b + t*}``, whose centre becomes the
+location estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import HalfSpace
+from ..optimize import LPStatus, solve_lp
+from .constraints import ConstraintSystem
+
+__all__ = ["RelaxationResult", "solve_relaxation"]
+
+#: Slacks below this are treated as exactly satisfied constraints.
+_SLACK_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class RelaxationResult:
+    """Solution of the relaxation LP over one constraint system.
+
+    Attributes
+    ----------
+    feasible_point:
+        The LP's ``z`` — some point inside the relaxed region.
+    slacks:
+        Optimal ``t`` per constraint (0 for satisfied rows).
+    cost:
+        ``w . t``; 0 iff the original stack was feasible.
+    system:
+        The constraint system the LP was built from.
+    """
+
+    feasible_point: np.ndarray
+    slacks: np.ndarray
+    cost: float
+    system: ConstraintSystem
+
+    @property
+    def was_feasible(self) -> bool:
+        """True when no constraint needed relaxing (Eq. 16 had a solution)."""
+        return self.cost <= _SLACK_TOL
+
+    def violated_labels(self) -> list[str]:
+        """Labels of constraints the optimum had to break."""
+        return [
+            c.label
+            for c, t in zip(self.system.constraints, self.slacks)
+            if t > _SLACK_TOL
+        ]
+
+    def relaxed_halfspaces(self) -> list[HalfSpace]:
+        """Every row loosened by its slack.
+
+        Note that this region is often *degenerate*: two directly
+        conflicting rows relaxed minimally just touch, leaving a region of
+        zero width.  Centering should normally use
+        :meth:`satisfied_halfspaces` instead.
+        """
+        return [
+            c.halfspace.relaxed(float(max(t, 0.0)))
+            for c, t in zip(self.system.constraints, self.slacks)
+        ]
+
+    def satisfied_halfspaces(self) -> list[HalfSpace]:
+        """The rows the optimum kept (``t_i = 0``), unrelaxed.
+
+        Sacrificed rows (``t_i > 0``) correspond to proximity judgements
+        the LP decided were erroneous; dropping them leaves the consistent
+        sub-system whose feasible region has proper interior, which is
+        what the location estimate should be the centre of.
+        """
+        return [
+            c.halfspace
+            for c, t in zip(self.system.constraints, self.slacks)
+            if t <= _SLACK_TOL
+        ]
+
+
+#: Row count beyond which the dense from-scratch tableau becomes the
+#: bottleneck and the solve is routed to a sparse interior-point backend.
+#: Paper-scale deployments (4 APs + a handful of nomadic sites) stay well
+#: below this.
+_LARGE_SYSTEM_ROWS = 80
+
+
+def solve_relaxation(system: ConstraintSystem) -> RelaxationResult:
+    """Solve Eq. 19 for a constraint system.
+
+    Paper-scale systems (a handful of APs plus nomadic sites: tens of
+    rows) are solved by the from-scratch two-phase simplex.  Large
+    systems — many nomadic APs or long site histories — are routed to a
+    sparse interior-point backend (scipy's HiGHS), matching the paper's
+    own reliance on an interior-point solver for scalability
+    (Sec. IV-B4).  Both paths solve the identical LP; tests cross-check
+    them on shared instances.
+
+    Raises
+    ------
+    ValueError
+        If the system is empty.
+    RuntimeError
+        If the LP solver fails — it should not, since the relaxed problem
+        is always feasible (any ``z`` works with big enough ``t``) and
+        bounded below by 0.
+    """
+    if len(system) == 0:
+        raise ValueError("cannot relax an empty constraint system")
+    a, b, w = system.matrices()
+    m = len(system)
+
+    if m > _LARGE_SYSTEM_ROWS:
+        return _solve_relaxation_sparse(system, a, b, w)
+
+    # Variables: [z_x, z_y (free), t_1..t_m (nonneg)].
+    c = np.concatenate([[0.0, 0.0], w])
+    a_lp = np.hstack([a, -np.eye(m)])
+    nonneg = np.array([False, False] + [True] * m)
+
+    result = solve_lp(c, a_lp, b, nonneg)
+    if result.status is not LPStatus.OPTIMAL:
+        raise RuntimeError(
+            f"relaxation LP unexpectedly failed: {result.status} "
+            f"({result.message})"
+        )
+    z = result.x[:2]
+    t = np.maximum(result.x[2:], 0.0)
+    return RelaxationResult(z, t, float(result.objective), system)
+
+
+def _solve_relaxation_sparse(
+    system: ConstraintSystem, a: np.ndarray, b: np.ndarray, w: np.ndarray
+) -> RelaxationResult:
+    """Large-system path: sparse interior-point via scipy (HiGHS)."""
+    from scipy import sparse
+    from scipy.optimize import linprog
+
+    m = len(system)
+    c = np.concatenate([[0.0, 0.0], w])
+    a_ub = sparse.hstack(
+        [sparse.csr_matrix(a), -sparse.eye(m, format="csr")], format="csr"
+    )
+    bounds = [(None, None), (None, None)] + [(0, None)] * m
+    result = linprog(c, A_ub=a_ub, b_ub=b, bounds=bounds, method="highs")
+    if result.status != 0:
+        raise RuntimeError(
+            f"sparse relaxation LP failed: status {result.status} "
+            f"({result.message})"
+        )
+    z = result.x[:2]
+    t = np.maximum(result.x[2:], 0.0)
+    return RelaxationResult(z, t, float(result.fun), system)

@@ -1,0 +1,20 @@
+"""Dataset recording, persistence, and offline replay."""
+
+from .csi_traces import load_csi_batch, save_csi_batch
+from .dataset import (
+    AnchorRecord,
+    Dataset,
+    QueryRecord,
+    record_dataset,
+    replay_dataset,
+)
+
+__all__ = [
+    "AnchorRecord",
+    "QueryRecord",
+    "Dataset",
+    "record_dataset",
+    "replay_dataset",
+    "save_csi_batch",
+    "load_csi_batch",
+]

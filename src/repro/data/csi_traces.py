@@ -1,0 +1,56 @@
+"""Raw CSI trace export/import (NPZ).
+
+For analyses that need subcarrier-level data (not just PDPs) — e.g.
+studying alternative PDP estimators offline — CSI snapshot batches can be
+saved to compressed ``.npz`` archives and round-tripped losslessly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..channel import CSIMeasurement, OFDMConfig
+
+__all__ = ["save_csi_batch", "load_csi_batch"]
+
+
+def save_csi_batch(
+    path: str | Path, measurements: Sequence[CSIMeasurement]
+) -> None:
+    """Persist a batch of same-layout CSI snapshots to ``path``.
+
+    All snapshots must share one OFDM configuration (one link's batch
+    always does).
+    """
+    if not measurements:
+        raise ValueError("cannot save an empty batch")
+    cfg = measurements[0].config
+    for m in measurements[1:]:
+        if m.config != cfg:
+            raise ValueError("all snapshots must share one OFDM config")
+    csi = np.stack([m.csi for m in measurements])
+    np.savez_compressed(
+        Path(path),
+        csi=csi,
+        n_fft=np.array([cfg.n_fft]),
+        bandwidth_hz=np.array([cfg.bandwidth_hz]),
+        carrier_hz=np.array([cfg.carrier_hz]),
+        active_subcarriers=np.array(cfg.active_subcarriers),
+    )
+
+
+def load_csi_batch(path: str | Path) -> list[CSIMeasurement]:
+    """Load a batch previously written by :func:`save_csi_batch`."""
+    with np.load(Path(path)) as archive:
+        cfg = OFDMConfig(
+            n_fft=int(archive["n_fft"][0]),
+            bandwidth_hz=float(archive["bandwidth_hz"][0]),
+            carrier_hz=float(archive["carrier_hz"][0]),
+            active_subcarriers=tuple(
+                int(s) for s in archive["active_subcarriers"]
+            ),
+        )
+        return [CSIMeasurement(row, cfg) for row in archive["csi"]]

@@ -1,0 +1,208 @@
+"""Measurement datasets: record once, re-localize offline.
+
+Real CSI systems separate *collection* (expensive: hardware, people
+moving APs) from *algorithm iteration* (cheap: re-run the solver on the
+recorded traces).  This module gives the reproduction the same workflow:
+record the anchor observations of a measurement campaign into a
+:class:`Dataset`, persist it as JSON, and replay it through any localizer
+configuration without touching the channel simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core import Anchor, LocalizerConfig, NomLocLocalizer, NomLocSystem
+from ..environment import Scenario, get_scenario
+from ..geometry import Point
+
+__all__ = ["AnchorRecord", "QueryRecord", "Dataset", "record_dataset", "replay_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AnchorRecord:
+    """One anchor observation inside a recorded query."""
+
+    name: str
+    x: float
+    y: float
+    pdp: float
+    nomadic: bool
+
+    @classmethod
+    def from_anchor(cls, anchor: Anchor) -> "AnchorRecord":
+        """Capture a live :class:`~repro.core.Anchor` for persistence."""
+        return cls(
+            anchor.name,
+            anchor.position.x,
+            anchor.position.y,
+            anchor.pdp,
+            anchor.nomadic,
+        )
+
+    def to_anchor(self) -> Anchor:
+        """Rehydrate the live :class:`~repro.core.Anchor`."""
+        return Anchor(self.name, Point(self.x, self.y), self.pdp, self.nomadic)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One localization query: ground truth plus the observed anchors."""
+
+    truth_x: float
+    truth_y: float
+    anchors: tuple[AnchorRecord, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.anchors) < 2:
+            raise ValueError("a query record needs at least two anchors")
+
+    @property
+    def truth(self) -> Point:
+        return Point(self.truth_x, self.truth_y)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A recorded measurement campaign over one scenario."""
+
+    scenario_name: str
+    queries: tuple[QueryRecord, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError("a dataset needs at least one query")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a stable, versioned JSON document."""
+        doc = {
+            "format_version": _FORMAT_VERSION,
+            "scenario": self.scenario_name,
+            "metadata": self.metadata,
+            "queries": [
+                {
+                    "truth": [q.truth_x, q.truth_y],
+                    "anchors": [
+                        {
+                            "name": a.name,
+                            "position": [a.x, a.y],
+                            "pdp": a.pdp,
+                            "nomadic": a.nomadic,
+                        }
+                        for a in q.anchors
+                    ],
+                }
+                for q in self.queries
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Dataset":
+        """Parse a dataset document, validating the format version."""
+        doc = json.loads(text)
+        version = doc.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        queries = []
+        for q in doc["queries"]:
+            anchors = tuple(
+                AnchorRecord(
+                    a["name"],
+                    float(a["position"][0]),
+                    float(a["position"][1]),
+                    float(a["pdp"]),
+                    bool(a["nomadic"]),
+                )
+                for a in q["anchors"]
+            )
+            queries.append(
+                QueryRecord(float(q["truth"][0]), float(q["truth"][1]), anchors)
+            )
+        return cls(doc["scenario"], tuple(queries), doc.get("metadata", {}))
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset to ``path`` as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Dataset":
+        """Read a dataset previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def record_dataset(
+    system: NomLocSystem,
+    repetitions: int = 1,
+    seed: int = 0,
+    sites: tuple[Point, ...] | None = None,
+) -> Dataset:
+    """Run a measurement campaign and capture the anchor observations.
+
+    Each (site, repetition) pair gets independent, reproducible
+    randomness — the same scheme as the evaluation runner.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    scenario = system.scenario
+    sites = sites if sites is not None else scenario.test_sites
+    queries = []
+    for site_idx, site in enumerate(sites):
+        for rep in range(repetitions):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, site_idx, rep])
+            )
+            anchors = system.gather_anchors(site, rng)
+            queries.append(
+                QueryRecord(
+                    site.x,
+                    site.y,
+                    tuple(AnchorRecord.from_anchor(a) for a in anchors),
+                )
+            )
+    return Dataset(
+        scenario.name,
+        tuple(queries),
+        metadata={
+            "repetitions": repetitions,
+            "seed": seed,
+            "packets_per_link": system.config.packets_per_link,
+        },
+    )
+
+
+def replay_dataset(
+    dataset: Dataset,
+    localizer_config: LocalizerConfig | None = None,
+    scenario: Scenario | None = None,
+) -> list[float]:
+    """Re-localize every recorded query; returns per-query errors.
+
+    No channel simulation happens — this is the offline algorithm-
+    iteration loop.  ``scenario`` defaults to the registry entry named in
+    the dataset.
+    """
+    scenario = scenario or get_scenario(dataset.scenario_name)
+    localizer = NomLocLocalizer(scenario.plan.boundary, localizer_config)
+    errors = []
+    for query in dataset.queries:
+        anchors = [a.to_anchor() for a in query.anchors]
+        estimate = localizer.locate(anchors)
+        errors.append(estimate.error_to(query.truth))
+    return errors

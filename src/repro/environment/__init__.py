@@ -1,0 +1,35 @@
+"""Indoor venues: floor plans and the paper's two evaluation scenarios."""
+
+from .floorplan import FloorPlan, Obstacle, Wall
+from .loader import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .scenarios import (
+    SCENARIOS,
+    APSpec,
+    Scenario,
+    build_lab,
+    build_lobby,
+    build_office,
+    get_scenario,
+)
+
+__all__ = [
+    "FloorPlan",
+    "Wall",
+    "Obstacle",
+    "APSpec",
+    "Scenario",
+    "build_lab",
+    "build_lobby",
+    "build_office",
+    "get_scenario",
+    "SCENARIOS",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+]

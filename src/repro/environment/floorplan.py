@@ -1,0 +1,135 @@
+"""Floor plans: the physical world the RF simulator traces paths through.
+
+A :class:`FloorPlan` is the polygonal *area of interest* (the region NomLoc
+bounds the feasible set to), plus interior :class:`Wall` segments and
+:class:`Obstacle` polygons that block, reflect, and scatter radio paths.
+The boundary edges are themselves reflective walls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..channel.materials import CONCRETE, Material
+from ..geometry import (
+    Point,
+    Polygon,
+    Segment,
+    decompose_convex,
+    segments_intersect,
+)
+
+__all__ = ["Wall", "Obstacle", "FloorPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class Wall:
+    """An interior wall segment with an RF material."""
+
+    segment: Segment
+    material: Material = CONCRETE
+
+    def blocks(self, path: Segment) -> bool:
+        """True when ``path`` crosses this wall."""
+        return segments_intersect(path, self.segment)
+
+
+@dataclass(frozen=True, slots=True)
+class Obstacle:
+    """A clutter object (desk, server rack, cabinet...) as a polygon."""
+
+    polygon: Polygon
+    material: Material
+    name: str = ""
+
+    def blocks(self, path: Segment) -> bool:
+        """True when ``path`` passes through the obstacle's interior."""
+        return self.polygon.segment_crosses_interior(path)
+
+    def scatter_point(self) -> Point:
+        """Representative point where diffuse scattering originates."""
+        return self.polygon.centroid()
+
+
+@dataclass(frozen=True)
+class FloorPlan:
+    """Complete physical description of an indoor venue.
+
+    Attributes
+    ----------
+    name:
+        Venue identifier (e.g. ``"lab"``).
+    boundary:
+        Simple polygon bounding the area of interest.  Its edges double as
+        reflective walls of ``boundary_material``.
+    walls:
+        Interior wall segments.
+    obstacles:
+        Clutter polygons inside the boundary.
+    boundary_material:
+        Material of the perimeter walls.
+    """
+
+    name: str
+    boundary: Polygon
+    walls: tuple[Wall, ...] = field(default_factory=tuple)
+    obstacles: tuple[Obstacle, ...] = field(default_factory=tuple)
+    boundary_material: Material = CONCRETE
+
+    def __post_init__(self) -> None:
+        for obstacle in self.obstacles:
+            for v in obstacle.polygon.vertices:
+                if not self.boundary.contains(v):
+                    raise ValueError(
+                        f"obstacle {obstacle.name or obstacle.polygon!r} "
+                        "extends outside the boundary"
+                    )
+
+    # ------------------------------------------------------------------
+    # RF-facing queries
+    # ------------------------------------------------------------------
+    def reflective_walls(self) -> list[Wall]:
+        """All wall surfaces: the boundary edges plus interior walls."""
+        boundary_walls = [
+            Wall(edge, self.boundary_material) for edge in self.boundary.edges()
+        ]
+        return boundary_walls + list(self.walls)
+
+    def blocking_walls(self, path: Segment) -> list[Wall]:
+        """Interior walls crossed by ``path``."""
+        return [w for w in self.walls if w.blocks(path)]
+
+    def blocking_obstacles(self, path: Segment) -> list[Obstacle]:
+        """Obstacles whose interior the path passes through."""
+        return [o for o in self.obstacles if o.blocks(path)]
+
+    def is_los(self, a: Point, b: Point) -> bool:
+        """True when the straight path from ``a`` to ``b`` is unobstructed."""
+        path = Segment(a, b)
+        return not self.blocking_walls(path) and not self.blocking_obstacles(path)
+
+    def penetration_loss_db(self, path: Segment) -> float:
+        """Total one-way through-material loss along ``path`` in dB."""
+        loss = sum(w.material.penetration_loss_db for w in self.blocking_walls(path))
+        loss += sum(
+            o.material.penetration_loss_db for o in self.blocking_obstacles(path)
+        )
+        return loss
+
+    # ------------------------------------------------------------------
+    # Geometry-facing queries
+    # ------------------------------------------------------------------
+    def contains(self, p: Point, boundary: bool = True) -> bool:
+        """True when ``p`` is within the area of interest."""
+        return self.boundary.contains(p, boundary=boundary)
+
+    def convex_pieces(self) -> list[Polygon]:
+        """Convex decomposition of the boundary (Sec. IV-B2)."""
+        return decompose_convex(self.boundary)
+
+    def clutter_density(self) -> float:
+        """Fraction of the venue area occupied by obstacles (0..1)."""
+        area = self.boundary.area()
+        if area <= 0:
+            return 0.0
+        return min(1.0, sum(o.polygon.area() for o in self.obstacles) / area)

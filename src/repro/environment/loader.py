@@ -1,0 +1,171 @@
+"""Scenario serialization: define venues as JSON documents.
+
+Users deploy NomLoc in their own buildings; this module lets a complete
+scenario — boundary, walls, clutter, AP deployment, test sites — be
+declared in a JSON file and round-tripped losslessly.  Materials are
+referenced by name from :data:`repro.channel.materials.MATERIALS`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..channel.materials import MATERIALS, Material
+from ..geometry import Point, Polygon, Segment
+from .floorplan import FloorPlan, Obstacle, Wall
+from .scenarios import APSpec, Scenario
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _point(p: Point) -> list[float]:
+    return [p.x, p.y]
+
+
+def _coords(points) -> list[list[float]]:
+    return [_point(p) for p in points]
+
+
+def _material_name(material: Material) -> str:
+    if material.name not in MATERIALS:
+        raise ValueError(
+            f"material {material.name!r} is not registered; custom "
+            "materials cannot be serialized"
+        )
+    return material.name
+
+
+def _lookup_material(name: str) -> Material:
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown material {name!r}; available: {sorted(MATERIALS)}"
+        ) from None
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """Serialize a scenario to a JSON-compatible dictionary."""
+    plan = scenario.plan
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": scenario.name,
+        "path_loss_exponent": scenario.path_loss_exponent,
+        "plan": {
+            "boundary": _coords(plan.boundary.vertices),
+            "boundary_material": _material_name(plan.boundary_material),
+            "walls": [
+                {
+                    "a": _point(w.segment.a),
+                    "b": _point(w.segment.b),
+                    "material": _material_name(w.material),
+                }
+                for w in plan.walls
+            ],
+            "obstacles": [
+                {
+                    "polygon": _coords(o.polygon.vertices),
+                    "material": _material_name(o.material),
+                    "name": o.name,
+                }
+                for o in plan.obstacles
+            ],
+        },
+        "aps": [
+            {
+                "name": ap.name,
+                "position": _point(ap.position),
+                "nomadic": ap.nomadic,
+                "sites": _coords(ap.sites),
+            }
+            for ap in scenario.aps
+        ],
+        "test_sites": _coords(scenario.test_sites),
+    }
+
+
+def scenario_from_dict(doc: dict) -> Scenario:
+    """Build a scenario from a dictionary written by :func:`scenario_to_dict`.
+
+    Validation (sites inside the venue, nomadic site counts, obstacle
+    containment...) is performed by the :class:`Scenario` and
+    :class:`FloorPlan` constructors.
+    """
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported scenario format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    plan_doc = doc["plan"]
+    boundary = Polygon.from_coords(
+        [(float(x), float(y)) for x, y in plan_doc["boundary"]]
+    )
+    walls = tuple(
+        Wall(
+            Segment(
+                Point(float(w["a"][0]), float(w["a"][1])),
+                Point(float(w["b"][0]), float(w["b"][1])),
+            ),
+            _lookup_material(w["material"]),
+        )
+        for w in plan_doc.get("walls", [])
+    )
+    obstacles = tuple(
+        Obstacle(
+            Polygon.from_coords(
+                [(float(x), float(y)) for x, y in o["polygon"]]
+            ),
+            _lookup_material(o["material"]),
+            o.get("name", ""),
+        )
+        for o in plan_doc.get("obstacles", [])
+    )
+    plan = FloorPlan(
+        doc["name"],
+        boundary,
+        walls,
+        obstacles,
+        _lookup_material(plan_doc.get("boundary_material", "concrete")),
+    )
+    aps = tuple(
+        APSpec(
+            ap["name"],
+            Point(float(ap["position"][0]), float(ap["position"][1])),
+            nomadic=bool(ap.get("nomadic", False)),
+            sites=tuple(
+                Point(float(x), float(y)) for x, y in ap.get("sites", [])
+            ),
+        )
+        for ap in doc["aps"]
+    )
+    test_sites = tuple(
+        Point(float(x), float(y)) for x, y in doc["test_sites"]
+    )
+    return Scenario(
+        doc["name"],
+        plan,
+        aps,
+        test_sites,
+        float(doc["path_loss_exponent"]),
+    )
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> None:
+    """Write a scenario to ``path`` as indented JSON."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2, sort_keys=True)
+    )
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario previously written by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

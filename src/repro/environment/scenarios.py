@@ -1,0 +1,307 @@
+"""The paper's two experimental venues (Fig. 6), reconstructed.
+
+The exact HKUST floor plans are not published; these layouts preserve the
+properties the evaluation depends on:
+
+* **Lab** — a rectangular academic lab, dense with equipment (PCs, server
+  racks, cabinets), four APs near the corners, AP 1 nomadic among
+  ``{P1, P2, P3}``, ten test sites.  Heavy clutter creates NLOS links and
+  rich multipath.
+* **Lobby** — a larger, open, L-shaped (non-convex) lobby with a sparse AP
+  layout, twelve test sites, AP 1 nomadic among ``{P1, P2, P3}``.
+
+A :class:`Scenario` bundles the floor plan, the AP deployment, the nomadic
+site set and the test sites, and carries the venue-appropriate path-loss
+exponent for the channel simulator (which the *localizer* never sees —
+NomLoc stays calibration-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..channel.materials import CONCRETE, DRYWALL, METAL, WOOD, Material
+from ..geometry import Point, Polygon, Segment
+from .floorplan import FloorPlan, Obstacle, Wall
+
+__all__ = [
+    "APSpec",
+    "Scenario",
+    "build_lab",
+    "build_lobby",
+    "build_office",
+    "get_scenario",
+    "SCENARIOS",
+]
+
+
+@dataclass(frozen=True)
+class APSpec:
+    """One access point in a deployment.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"AP1"``...).
+    position:
+        Home position of the AP.
+    nomadic:
+        True when the AP moves among ``sites`` during measurement.
+    sites:
+        Discrete measurement sites the nomadic AP walks among (includes
+        its home position as the walk's starting state).
+    """
+
+    name: str
+    position: Point
+    nomadic: bool = False
+    sites: tuple[Point, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.nomadic and len(self.sites) < 2:
+            raise ValueError("a nomadic AP needs at least two sites")
+        if not self.nomadic and self.sites:
+            raise ValueError("a static AP must not declare sites")
+
+    def all_sites(self) -> tuple[Point, ...]:
+        """Every position the AP can measure from."""
+        return self.sites if self.nomadic else (self.position,)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A venue plus its AP deployment and evaluation sites."""
+
+    name: str
+    plan: FloorPlan
+    aps: tuple[APSpec, ...]
+    test_sites: tuple[Point, ...]
+    path_loss_exponent: float
+
+    def __post_init__(self) -> None:
+        for ap in self.aps:
+            for site in ap.all_sites():
+                self._check_site(site, ap.name)
+        for site in self.test_sites:
+            self._check_site(site, "test site")
+        names = [ap.name for ap in self.aps]
+        if len(set(names)) != len(names):
+            raise ValueError("AP names must be unique")
+
+    def _check_site(self, site: Point, owner: str) -> None:
+        if not self.plan.contains(site):
+            raise ValueError(f"{owner} site {site} outside the venue")
+        for obstacle in self.plan.obstacles:
+            if obstacle.polygon.contains(site, boundary=False):
+                raise ValueError(
+                    f"{owner} site {site} is inside obstacle "
+                    f"{obstacle.name or obstacle.polygon!r}"
+                )
+
+    @property
+    def static_aps(self) -> tuple[APSpec, ...]:
+        return tuple(ap for ap in self.aps if not ap.nomadic)
+
+    @property
+    def nomadic_aps(self) -> tuple[APSpec, ...]:
+        return tuple(ap for ap in self.aps if ap.nomadic)
+
+    def dense_sites(self, spacing_m: float, margin: float = 0.3) -> tuple[Point, ...]:
+        """A dense, obstacle-free evaluation grid over the venue.
+
+        The paper's SLV is defined as an area integral (Eq. 20-21) and
+        sampled at ``p`` sites (Eq. 22); the hand-picked ``test_sites``
+        match the prototype's measurement sites, while this grid
+        approximates the integral itself.
+        """
+        if spacing_m <= 0:
+            raise ValueError("spacing must be positive")
+        points = self.plan.boundary.grid_points(spacing_m, margin=margin)
+        return tuple(
+            p
+            for p in points
+            if not any(
+                o.polygon.contains(p, boundary=False)
+                for o in self.plan.obstacles
+            )
+        )
+
+    def static_variant(self) -> "Scenario":
+        """The corresponding static deployment benchmark.
+
+        Nomadic APs are pinned at their home positions — this is the
+        baseline Figs. 8 and 9 compare NomLoc against.
+        """
+        pinned = tuple(
+            APSpec(ap.name, ap.position) if ap.nomadic else ap for ap in self.aps
+        )
+        return Scenario(
+            f"{self.name}-static",
+            self.plan,
+            pinned,
+            self.test_sites,
+            self.path_loss_exponent,
+        )
+
+
+def _rack(x: float, y: float, w: float, h: float, material: Material, name: str) -> Obstacle:
+    return Obstacle(Polygon.rectangle(x, y, x + w, y + h), material, name)
+
+
+def build_lab() -> Scenario:
+    """The cluttered Lab scenario (Fig. 6a analogue): 12 m x 8 m."""
+    boundary = Polygon.rectangle(0.0, 0.0, 12.0, 8.0)
+    obstacles = (
+        _rack(2.0, 2.6, 2.4, 0.9, WOOD, "desk-row-west"),
+        _rack(5.2, 2.6, 2.4, 0.9, WOOD, "desk-row-mid"),
+        _rack(8.4, 2.6, 2.4, 0.9, WOOD, "desk-row-east"),
+        _rack(2.0, 4.9, 2.4, 0.9, WOOD, "desk-row-west-2"),
+        _rack(5.2, 4.9, 2.4, 0.9, WOOD, "desk-row-mid-2"),
+        _rack(9.8, 5.6, 1.0, 2.0, METAL, "server-rack"),
+        _rack(0.3, 4.4, 0.8, 1.8, METAL, "cabinet-west"),
+        _rack(5.6, 0.3, 1.8, 0.7, WOOD, "bench-south"),
+    )
+    walls = (
+        Wall(Segment(Point(7.6, 4.9), Point(7.6, 8.0)), DRYWALL),
+    )
+    plan = FloorPlan("lab", boundary, walls, obstacles, CONCRETE)
+    aps = (
+        APSpec(
+            "AP1",
+            Point(1.0, 1.0),
+            nomadic=True,
+            sites=(Point(1.0, 1.0), Point(4.6, 4.1), Point(7.0, 1.6), Point(8.8, 4.4)),
+        ),
+        APSpec("AP2", Point(11.0, 1.0)),
+        APSpec("AP3", Point(11.2, 7.2)),
+        APSpec("AP4", Point(0.8, 7.2)),
+    )
+    test_sites = (
+        Point(1.6, 2.0),
+        Point(3.2, 1.6),
+        Point(6.2, 1.8),
+        Point(9.4, 1.4),
+        Point(10.6, 4.0),
+        Point(6.4, 4.2),
+        Point(3.0, 4.2),
+        Point(1.4, 6.2),
+        Point(4.6, 6.6),
+        Point(8.6, 7.0),
+    )
+    return Scenario("lab", plan, aps, test_sites, path_loss_exponent=2.8)
+
+
+def build_lobby() -> Scenario:
+    """The open L-shaped Lobby scenario (Fig. 6b analogue)."""
+    boundary = Polygon.from_coords(
+        [(0, 0), (25, 0), (25, 10), (12, 10), (12, 20), (0, 20)]
+    )
+    obstacles = (
+        _rack(6.0, 4.0, 0.8, 0.8, CONCRETE, "pillar-a"),
+        _rack(17.0, 4.0, 0.8, 0.8, CONCRETE, "pillar-b"),
+        _rack(6.0, 13.0, 0.8, 0.8, CONCRETE, "pillar-c"),
+        _rack(2.5, 8.5, 2.0, 1.0, WOOD, "reception-desk"),
+    )
+    plan = FloorPlan("lobby", boundary, (), obstacles, CONCRETE)
+    aps = (
+        APSpec(
+            "AP1",
+            Point(1.5, 1.5),
+            nomadic=True,
+            sites=(Point(1.5, 1.5), Point(10.0, 5.0), Point(4.0, 11.5), Point(8.0, 17.0)),
+        ),
+        APSpec("AP2", Point(23.5, 1.5)),
+        APSpec("AP3", Point(23.0, 8.5)),
+        APSpec("AP4", Point(1.5, 18.5)),
+    )
+    test_sites = (
+        Point(3.0, 3.0),
+        Point(8.0, 2.0),
+        Point(13.0, 3.0),
+        Point(18.0, 2.0),
+        Point(22.0, 5.0),
+        Point(19.5, 8.0),
+        Point(14.0, 7.0),
+        Point(9.0, 8.5),
+        Point(4.0, 6.5),
+        Point(2.5, 12.0),
+        Point(8.5, 14.0),
+        Point(5.0, 18.0),
+    )
+    return Scenario("lobby", plan, aps, test_sites, path_loss_exponent=2.2)
+
+
+def build_office() -> Scenario:
+    """An office corridor venue (ours; not in the paper).
+
+    A central corridor flanked by drywall offices — the wall-dominated
+    propagation regime neither paper venue exercises: most AP-object
+    links cross one or more partitions, so NLOS comes from walls rather
+    than clutter.  Useful as a third evaluation point and as a template
+    for users modelling their own buildings.
+    """
+    boundary = Polygon.rectangle(0.0, 0.0, 24.0, 12.0)
+    # Corridor spans y in [5, 7]; offices above and below, 4 m wide, with
+    # 1.2 m door gaps onto the corridor.
+    walls = []
+    for x in (4.0, 8.0, 12.0, 16.0, 20.0):
+        walls.append(Wall(Segment(Point(x, 0.0), Point(x, 5.0)), DRYWALL))
+        walls.append(Wall(Segment(Point(x, 7.0), Point(x, 12.0)), DRYWALL))
+    for x0 in (0.0, 4.0, 8.0, 12.0, 16.0, 20.0):
+        # Office front walls with a door gap at the right side of each bay.
+        walls.append(
+            Wall(Segment(Point(x0, 5.0), Point(x0 + 2.8, 5.0)), DRYWALL)
+        )
+        walls.append(
+            Wall(Segment(Point(x0, 7.0), Point(x0 + 2.8, 7.0)), DRYWALL)
+        )
+    obstacles = (
+        _rack(1.0, 1.0, 1.8, 0.8, WOOD, "desk-sw"),
+        _rack(13.2, 10.2, 1.8, 0.8, WOOD, "desk-n"),
+        _rack(21.0, 1.2, 0.9, 1.8, METAL, "printer-se"),
+    )
+    plan = FloorPlan("office", boundary, tuple(walls), obstacles, CONCRETE)
+    aps = (
+        APSpec(
+            "AP1",
+            Point(1.0, 6.0),
+            nomadic=True,
+            sites=(
+                Point(1.0, 6.0),
+                Point(7.0, 6.0),
+                Point(13.0, 6.0),
+                Point(19.0, 6.0),
+            ),
+        ),
+        APSpec("AP2", Point(23.0, 6.0)),
+        APSpec("AP3", Point(6.0, 11.0)),
+        APSpec("AP4", Point(18.0, 1.0)),
+    )
+    test_sites = (
+        Point(2.0, 2.5),
+        Point(6.0, 2.0),
+        Point(10.0, 2.8),
+        Point(14.0, 2.0),
+        Point(18.5, 3.2),
+        Point(22.0, 9.0),
+        Point(17.5, 10.0),
+        Point(10.0, 9.5),
+        Point(6.2, 9.0),
+        Point(2.0, 10.0),
+        Point(12.0, 6.0),
+    )
+    return Scenario("office", plan, aps, test_sites, path_loss_exponent=3.0)
+
+
+SCENARIOS = {"lab": build_lab, "lobby": build_lobby, "office": build_office}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a built-in scenario by name (``"lab"`` or ``"lobby"``)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,114 @@
+"""Evaluation metrics: SLV (Eq. 22), error statistics, error CDFs.
+
+These are the two quantities Sec. V-A defines: *spatial localizability
+variance* — the variance of per-site mean errors over the sampled sites —
+and *accuracy* as the CDF of mean error across distinct sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["slv", "ErrorStats", "ErrorCDF"]
+
+
+def slv(per_site_mean_errors: Sequence[float]) -> float:
+    """Spatial localizability variance (Eq. 22).
+
+    ``SLV = (1/p) * sum_i (e_i - e_bar)^2`` over the ``p`` sample sites'
+    mean errors.
+    """
+    e = np.asarray(per_site_mean_errors, dtype=float)
+    if e.size == 0:
+        raise ValueError("SLV of an empty error set is undefined")
+    return float(np.mean((e - e.mean()) ** 2))
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of a localization-error sample."""
+
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    slv: float
+    count: int
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> "ErrorStats":
+        e = np.asarray(errors, dtype=float)
+        if e.size == 0:
+            raise ValueError("cannot summarize an empty error set")
+        if np.any(e < 0):
+            raise ValueError("errors must be non-negative")
+        return cls(
+            mean=float(e.mean()),
+            median=float(np.median(e)),
+            p90=float(np.percentile(e, 90)),
+            maximum=float(e.max()),
+            slv=slv(e),
+            count=int(e.size),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorCDF:
+    """Empirical CDF of localization errors.
+
+    Attributes
+    ----------
+    samples:
+        Sorted error values.
+    """
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.sort(np.asarray(self.samples, dtype=float))
+        if s.size == 0:
+            raise ValueError("CDF needs at least one sample")
+        if s[0] < 0:
+            raise ValueError("errors must be non-negative")
+        object.__setattr__(self, "samples", s)
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> "ErrorCDF":
+        return cls(np.asarray(errors, dtype=float))
+
+    def at(self, error_m: float) -> float:
+        """``P(error <= error_m)``."""
+        return float(np.searchsorted(self.samples, error_m, side="right")) / len(
+            self.samples
+        )
+
+    def percentile(self, q: float) -> float:
+        """Error value at the ``q``-th percentile (0..100)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def series(self, max_error: float | None = None, points: int = 21):
+        """``(error, cdf)`` pairs for plotting/printing a Fig. 9/10 curve."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        hi = max_error if max_error is not None else float(self.samples[-1])
+        xs = np.linspace(0.0, max(hi, 1e-9), points)
+        return [(float(x), self.at(float(x))) for x in xs]
+
+    def dominates(self, other: "ErrorCDF", grid_points: int = 50) -> bool:
+        """True when this CDF is everywhere >= ``other`` (better or equal)."""
+        hi = max(float(self.samples[-1]), float(other.samples[-1]))
+        xs = np.linspace(0.0, hi, grid_points)
+        return all(self.at(float(x)) >= other.at(float(x)) - 1e-12 for x in xs)

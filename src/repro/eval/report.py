@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness uses these to print/persist the same rows and series
+the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..channel import DelayProfile
+from .metrics import ErrorCDF, ErrorStats
+
+__all__ = [
+    "format_table",
+    "format_stats_table",
+    "format_cdf_table",
+    "format_delay_profile",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(v.ljust(w) for v, w in zip(row, widths))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_stats_table(stats_by_name: dict[str, ErrorStats]) -> str:
+    """One row of summary statistics per named configuration."""
+    rows = [
+        [name, s.mean, s.median, s.p90, s.maximum, s.slv]
+        for name, s in stats_by_name.items()
+    ]
+    return format_table(
+        ["config", "mean(m)", "median(m)", "p90(m)", "max(m)", "SLV"], rows
+    )
+
+
+def format_cdf_table(
+    cdfs_by_name: dict[str, ErrorCDF],
+    max_error: float | None = None,
+    points: int = 11,
+) -> str:
+    """CDF curves side by side, one row per error value."""
+    if not cdfs_by_name:
+        raise ValueError("need at least one CDF")
+    hi = max_error
+    if hi is None:
+        hi = max(float(c.samples[-1]) for c in cdfs_by_name.values())
+    names = list(cdfs_by_name)
+    first_series = cdfs_by_name[names[0]].series(hi, points)
+    rows = []
+    for idx, (x, _) in enumerate(first_series):
+        row: list[object] = [f"{x:.2f}"]
+        for name in names:
+            row.append(cdfs_by_name[name].series(hi, points)[idx][1])
+        rows.append(row)
+    return format_table(["error(m)"] + names, rows)
+
+
+def format_delay_profile(
+    profile: DelayProfile, label: str, max_taps: int = 16
+) -> str:
+    """A Fig. 3-style delay/amplitude series."""
+    rows = [
+        [f"{d * 1e6:.2f}", f"{a:.3e}"]
+        for d, a in zip(
+            profile.delays_s[:max_taps], profile.amplitudes[:max_taps]
+        )
+    ]
+    return f"{label}\n" + format_table(["delay(us)", "amplitude"], rows)

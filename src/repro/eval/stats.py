@@ -1,0 +1,142 @@
+"""Statistical inference over campaign results.
+
+"Nomadic beats static" claims deserve uncertainty estimates: this module
+provides bootstrap confidence intervals and an exact paired sign test
+(both from scratch) plus a one-call comparison of two campaigns run on
+the same sites with the same seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .runner import CampaignResult
+
+__all__ = ["bootstrap_ci", "paired_sign_test", "ComparisonResult", "compare_campaigns"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Parameters
+    ----------
+    values:
+        The sample (e.g. per-site mean errors).
+    statistic:
+        Function of a 1-D array (mean by default).
+    confidence:
+        Interval mass, e.g. 0.95.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two values to bootstrap")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_resamples)
+    n = data.size
+    for k in range(n_resamples):
+        stats[k] = float(statistic(data[rng.integers(0, n, n)]))
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def paired_sign_test(
+    a: Sequence[float], b: Sequence[float], tie_tolerance: float = 1e-9
+) -> float:
+    """Exact two-sided sign test on paired samples.
+
+    Tests the null "P(a_i < b_i) = 1/2" by the binomial distribution of
+    the sign of the differences (ties dropped).  Returns the two-sided
+    p-value.  Small-sample exact — no normal approximation.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    diffs = a - b
+    signs = diffs[np.abs(diffs) > tie_tolerance]
+    n = signs.size
+    if n == 0:
+        return 1.0
+    wins = int(np.sum(signs < 0))  # a smaller than b
+    # Two-sided exact binomial tail around n/2.
+    k = min(wins, n - wins)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Paired comparison of two campaigns over the same sites.
+
+    Attributes
+    ----------
+    mean_difference:
+        ``mean(a) - mean(b)`` of per-site mean errors (negative = a
+        better).
+    ci_low, ci_high:
+        Bootstrap CI of the mean difference.
+    p_value:
+        Two-sided exact sign-test p-value.
+    a_better_sites, b_better_sites:
+        Site counts each system won.
+    """
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    a_better_sites: int
+    b_better_sites: int
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+
+def compare_campaigns(
+    a: CampaignResult,
+    b: CampaignResult,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Statistically compare two campaigns run over identical sites.
+
+    Both campaigns must have been produced by
+    :func:`~repro.eval.runner.run_campaign` with the same site list (and
+    ideally the same seed, so queries are paired by randomness too).
+    """
+    if len(a.sites) != len(b.sites):
+        raise ValueError("campaigns cover different numbers of sites")
+    for sa, sb in zip(a.sites, b.sites):
+        if sa.site != sb.site:
+            raise ValueError("campaigns cover different sites")
+    ea = np.asarray(a.per_site_means())
+    eb = np.asarray(b.per_site_means())
+    diffs = ea - eb
+    lo, hi = bootstrap_ci(diffs, np.mean, confidence, seed=seed)
+    return ComparisonResult(
+        mean_difference=float(diffs.mean()),
+        ci_low=lo,
+        ci_high=hi,
+        p_value=paired_sign_test(ea, eb),
+        a_better_sites=int(np.sum(diffs < 0)),
+        b_better_sites=int(np.sum(diffs > 0)),
+    )

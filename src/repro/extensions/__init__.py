@@ -1,0 +1,15 @@
+"""Paper future-work extensions: multi-nomadic aggregation, pattern study."""
+
+from .multi_nomadic import (
+    LOBBY_UPGRADES,
+    lobby_with_nomadic_count,
+    upgrade_to_nomadic,
+)
+from .pattern_study import PatternBoundLocalizer
+
+__all__ = [
+    "upgrade_to_nomadic",
+    "lobby_with_nomadic_count",
+    "LOBBY_UPGRADES",
+    "PatternBoundLocalizer",
+]

@@ -1,0 +1,71 @@
+"""Multiple nomadic APs (paper future work, Sec. VI).
+
+"An potential direction for future work is effectively aggregating
+multiple nomadic APs."  This module upgrades static APs of an existing
+scenario into nomadic ones with their own site sets; the SP localizer
+aggregates all of their measurement sites without modification, since
+every site is just another anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..environment import APSpec, Scenario
+from ..geometry import Point
+
+__all__ = ["upgrade_to_nomadic", "lobby_with_nomadic_count", "LOBBY_UPGRADES"]
+
+#: Site sets used when upgrading the Lobby's static APs (obstacle-free,
+#: spread along each AP's arm of the L).
+LOBBY_UPGRADES: dict[str, tuple[Point, ...]] = {
+    "AP2": (Point(23.5, 1.5), Point(20.0, 5.0), Point(15.0, 8.5)),
+    "AP3": (Point(23.0, 8.5), Point(18.5, 2.5), Point(13.5, 5.5)),
+}
+
+
+def upgrade_to_nomadic(
+    scenario: Scenario, upgrades: dict[str, tuple[Point, ...]]
+) -> Scenario:
+    """Convert the named static APs of ``scenario`` into nomadic ones.
+
+    Each value in ``upgrades`` is the AP's new site set (its current
+    position should be the first entry so the walk starts at home).
+    Already-nomadic APs cannot be re-upgraded.
+    """
+    ap_names = {ap.name for ap in scenario.aps}
+    for name in upgrades:
+        if name not in ap_names:
+            raise ValueError(f"scenario has no AP named {name!r}")
+    aps = []
+    for ap in scenario.aps:
+        if ap.name in upgrades:
+            if ap.nomadic:
+                raise ValueError(f"{ap.name} is already nomadic")
+            aps.append(
+                APSpec(ap.name, ap.position, nomadic=True, sites=upgrades[ap.name])
+            )
+        else:
+            aps.append(ap)
+    return replace(scenario, aps=tuple(aps))
+
+
+def lobby_with_nomadic_count(scenario: Scenario, count: int) -> Scenario:
+    """Lobby variant with ``count`` nomadic APs (1 = the paper's setup).
+
+    ``scenario`` must be the Lobby (or a compatible deployment with AP1
+    nomadic and static AP2/AP3 to upgrade).
+    """
+    if not 1 <= count <= 1 + len(LOBBY_UPGRADES):
+        raise ValueError(
+            f"count must be in [1, {1 + len(LOBBY_UPGRADES)}]"
+        )
+    already = len(scenario.nomadic_aps)
+    if already != 1:
+        raise ValueError("expected exactly one nomadic AP in the base scenario")
+    if count == 1:
+        return scenario
+    names = list(LOBBY_UPGRADES)[: count - 1]
+    return upgrade_to_nomadic(
+        scenario, {n: LOBBY_UPGRADES[n] for n in names}
+    )

@@ -1,0 +1,42 @@
+"""Mobility-pattern impact study (paper future work, Sec. VI).
+
+"Another extension ... would be to understand the impact of moving
+patterns of nomadic APs on the overall performance."  The adapter here
+binds a :class:`~repro.mobility.MobilityPattern` into the campaign
+runner's localizer protocol so any pattern can be swept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import NomLocSystem
+from ..geometry import Point
+from ..mobility import MobilityPattern
+
+__all__ = ["PatternBoundLocalizer"]
+
+
+class PatternBoundLocalizer:
+    """A NomLoc system whose nomadic AP follows a fixed movement pattern.
+
+    ``pattern = None`` keeps the paper's default Markov walk.
+    """
+
+    def __init__(
+        self, system: NomLocSystem, pattern: MobilityPattern | None = None
+    ) -> None:
+        self.system = system
+        self.pattern = pattern
+
+    def locate(self, object_position: Point, rng: np.random.Generator):
+        """One localization query under the bound pattern."""
+        return self.system.locate(object_position, rng, self.pattern)
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        """Euclidean error of one query."""
+        return self.system.localization_error(
+            object_position, rng, self.pattern
+        )

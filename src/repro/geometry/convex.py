@@ -1,0 +1,197 @@
+"""Convex hulls and convex decomposition of simple polygons.
+
+Sec. IV-B2 of the paper: "If the objective polygonal area is non-convex, we
+can divide it into several convex ones.  For each convex area, we solve the
+optimization problem and merge the areas with feasible solutions."  The
+L-shaped lobby scenario exercises exactly this path, so the decomposition
+must be correct, not merely plausible.
+
+The decomposition used here is ear-clipping triangulation followed by a
+greedy Hertel–Mehlhorn-style merge of triangles across shared diagonals while
+convexity is preserved.  Hertel–Mehlhorn yields at most four times the
+minimum number of convex pieces, which is ample for floor plans.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .polygon import Polygon
+from .primitives import EPS, Point, cross, orientation
+
+__all__ = ["convex_hull", "triangulate", "decompose_convex"]
+
+
+def convex_hull(points: Sequence[Point]) -> Polygon:
+    """Convex hull of a point set via Andrew's monotone chain.
+
+    Collinear points on the hull boundary are dropped.  Raises
+    ``ValueError`` when the input spans fewer than three non-collinear
+    points (the hull would be degenerate).
+    """
+    pts = sorted(set((p.x, p.y) for p in points))
+    if len(pts) < 3:
+        raise ValueError("convex hull needs at least three distinct points")
+    pp = [Point(x, y) for x, y in pts]
+
+    def half(chain_pts: list[Point]) -> list[Point]:
+        # Exact (un-toleranced) turn test: a tolerance here can pop a true
+        # extreme point on nearly-collinear input, producing a hull that
+        # excludes an input point.
+        out: list[Point] = []
+        for p in chain_pts:
+            while len(out) >= 2 and cross(out[-2], out[-1], p) <= 0.0:
+                out.pop()
+            out.append(p)
+        return out
+
+    lower = half(pp)
+    upper = half(list(reversed(pp)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        raise ValueError("points are collinear; hull is degenerate")
+    return Polygon(tuple(hull))
+
+
+def _point_blocks_ear(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """True when ``p`` lies in the *closed* CCW triangle ``abc``.
+
+    The test must be boundary-inclusive: a vertex sitting exactly on the
+    candidate diagonal (e.g. the reflex corner of an L-shape relative to
+    the opposite diagonal) would pinch the remaining polygon if the ear
+    were clipped, so it has to block the ear.
+    """
+    return (
+        cross(a, b, p) >= -EPS
+        and cross(b, c, p) >= -EPS
+        and cross(c, a, p) >= -EPS
+    )
+
+
+def triangulate(polygon: Polygon) -> list[tuple[Point, Point, Point]]:
+    """Ear-clipping triangulation of a simple polygon (CCW)."""
+    verts = list(polygon.vertices)
+    if len(verts) == 3:
+        return [tuple(verts)]  # type: ignore[return-value]
+    triangles: list[tuple[Point, Point, Point]] = []
+    guard = 0
+    while len(verts) > 3:
+        guard += 1
+        if guard > 10000:
+            raise RuntimeError("ear clipping failed to converge; polygon may self-intersect")
+        n = len(verts)
+        clipped = False
+        for i in range(n):
+            prev = verts[(i - 1) % n]
+            cur = verts[i]
+            nxt = verts[(i + 1) % n]
+            if orientation(prev, cur, nxt) <= 0:
+                continue  # reflex or collinear vertex cannot be an ear tip
+            if any(
+                _point_blocks_ear(q, prev, cur, nxt)
+                for j, q in enumerate(verts)
+                if j not in {(i - 1) % n, i, (i + 1) % n}
+            ):
+                continue
+            triangles.append((prev, cur, nxt))
+            del verts[i]
+            clipped = True
+            break
+        if not clipped:
+            # Degenerate (collinear) vertex: drop it and continue.
+            for i in range(n):
+                prev = verts[(i - 1) % n]
+                cur = verts[i]
+                nxt = verts[(i + 1) % n]
+                if orientation(prev, cur, nxt) == 0:
+                    del verts[i]
+                    clipped = True
+                    break
+            if not clipped:
+                raise RuntimeError("no ear found; polygon is not simple")
+    triangles.append((verts[0], verts[1], verts[2]))
+    return triangles
+
+
+def _shared_edge(
+    a: Sequence[Point], b: Sequence[Point]
+) -> tuple[int, int] | None:
+    """Indices ``(i, j)`` such that edge ``a[i]→a[i+1]`` equals ``b[j+1]→b[j]``."""
+    na, nb = len(a), len(b)
+    for i in range(na):
+        p, q = a[i], a[(i + 1) % na]
+        for j in range(nb):
+            r, s = b[j], b[(j + 1) % nb]
+            if p.almost_equals(s) and q.almost_equals(r):
+                return i, j
+    return None
+
+
+def _merge_across(
+    a: list[Point], b: list[Point], i: int, j: int
+) -> list[Point]:
+    """Merge two CCW pieces that share edge ``a[i]→a[i+1]`` (reversed in b)."""
+    na, nb = len(a), len(b)
+    merged = [a[(i + 1 + k) % na] for k in range(na)]
+    # merged starts after the shared edge in a and ends at a[i]; splice b's
+    # vertices (excluding the shared pair) between a[i] and a[i+1].
+    tail = [b[(j + 2 + k) % nb] for k in range(nb - 2)]
+    return merged + tail
+
+
+def _is_convex_cycle(verts: Sequence[Point]) -> bool:
+    n = len(verts)
+    for i in range(n):
+        if cross(verts[i], verts[(i + 1) % n], verts[(i + 2) % n]) < -EPS:
+            return False
+    return True
+
+
+def decompose_convex(polygon: Polygon) -> list[Polygon]:
+    """Partition a simple polygon into convex pieces.
+
+    A convex input is returned unchanged (as a single-element list).  The
+    result pieces tile the input: their areas sum to the input area and
+    pieces only share boundary edges.
+    """
+    if polygon.is_convex():
+        return [polygon]
+    pieces: list[list[Point]] = [list(t) for t in triangulate(polygon)]
+
+    merged_any = True
+    while merged_any:
+        merged_any = False
+        for ai in range(len(pieces)):
+            for bi in range(ai + 1, len(pieces)):
+                shared = _shared_edge(pieces[ai], pieces[bi])
+                if shared is None:
+                    continue
+                candidate = _merge_across(pieces[ai], pieces[bi], *shared)
+                if _is_convex_cycle(candidate):
+                    pieces[ai] = candidate
+                    del pieces[bi]
+                    merged_any = True
+                    break
+            if merged_any:
+                break
+    out = []
+    for piece in pieces:
+        cleaned = _drop_collinear(piece)
+        if len(cleaned) >= 3:
+            out.append(Polygon(tuple(cleaned)))
+    return out
+
+
+def _drop_collinear(verts: list[Point]) -> list[Point]:
+    """Remove vertices that are collinear with their neighbours."""
+    out = list(verts)
+    changed = True
+    while changed and len(out) > 3:
+        changed = False
+        n = len(out)
+        for i in range(n):
+            if orientation(out[(i - 1) % n], out[i], out[(i + 1) % n]) == 0:
+                del out[i]
+                changed = True
+                break
+    return out

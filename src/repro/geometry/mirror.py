@@ -1,0 +1,51 @@
+"""Mirror reflections for virtual APs (area boundary restriction).
+
+Sec. IV-B2 of the paper bounds the feasible region to the area of interest
+by introducing *virtual APs* (VAPs): for a reference AP inside the area,
+mirror its position across each boundary edge.  The object is necessarily
+closer to the real AP than to any of its mirror images, which yields one
+perpendicular-bisector constraint per boundary edge — and that bisector is
+exactly the boundary line itself.
+"""
+
+from __future__ import annotations
+
+from .halfspace import HalfSpace, bisector_halfspace
+from .polygon import Polygon
+from .primitives import EPS, Point, Segment, dot
+
+__all__ = ["reflect_point", "virtual_aps", "boundary_halfspaces"]
+
+
+def reflect_point(p: Point, edge: Segment) -> Point:
+    """Mirror image of ``p`` across the infinite line through ``edge``."""
+    d = edge.b - edge.a
+    dd = dot(d, d)
+    if dd <= EPS:
+        raise ValueError("cannot reflect across a degenerate edge")
+    t = dot(p - edge.a, d) / dd
+    foot = edge.a + d * t
+    return Point(2.0 * foot.x - p.x, 2.0 * foot.y - p.y)
+
+
+def virtual_aps(anchor: Point, area: Polygon) -> list[Point]:
+    """Mirror ``anchor`` across every edge of ``area`` (the paper's VAPs).
+
+    ``anchor`` must lie strictly inside ``area``; the paper notes "the site
+    of AP 1 could be any other site within the area".
+    """
+    if not area.contains(anchor, boundary=False):
+        raise ValueError("the VAP anchor must lie strictly inside the area")
+    return [reflect_point(anchor, edge) for edge in area.edges()]
+
+
+def boundary_halfspaces(anchor: Point, area: Polygon) -> list[HalfSpace]:
+    """Boundary constraints ``A' z <= b'`` of Eq. 9–11.
+
+    One halfspace per boundary edge: closer to ``anchor`` than to the VAP
+    mirrored across that edge.  For a convex area the conjunction of these
+    halfspaces is exactly the area itself.
+    """
+    return [
+        bisector_halfspace(anchor, vap) for vap in virtual_aps(anchor, area)
+    ]

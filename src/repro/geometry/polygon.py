@@ -1,0 +1,302 @@
+"""Simple-polygon operations: area, centroid, containment, sampling.
+
+Polygons model both the area-of-interest boundary (Sec. IV-B2 of the paper,
+"area boundary restriction") and clutter obstacles inside a floor plan.
+Vertices are stored counter-clockwise; constructors normalize orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .primitives import EPS, Point, Segment, cross, segments_intersect
+
+__all__ = ["Polygon"]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple (non self-intersecting) polygon with CCW vertex order."""
+
+    vertices: tuple[Point, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+        if self.signed_area() < 0:
+            object.__setattr__(self, "vertices", tuple(reversed(self.vertices)))
+        # Lazily filled caches (the dataclass is frozen; geometry queries on
+        # floor plans are hot paths in the ray tracer).
+        object.__setattr__(self, "_edges_cache", None)
+        object.__setattr__(self, "_bbox_cache", None)
+        object.__setattr__(self, "_convex_cache", None)
+
+    @classmethod
+    def from_coords(cls, coords: Iterable[tuple[float, float]]) -> "Polygon":
+        """Build a polygon from ``(x, y)`` pairs."""
+        return cls(tuple(Point(x, y) for x, y in coords))
+
+    @classmethod
+    def rectangle(cls, x0: float, y0: float, x1: float, y1: float) -> "Polygon":
+        """Axis-aligned rectangle with corners ``(x0, y0)`` and ``(x1, y1)``."""
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError("rectangle needs x1 > x0 and y1 > y0")
+        return cls.from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)])
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive for CCW order)."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    def area(self) -> float:
+        """Absolute enclosed area in square metres."""
+        return abs(self.signed_area())
+
+    def perimeter(self) -> float:
+        """Total boundary length in metres."""
+        return sum(e.length() for e in self.edges())
+
+    def centroid(self) -> Point:
+        """Area centroid (exact, shoelace-weighted)."""
+        a = self.signed_area()
+        if abs(a) <= EPS:
+            return Point.centroid(self.vertices)
+        cx = cy = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            w = p.x * q.y - q.x * p.y
+            cx += (p.x + q.x) * w
+            cy += (p.y + q.y) * w
+        return Point(cx / (6.0 * a), cy / (6.0 * a))
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the vertex set (cached)."""
+        cached = getattr(self, "_bbox_cache", None)
+        if cached is None:
+            xs = [p.x for p in self.vertices]
+            ys = [p.y for p in self.vertices]
+            cached = (min(xs), min(ys), max(xs), max(ys))
+            object.__setattr__(self, "_bbox_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def edges(self) -> list[Segment]:
+        """Boundary edges in CCW order, one per vertex (cached)."""
+        cached = getattr(self, "_edges_cache", None)
+        if cached is None:
+            n = len(self.vertices)
+            cached = [
+                Segment(self.vertices[i], self.vertices[(i + 1) % n])
+                for i in range(n)
+            ]
+            object.__setattr__(self, "_edges_cache", cached)
+        return cached
+
+    def is_convex(self, tol: float = EPS) -> bool:
+        """True when every interior angle is at most 180 degrees (cached
+        for the default tolerance)."""
+        if tol == EPS:
+            cached = getattr(self, "_convex_cache", None)
+            if cached is not None:
+                return cached
+        n = len(self.vertices)
+        result = True
+        for i in range(n):
+            o = self.vertices[i]
+            a = self.vertices[(i + 1) % n]
+            b = self.vertices[(i + 2) % n]
+            if cross(o, a, b) < -tol:
+                result = False
+                break
+        if tol == EPS:
+            object.__setattr__(self, "_convex_cache", result)
+        return result
+
+    def reflex_vertex_indices(self, tol: float = EPS) -> list[int]:
+        """Indices of vertices whose interior angle exceeds 180 degrees."""
+        n = len(self.vertices)
+        out = []
+        for i in range(n):
+            prev = self.vertices[(i - 1) % n]
+            cur = self.vertices[i]
+            nxt = self.vertices[(i + 1) % n]
+            if cross(prev, cur, nxt) < -tol:
+                out.append(i)
+        return out
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, p: Point, boundary: bool = True) -> bool:
+        """Point-in-polygon test (ray casting, boundary-inclusive by default)."""
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        pad = 1e-7
+        if not (xmin - pad <= p.x <= xmax + pad and ymin - pad <= p.y <= ymax + pad):
+            return False
+        for edge in self.edges():
+            if edge.contains_point(p):
+                return boundary
+        inside = False
+        n = len(self.vertices)
+        j = n - 1
+        for i in range(n):
+            vi, vj = self.vertices[i], self.vertices[j]
+            if (vi.y > p.y) != (vj.y > p.y):
+                x_cross = vj.x + (p.y - vj.y) * (vi.x - vj.x) / (vi.y - vj.y)
+                if p.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def intersects_segment(self, seg: Segment) -> bool:
+        """True when ``seg`` crosses or touches the polygon boundary."""
+        return any(segments_intersect(seg, edge) for edge in self.edges())
+
+    def segment_crosses_interior(self, seg: Segment) -> bool:
+        """True when any interior portion of ``seg`` lies strictly inside.
+
+        Used for obstacle blocking tests: a radio path is blocked by an
+        obstacle polygon iff some part of the path passes through its
+        interior (merely grazing a wall or corner does not count).  Convex
+        polygons use exact Cyrus-Beck clipping; non-convex ones fall back
+        to dense point sampling.
+        """
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        if (
+            max(seg.a.x, seg.b.x) < xmin - EPS
+            or min(seg.a.x, seg.b.x) > xmax + EPS
+            or max(seg.a.y, seg.b.y) < ymin - EPS
+            or min(seg.a.y, seg.b.y) > ymax + EPS
+        ):
+            return False
+        if self.is_convex():
+            interval = self._clip_segment_convex(seg)
+            if interval is None:
+                return False
+            t0, t1 = interval
+            if t1 - t0 <= 1e-9:
+                return False
+            # Positive overlap length; confirm the overlap midpoint is
+            # strictly interior (rules out sliding along an edge).
+            mid = seg.a + (seg.b - seg.a) * ((t0 + t1) / 2.0)
+            return self.contains(mid, boundary=False)
+        samples = 16
+        for k in range(1, samples):
+            t = k / samples
+            p = seg.a + (seg.b - seg.a) * t
+            if self.contains(p, boundary=False):
+                return True
+        return self.contains(seg.midpoint(), boundary=False)
+
+    def _clip_segment_convex(self, seg: Segment) -> tuple[float, float] | None:
+        """Cyrus-Beck: parameter interval of ``seg`` inside this convex
+        polygon, or ``None`` when disjoint."""
+        dx = seg.b.x - seg.a.x
+        dy = seg.b.y - seg.a.y
+        t0, t1 = 0.0, 1.0
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            # Inward normal of CCW edge p->q is (-(q.y-p.y), q.x-p.x).
+            nx = -(q.y - p.y)
+            ny = q.x - p.x
+            denom = nx * dx + ny * dy
+            num = nx * (p.x - seg.a.x) + ny * (p.y - seg.a.y)
+            if abs(denom) <= EPS:
+                if num > EPS:  # segment parallel and fully outside this edge
+                    return None
+                continue
+            t = num / denom
+            if denom < 0:  # entering to leaving as t grows: this is an exit
+                t1 = min(t1, t)
+            else:
+                t0 = max(t0, t)
+            if t0 > t1:
+                return None
+        return (t0, t1)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_points(
+        self, count: int, rng: np.random.Generator, margin: float = 0.0
+    ) -> list[Point]:
+        """Uniformly sample ``count`` interior points by rejection.
+
+        ``margin`` shrinks the acceptance region away from the boundary by
+        requiring sampled points to keep that distance from every edge.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        out: list[Point] = []
+        attempts = 0
+        max_attempts = max(1000, 2000 * max(count, 1))
+        edges = self.edges()
+        while len(out) < count:
+            attempts += 1
+            if attempts > max_attempts:
+                raise RuntimeError(
+                    "rejection sampling failed; polygon too thin for margin "
+                    f"{margin}"
+                )
+            p = Point(
+                float(rng.uniform(xmin, xmax)), float(rng.uniform(ymin, ymax))
+            )
+            if not self.contains(p, boundary=False):
+                continue
+            if margin > 0.0:
+                from .primitives import distance_point_to_segment
+
+                if any(distance_point_to_segment(p, e) < margin for e in edges):
+                    continue
+            out.append(p)
+        return out
+
+    def grid_points(self, spacing: float, margin: float = 0.0) -> list[Point]:
+        """Interior points on a regular grid with the given spacing."""
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        from .primitives import distance_point_to_segment
+
+        edges = self.edges()
+        pts: list[Point] = []
+        y = ymin + spacing / 2.0
+        while y < ymax:
+            x = xmin + spacing / 2.0
+            while x < xmax:
+                p = Point(x, y)
+                if self.contains(p, boundary=False) and (
+                    margin <= 0.0
+                    or all(
+                        distance_point_to_segment(p, e) >= margin for e in edges
+                    )
+                ):
+                    pts.append(p)
+                x += spacing
+            y += spacing
+        return pts
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """A copy of the polygon shifted by ``(dx, dy)``."""
+        return Polygon(tuple(Point(p.x + dx, p.y + dy) for p in self.vertices))
+
+    def __contains__(self, p: Point) -> bool:
+        return self.contains(p)

@@ -1,0 +1,215 @@
+"""Planar geometric primitives used throughout the NomLoc reproduction.
+
+Everything in the system lives in a 2-D floor plan, so the primitives are
+deliberately small: an immutable :class:`Point`, an immutable
+:class:`Segment`, and a handful of exact-ish predicates built on top of a
+signed-area orientation test.  All coordinates are metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Segment",
+    "orientation",
+    "cross",
+    "dot",
+    "segments_intersect",
+    "segment_intersection_point",
+    "distance_point_to_segment",
+]
+
+#: Absolute tolerance used by the geometric predicates.  Floor plans are a
+#: few tens of metres across, so nanometre precision is ample slack.
+EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (or free vector) in the floor-plan plane, in metres."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` (Eq. 5 of the paper)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def norm(self) -> float:
+        """Euclidean norm when the point is interpreted as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def almost_equals(self, other: "Point", tol: float = EPS) -> bool:
+        """True when both coordinates agree within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``; convenient for numpy interop."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def centroid(points: Iterable["Point"]) -> "Point":
+        """Arithmetic mean of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("centroid of an empty point set is undefined")
+        sx = sum(p.x for p in pts)
+        sy = sum(p.y for p in pts)
+        return Point(sx / len(pts), sy / len(pts))
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A closed line segment between two points."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        """The point halfway between the endpoints."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def direction(self) -> Point:
+        """Unit direction vector from ``a`` to ``b``."""
+        d = self.b - self.a
+        n = d.norm()
+        if n <= EPS:
+            raise ValueError("degenerate segment has no direction")
+        return d / n
+
+    def normal(self) -> Point:
+        """Unit normal (left of the a→b direction)."""
+        d = self.direction()
+        return Point(-d.y, d.x)
+
+    def contains_point(self, p: Point, tol: float = 1e-7) -> bool:
+        """True when ``p`` lies on the segment within ``tol`` metres."""
+        return distance_point_to_segment(p, self) <= tol
+
+
+def cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of ``(a - o) x (b - o)``; twice the signed triangle area."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def dot(u: Point, v: Point) -> float:
+    """Dot product of two points interpreted as vectors."""
+    return u.x * v.x + u.y * v.y
+
+
+def orientation(o: Point, a: Point, b: Point, tol: float = EPS) -> int:
+    """Orientation of the triple ``(o, a, b)``.
+
+    Returns ``+1`` for a counter-clockwise turn, ``-1`` for clockwise and
+    ``0`` when the three points are collinear within ``tol``.
+    """
+    c = cross(o, a, b)
+    if c > tol:
+        return 1
+    if c < -tol:
+        return -1
+    return 0
+
+
+def _on_segment_collinear(p: Point, q: Point, r: Point) -> bool:
+    """Assuming p, q, r collinear: does ``q`` lie on segment ``pr``?"""
+    return (
+        min(p.x, r.x) - EPS <= q.x <= max(p.x, r.x) + EPS
+        and min(p.y, r.y) - EPS <= q.y <= max(p.y, r.y) + EPS
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when the two closed segments share at least one point."""
+    p1, q1, p2, q2 = s1.a, s1.b, s2.a, s2.b
+    o1 = orientation(p1, q1, p2)
+    o2 = orientation(p1, q1, q2)
+    o3 = orientation(p2, q2, p1)
+    o4 = orientation(p2, q2, q1)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment_collinear(p1, p2, q1):
+        return True
+    if o2 == 0 and _on_segment_collinear(p1, q2, q1):
+        return True
+    if o3 == 0 and _on_segment_collinear(p2, p1, q2):
+        return True
+    if o4 == 0 and _on_segment_collinear(p2, q1, q2):
+        return True
+    return False
+
+
+def segment_intersection_point(s1: Segment, s2: Segment) -> Point | None:
+    """Intersection point of two segments, or ``None``.
+
+    Collinear-overlap cases return the midpoint of the overlap region so
+    callers always get a representative point when an intersection exists.
+    """
+    p = s1.a
+    r = s1.b - s1.a
+    q = s2.a
+    s = s2.b - s2.a
+    denom = r.x * s.y - r.y * s.x
+    qp = q - p
+    if abs(denom) <= EPS:
+        # Parallel.  Overlap only when also collinear.
+        if abs(qp.x * r.y - qp.y * r.x) > EPS:
+            return None
+        if not segments_intersect(s1, s2):
+            return None
+        # Project the four endpoints onto r and take the overlap midpoint.
+        rr = dot(r, r)
+        if rr <= EPS:  # s1 degenerate
+            return p if s2.contains_point(p) else None
+        t0 = dot(qp, r) / rr
+        t1 = dot(s2.b - p, r) / rr
+        lo, hi = max(0.0, min(t0, t1)), min(1.0, max(t0, t1))
+        tm = (lo + hi) / 2.0
+        return p + r * tm
+    t = (qp.x * s.y - qp.y * s.x) / denom
+    u = (qp.x * r.y - qp.y * r.x) / denom
+    if -EPS <= t <= 1 + EPS and -EPS <= u <= 1 + EPS:
+        return p + r * t
+    return None
+
+
+def distance_point_to_segment(p: Point, seg: Segment) -> float:
+    """Shortest Euclidean distance from ``p`` to the closed segment."""
+    d = seg.b - seg.a
+    dd = dot(d, d)
+    if dd <= EPS:
+        # Near-degenerate segment: the endpoints may still be up to
+        # sqrt(EPS) apart, so take the nearer one.
+        return min(p.distance_to(seg.a), p.distance_to(seg.b))
+    t = dot(p - seg.a, d) / dd
+    t = max(0.0, min(1.0, t))
+    closest = seg.a + d * t
+    return p.distance_to(closest)

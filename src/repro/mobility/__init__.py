@@ -1,0 +1,27 @@
+"""Nomadic-AP mobility: Markov walks, traces, position errors, patterns."""
+
+from .errors import PositionErrorModel
+from .markov import MarkovMobilityModel
+from .patterns import (
+    HotspotPattern,
+    MarkovPattern,
+    MobilityPattern,
+    PatrolPattern,
+    StaticPattern,
+    SweepPattern,
+)
+from .traces import MobilityTrace, TraceStep, generate_trace
+
+__all__ = [
+    "MarkovMobilityModel",
+    "PositionErrorModel",
+    "TraceStep",
+    "MobilityTrace",
+    "generate_trace",
+    "MobilityPattern",
+    "MarkovPattern",
+    "PatrolPattern",
+    "SweepPattern",
+    "StaticPattern",
+    "HotspotPattern",
+]

@@ -1,0 +1,48 @@
+"""Position-error injection for nomadic AP coordinates (Sec. V-E).
+
+The paper evaluates robustness by "intentionally add[ing] random errors to
+the position information of the nomadic AP with error range (ER) from 0 to
+3 m".  :class:`PositionErrorModel` implements that perturbation: a uniform
+random direction and a uniform radius within the error range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Point
+
+__all__ = ["PositionErrorModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class PositionErrorModel:
+    """Uniform-disk position noise with a hard error range.
+
+    Attributes
+    ----------
+    error_range_m:
+        The paper's ER parameter; reported positions land uniformly in a
+        disk of this radius around the truth.  Zero disables the noise.
+    """
+
+    error_range_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.error_range_m < 0:
+            raise ValueError("error range must be non-negative")
+
+    def perturb(self, true_position: Point, rng: np.random.Generator) -> Point:
+        """Reported position for one measurement site."""
+        if self.error_range_m == 0.0:
+            return true_position
+        # Uniform over the disk: radius ~ sqrt(U) * ER.
+        radius = self.error_range_m * math.sqrt(float(rng.uniform(0.0, 1.0)))
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        return Point(
+            true_position.x + radius * math.cos(angle),
+            true_position.y + radius * math.sin(angle),
+        )

@@ -1,0 +1,91 @@
+"""Markov-chain mobility over discrete sites (the paper's model, Sec. V-A).
+
+"The mobile traces of nomadic APs are characterized by random walk built on
+a Markov chain.  The nomadic AP is assumed to be moving among several
+discrete sites with a preset transition probability."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Point
+
+__all__ = ["MarkovMobilityModel"]
+
+
+@dataclass(frozen=True)
+class MarkovMobilityModel:
+    """Random walk over a finite site set with a transition matrix.
+
+    Attributes
+    ----------
+    sites:
+        The discrete positions the AP measures from.
+    transition:
+        Row-stochastic ``(S, S)`` matrix; ``transition[i, j]`` is the
+        probability of moving from site ``i`` to site ``j``.  Defaults to
+        the uniform walk the paper uses ("randomly moves among current
+        location and {P1, P2, P3}").
+    """
+
+    sites: tuple[Point, ...]
+    transition: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(self.sites) < 1:
+            raise ValueError("need at least one site")
+        s = len(self.sites)
+        if self.transition is None:
+            matrix = np.full((s, s), 1.0 / s)
+        else:
+            matrix = np.asarray(self.transition, dtype=float)
+        if matrix.shape != (s, s):
+            raise ValueError(f"transition matrix must be {s}x{s}")
+        if np.any(matrix < 0):
+            raise ValueError("transition probabilities must be non-negative")
+        if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition matrix rows must sum to 1")
+        object.__setattr__(self, "transition", matrix)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def step(self, current: int, rng: np.random.Generator) -> int:
+        """One transition from site index ``current``."""
+        if not 0 <= current < self.num_sites:
+            raise IndexError(f"site index {current} out of range")
+        return int(rng.choice(self.num_sites, p=self.transition[current]))
+
+    def walk(
+        self, num_steps: int, rng: np.random.Generator, start: int = 0
+    ) -> list[int]:
+        """A ``num_steps``-long site-index sequence starting at ``start``.
+
+        The starting site is included, so the result has
+        ``num_steps`` entries and ``num_steps - 1`` transitions.
+        """
+        if num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+        if not 0 <= start < self.num_sites:
+            raise IndexError(f"start index {start} out of range")
+        indices = [start]
+        for _ in range(num_steps - 1):
+            indices.append(self.step(indices[-1], rng))
+        return indices
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi P = pi``.
+
+        Computed from the eigenvector of ``P^T`` at eigenvalue 1; assumes
+        the chain has a unique stationary distribution (true for the
+        uniform default).
+        """
+        values, vectors = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(values - 1.0)))
+        pi = np.real(vectors[:, idx])
+        pi = np.abs(pi)
+        return pi / pi.sum()

@@ -1,0 +1,134 @@
+"""Movement patterns for nomadic APs (paper future work, Sec. VI).
+
+"Another extension to our NomLoc system would be to understand the impact
+of moving patterns of nomadic APs on the overall performance."  These
+pattern generators all emit site-index sequences compatible with
+:func:`repro.mobility.traces.generate_trace`'s site semantics, so the
+pattern study (EXT-PATTERN) can swap them freely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .markov import MarkovMobilityModel
+
+__all__ = [
+    "MobilityPattern",
+    "MarkovPattern",
+    "PatrolPattern",
+    "SweepPattern",
+    "StaticPattern",
+    "HotspotPattern",
+]
+
+
+class MobilityPattern(ABC):
+    """A strategy for visiting a finite site set."""
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ValueError("need at least one site")
+        self.num_sites = num_sites
+
+    @abstractmethod
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` site indices."""
+
+    def _check_steps(self, num_steps: int) -> None:
+        if num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+
+
+class MarkovPattern(MobilityPattern):
+    """The paper's uniform Markov random walk, as a pattern."""
+
+    def __init__(self, model: MarkovMobilityModel, start: int = 0) -> None:
+        super().__init__(model.num_sites)
+        self.model = model
+        self.start = start
+
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` indices by walking the Markov chain."""
+        self._check_steps(num_steps)
+        return self.model.walk(num_steps, rng, self.start)
+
+
+class PatrolPattern(MobilityPattern):
+    """Ping-pong patrol: 0, 1, ..., S-1, S-2, ..., 0, 1, ...
+
+    Models a security guard walking a beat back and forth.
+    """
+
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` indices walking the beat back and forth."""
+        self._check_steps(num_steps)
+        if self.num_sites == 1:
+            return [0] * num_steps
+        period = list(range(self.num_sites)) + list(
+            range(self.num_sites - 2, 0, -1)
+        )
+        return [period[i % len(period)] for i in range(num_steps)]
+
+
+class SweepPattern(MobilityPattern):
+    """Cyclic sweep: 0, 1, ..., S-1, 0, 1, ...
+
+    Models a greeter circling a fixed route.
+    """
+
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` indices cycling through the sites."""
+        self._check_steps(num_steps)
+        return [i % self.num_sites for i in range(num_steps)]
+
+
+class StaticPattern(MobilityPattern):
+    """Never moves — degenerates NomLoc to the static deployment."""
+
+    def __init__(self, num_sites: int, home: int = 0) -> None:
+        super().__init__(num_sites)
+        if not 0 <= home < num_sites:
+            raise IndexError("home site out of range")
+        self.home = home
+
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` copies of the home site index."""
+        self._check_steps(num_steps)
+        return [self.home] * num_steps
+
+
+@dataclass(frozen=True)
+class _HotspotWeights:
+    weights: np.ndarray
+
+
+class HotspotPattern(MobilityPattern):
+    """Biased random choice: dwell mostly at one popular site.
+
+    Models a shop greeter who hovers near the entrance but occasionally
+    wanders.  ``bias`` is the probability mass on the hotspot; the rest is
+    spread uniformly.
+    """
+
+    def __init__(self, num_sites: int, hotspot: int = 0, bias: float = 0.7) -> None:
+        super().__init__(num_sites)
+        if not 0 <= hotspot < num_sites:
+            raise IndexError("hotspot site out of range")
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must be in [0, 1]")
+        weights = np.full(num_sites, (1.0 - bias) / max(num_sites - 1, 1))
+        weights[hotspot] = bias if num_sites > 1 else 1.0
+        self._weights = _HotspotWeights(weights / weights.sum())
+        self.hotspot = hotspot
+
+    def generate(self, num_steps: int, rng: np.random.Generator) -> list[int]:
+        """Emit ``num_steps`` biased i.i.d. site choices."""
+        self._check_steps(num_steps)
+        return [
+            int(rng.choice(self.num_sites, p=self._weights.weights))
+            for _ in range(num_steps)
+        ]

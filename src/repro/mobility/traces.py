@@ -1,0 +1,102 @@
+"""Mobility traces: ground-truth walks plus reported (noisy) coordinates.
+
+A trace is what the localization server actually receives from a nomadic
+AP: the sequence of sites it measured from, with the coordinates it
+*reported* — which may differ from the truth by the position-error model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Point
+from .errors import PositionErrorModel
+from .markov import MarkovMobilityModel
+
+__all__ = ["TraceStep", "MobilityTrace", "generate_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One dwell of the nomadic AP at a measurement site.
+
+    Attributes
+    ----------
+    site_index:
+        Index into the mobility model's site set.
+    true_position:
+        Where the AP actually is.
+    reported_position:
+        Where the AP *says* it is (position error applied).
+    """
+
+    site_index: int
+    true_position: Point
+    reported_position: Point
+
+    @property
+    def report_error_m(self) -> float:
+        """Distance between truth and report."""
+        return self.true_position.distance_to(self.reported_position)
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """An ordered sequence of nomadic-AP dwells."""
+
+    steps: tuple[TraceStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def visited_site_indices(self) -> list[int]:
+        """Distinct sites visited, in first-visit order."""
+        seen: list[int] = []
+        for step in self.steps:
+            if step.site_index not in seen:
+                seen.append(step.site_index)
+        return seen
+
+    def unique_steps(self) -> list[TraceStep]:
+        """First dwell at each distinct site, in first-visit order.
+
+        Repeated visits to a site add no *new* space-partition constraints
+        (same bisectors), so the localizer consumes this view.
+        """
+        seen: set[int] = set()
+        out: list[TraceStep] = []
+        for step in self.steps:
+            if step.site_index not in seen:
+                seen.add(step.site_index)
+                out.append(step)
+        return out
+
+    def mean_report_error_m(self) -> float:
+        """Average position-report error over the trace."""
+        if not self.steps:
+            return 0.0
+        return sum(s.report_error_m for s in self.steps) / len(self.steps)
+
+
+def generate_trace(
+    model: MarkovMobilityModel,
+    num_steps: int,
+    rng: np.random.Generator,
+    error_model: PositionErrorModel | None = None,
+    start: int = 0,
+) -> MobilityTrace:
+    """Walk the Markov chain and stamp each dwell with reported coordinates."""
+    error_model = error_model or PositionErrorModel(0.0)
+    indices = model.walk(num_steps, rng, start)
+    steps = []
+    for idx in indices:
+        true_pos = model.sites[idx]
+        steps.append(
+            TraceStep(idx, true_pos, error_model.perturb(true_pos, rng))
+        )
+    return MobilityTrace(tuple(steps))

@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the NomLoc system data path (Fig. 2)."""
+
+from .messages import CSIReport, LocationFix, ProbePacket
+from .network import NomLocNetwork
+from .nodes import (
+    APNode,
+    MovingObjectNode,
+    NetworkConfig,
+    NomadicAPNode,
+    ObjectNode,
+    ServerNode,
+)
+from .simulator import EventSimulator
+
+__all__ = [
+    "EventSimulator",
+    "ProbePacket",
+    "CSIReport",
+    "LocationFix",
+    "NetworkConfig",
+    "ObjectNode",
+    "MovingObjectNode",
+    "APNode",
+    "NomadicAPNode",
+    "ServerNode",
+    "NomLocNetwork",
+]

@@ -1,0 +1,78 @@
+"""Messages on the NomLoc data path (Fig. 2).
+
+The object sends probe packets; APs export CSI measurement reports to the
+localization server; nomadic APs additionally stamp their reports with the
+coordinates of the site they measured from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..channel import CSIMeasurement
+from ..geometry import Point
+
+__all__ = ["ProbePacket", "CSIReport", "LocationFix"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbePacket:
+    """One PING-style probe emitted by the object.
+
+    Attributes
+    ----------
+    seq:
+        Monotone sequence number.
+    sent_at:
+        Virtual send time in seconds.
+    object_id:
+        Identifier of the transmitting object.
+    """
+
+    seq: int
+    sent_at: float
+    object_id: str = "object"
+
+
+@dataclass(frozen=True)
+class CSIReport:
+    """A batch of CSI snapshots exported by one AP to the server.
+
+    Attributes
+    ----------
+    ap_name:
+        Reporting AP; for nomadic APs this includes the site suffix.
+    reported_position:
+        Where the AP claims the measurements were taken (nomadic position
+        error applies here).
+    measurements:
+        The CSI snapshots of the batch.
+    nomadic:
+        True when the reporting AP is nomadic.
+    exported_at:
+        Virtual time the batch left the AP.
+    object_id:
+        The object whose probes produced these measurements.
+    """
+
+    ap_name: str
+    reported_position: Point
+    measurements: tuple[CSIMeasurement, ...]
+    nomadic: bool
+    exported_at: float
+    object_id: str = "object"
+
+    def __post_init__(self) -> None:
+        if not self.measurements:
+            raise ValueError("a CSI report must carry at least one snapshot")
+
+
+@dataclass(frozen=True, slots=True)
+class LocationFix:
+    """One position estimate produced by the server."""
+
+    object_id: str
+    position: Point
+    produced_at: float
+    num_reports: int
+    relaxation_cost: float

@@ -1,0 +1,209 @@
+"""Wiring a scenario into a running NomLoc network simulation.
+
+:class:`NomLocNetwork` assembles the full Fig. 2 deployment — one object,
+the scenario's static and nomadic APs, and the localization server — on a
+shared event simulator, and runs it for a span of virtual time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel import CSISynthesizer, LinkSimulator, PropagationModel
+from ..core import LocalizerConfig, NomLocLocalizer
+from ..environment import Scenario
+from ..geometry import Point
+from ..mobility import MarkovMobilityModel, PositionErrorModel
+from .messages import LocationFix
+from .nodes import (
+    APNode,
+    MovingObjectNode,
+    NetworkConfig,
+    NomadicAPNode,
+    ObjectNode,
+    ServerNode,
+)
+from .simulator import EventSimulator
+
+__all__ = ["NomLocNetwork"]
+
+
+class NomLocNetwork:
+    """A complete simulated NomLoc deployment.
+
+    Parameters
+    ----------
+    scenario:
+        Venue and AP deployment.
+    object_position:
+        Where the target stands during the run.
+    config:
+        Data-path timing/reliability parameters.
+    localizer_config:
+        SP localizer knobs used by the server.
+    error_model:
+        Position-error model applied to nomadic coordinate reports.
+    seed:
+        Seeds all stochastic components.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        object_position: Point,
+        config: NetworkConfig | None = None,
+        localizer_config: LocalizerConfig | None = None,
+        error_model: PositionErrorModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or NetworkConfig()
+        self.sim = EventSimulator()
+        rng = np.random.default_rng(seed)
+
+        link_sim = LinkSimulator(
+            scenario.plan,
+            CSISynthesizer(
+                propagation=PropagationModel(
+                    path_loss_exponent=scenario.path_loss_exponent
+                )
+            ),
+        )
+        self.server = ServerNode(
+            NomLocLocalizer(scenario.plan.boundary, localizer_config)
+        )
+        self.object = ObjectNode(self.sim, object_position, self.config)
+        self.objects: list[ObjectNode] = [self.object]
+        self.aps: list[APNode] = []
+        for ap in scenario.aps:
+            node_rng = np.random.default_rng(rng.integers(0, 2**63))
+            if ap.nomadic:
+                node = NomadicAPNode(
+                    self.sim,
+                    ap.name,
+                    MarkovMobilityModel(ap.sites),
+                    link_sim,
+                    self.server,
+                    self.config,
+                    node_rng,
+                    error_model,
+                )
+            else:
+                node = APNode(
+                    self.sim,
+                    ap.name,
+                    ap.position,
+                    link_sim,
+                    self.server,
+                    self.config,
+                    node_rng,
+                )
+            self.aps.append(node)
+            self.object.register_ap(node)
+
+    def add_object(self, position: Point, object_id: str) -> ObjectNode:
+        """Register an additional target to localize concurrently."""
+        if any(o.object_id == object_id for o in self.objects):
+            raise ValueError(f"duplicate object id {object_id!r}")
+        node = ObjectNode(self.sim, position, self.config, object_id)
+        for ap in self.aps:
+            node.register_ap(ap)
+        self.objects.append(node)
+        return node
+
+    def run(self, duration_s: float) -> LocationFix:
+        """Run the deployment for ``duration_s`` and produce a fix.
+
+        Starts every object's probing and the nomadic walks, drains the
+        event queue up to the deadline, flushes stragglers, and asks the
+        server for a fix of the primary object.  Fixes for additional
+        objects are available via :meth:`fix_for`.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        for obj in self.objects:
+            obj.start()
+        for ap in self.aps:
+            if isinstance(ap, NomadicAPNode):
+                ap.start_moving()
+        self.sim.run(until=duration_s)
+        for obj in self.objects:
+            obj.stop()
+        for ap in self.aps:
+            if isinstance(ap, NomadicAPNode):
+                ap.stop_moving()
+            ap.flush()
+        # Deliver the final in-flight reports.
+        self.sim.run(until=duration_s + 10 * self.config.report_latency_s)
+        return self.server.produce_fix(self.sim.now, self.object.object_id)
+
+    def fix_for(self, object_id: str) -> LocationFix:
+        """Produce a fix for one of the registered objects."""
+        return self.server.produce_fix(self.sim.now, object_id)
+
+    def add_moving_object(self, trajectory, object_id: str) -> MovingObjectNode:
+        """Register a target that walks ``trajectory`` while probing."""
+        if any(o.object_id == object_id for o in self.objects):
+            raise ValueError(f"duplicate object id {object_id!r}")
+        node = MovingObjectNode(self.sim, trajectory, self.config, object_id)
+        for ap in self.aps:
+            node.register_ap(ap)
+        self.objects.append(node)
+        return node
+
+    def run_streaming(
+        self,
+        duration_s: float,
+        fix_interval_s: float,
+        window_s: float,
+        object_id: str = "object",
+    ) -> list[LocationFix]:
+        """Run the deployment and emit periodic windowed fixes.
+
+        The server produces one fix every ``fix_interval_s`` from the
+        trailing ``window_s`` of measurements — the real-time tracking
+        mode for moving targets.  Returns the fix stream in time order.
+        """
+        if duration_s <= 0 or fix_interval_s <= 0 or window_s <= 0:
+            raise ValueError("durations must be positive")
+        fixes: list[LocationFix] = []
+
+        def emit() -> None:
+            # Flush AP batches so the window reflects recent probes even
+            # when batches fill slowly.
+            for ap in self.aps:
+                ap.flush()
+
+            def produce() -> None:
+                try:
+                    fixes.append(
+                        self.server.produce_fix(
+                            self.sim.now, object_id, window_s
+                        )
+                    )
+                except ValueError:
+                    pass  # not enough anchors heard yet
+                self.sim.schedule(
+                    max(
+                        fix_interval_s - 2 * self.config.report_latency_s,
+                        fix_interval_s / 2,
+                    ),
+                    emit,
+                )
+
+            # Give the flushed reports time to arrive before localizing.
+            self.sim.schedule(2 * self.config.report_latency_s, produce)
+
+        for obj in self.objects:
+            obj.start()
+        for ap in self.aps:
+            if isinstance(ap, NomadicAPNode):
+                ap.start_moving()
+        self.sim.schedule(fix_interval_s, emit)
+        self.sim.run(until=duration_s)
+        for obj in self.objects:
+            obj.stop()
+        for ap in self.aps:
+            if isinstance(ap, NomadicAPNode):
+                ap.stop_moving()
+        return fixes

@@ -1,0 +1,100 @@
+"""Minimal discrete-event simulator.
+
+Drives the NomLoc data path of Fig. 2 (object pings, AP measurement
+batches, server aggregation) in virtual time.  Heap-based, deterministic:
+events at equal timestamps fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventSimulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventSimulator:
+    """A virtual clock with a heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns a handle that can be passed to :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = _Event(self._now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        event = _Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is left at
+            ``until``).  ``None`` drains the queue.
+        max_events:
+            Safety valve against runaway self-rescheduling loops.
+        """
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events}; runaway schedule?"
+                )
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(not e.cancelled for e in self._heap)

@@ -1,0 +1,24 @@
+"""From-scratch linear-programming substrate (simplex + interior point).
+
+Replaces the CVX solver the paper uses: a two-phase tableau simplex for the
+weighted relaxation LP (Eq. 19) and a log-barrier Newton solver for the
+analytic "centre of the feasible region" the paper extracts from CVX's
+interior-point method.
+"""
+
+from .chebyshev import chebyshev_center
+from .interior_point import analytic_center, barrier_solve_lp
+from .linprog import InequalityLP, solve_lp
+from .simplex import simplex_standard_form
+from .types import LPResult, LPStatus
+
+__all__ = [
+    "LPResult",
+    "LPStatus",
+    "InequalityLP",
+    "solve_lp",
+    "simplex_standard_form",
+    "chebyshev_center",
+    "analytic_center",
+    "barrier_solve_lp",
+]

@@ -1,0 +1,147 @@
+"""Inequality-form LP facade over the simplex core.
+
+NomLoc's optimization problems arrive in the natural inequality form
+
+    minimize    c . x
+    subject to  A x <= b
+
+with *free* (sign-unrestricted) variables — the position ``z`` may be
+anywhere in the plane, and the relaxation variables ``t`` are non-negative.
+This module converts that form to the standard form the tableau simplex
+consumes (free variables split as ``x = x+ - x-``, slacks appended) and maps
+the solution back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .simplex import simplex_standard_form
+from .types import LPResult, LPStatus
+
+__all__ = ["InequalityLP", "solve_lp"]
+
+
+@dataclass(frozen=True)
+class InequalityLP:
+    """``min c.x  s.t.  a_ub x <= b_ub`` with per-variable sign info.
+
+    Attributes
+    ----------
+    c:
+        Cost vector, length ``n``.
+    a_ub, b_ub:
+        Inequality stack, ``(m, n)`` and ``(m,)``.
+    nonneg:
+        Boolean mask of length ``n``; ``True`` entries are constrained to
+        ``x_i >= 0``, ``False`` entries are free.
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    nonneg: np.ndarray
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.c, dtype=float).ravel()
+        a = np.atleast_2d(np.asarray(self.a_ub, dtype=float))
+        b = np.asarray(self.b_ub, dtype=float).ravel()
+        nn = np.asarray(self.nonneg, dtype=bool).ravel()
+        if a.shape[1] != c.size and not (a.size == 0 and c.size >= 0):
+            raise ValueError(
+                f"a_ub has {a.shape[1]} columns but c has {c.size} entries"
+            )
+        if a.shape[0] != b.size:
+            raise ValueError("a_ub and b_ub row counts differ")
+        if nn.size != c.size:
+            raise ValueError("nonneg mask length must match variable count")
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "a_ub", a)
+        object.__setattr__(self, "b_ub", b)
+        object.__setattr__(self, "nonneg", nn)
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.size
+
+    @property
+    def num_constraints(self) -> int:
+        return self.b_ub.size
+
+
+def solve_lp(
+    c: Sequence[float] | np.ndarray,
+    a_ub: Sequence[Sequence[float]] | np.ndarray,
+    b_ub: Sequence[float] | np.ndarray,
+    nonneg: Sequence[bool] | np.ndarray | None = None,
+    max_iterations: int = 10_000,
+) -> LPResult:
+    """Solve ``min c.x  s.t.  a_ub x <= b_ub``.
+
+    Parameters
+    ----------
+    nonneg:
+        Mask of variables constrained to be non-negative.  ``None`` means
+        all variables are free (the natural setting for planar positions).
+
+    Returns
+    -------
+    LPResult
+        ``x`` has the original variable count and ordering.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    if nonneg is None:
+        nonneg = np.zeros(c.size, dtype=bool)
+    problem = InequalityLP(c, np.asarray(a_ub, dtype=float), b_ub, nonneg)
+    return _solve(problem, max_iterations)
+
+
+def _solve(problem: InequalityLP, max_iterations: int) -> LPResult:
+    n = problem.num_vars
+    m = problem.num_constraints
+    free = ~problem.nonneg
+    num_free = int(free.sum())
+
+    # Column layout of the standard-form variable vector:
+    #   [x_nonneg..., x_free_plus..., x_free_minus..., slack...]
+    # Every standard-form variable is >= 0.
+    total = n + num_free + m
+    c_std = np.zeros(total)
+    a_std = np.zeros((m, total))
+    b_std = problem.b_ub.copy()
+
+    # Map original variable j -> its positive-part column.
+    plus_col = np.arange(n)
+    minus_col = np.full(n, -1)
+    next_col = n
+    for j in np.flatnonzero(free):
+        minus_col[j] = next_col
+        next_col += 1
+
+    c_std[plus_col] = problem.c
+    for j in np.flatnonzero(free):
+        c_std[minus_col[j]] = -problem.c[j]
+
+    if m:
+        a_std[:, :n] = problem.a_ub
+        for j in np.flatnonzero(free):
+            a_std[:, minus_col[j]] = -problem.a_ub[:, j]
+        a_std[:, n + num_free :] = np.eye(m)
+
+    result = simplex_standard_form(c_std, a_std, b_std, max_iterations)
+    if not result.ok:
+        return result
+
+    x = result.x[plus_col].copy()
+    for j in np.flatnonzero(free):
+        x[j] -= result.x[minus_col[j]]
+    return LPResult(
+        LPStatus.OPTIMAL,
+        x,
+        float(problem.c @ x),
+        result.iterations,
+        result.message,
+    )

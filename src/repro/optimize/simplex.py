@@ -1,0 +1,178 @@
+"""Two-phase dense tableau simplex, written from scratch.
+
+The paper solves its location-estimation LPs with CVX; this module is the
+self-contained replacement.  It solves the standard form
+
+    minimize    c . x
+    subject to  A x = b,   x >= 0
+
+with a Phase-I artificial-variable start and Bland's anti-cycling rule.
+Problems in inequality form (including free variables) are converted by
+:func:`repro.optimize.linprog.solve_lp`, which is what the rest of the
+codebase calls.
+
+The constraint stacks NomLoc produces are tiny (tens of rows), so a dense
+tableau is both the simplest and the fastest-in-practice choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import LPResult, LPStatus
+
+__all__ = ["simplex_standard_form"]
+
+_TOL = 1e-9
+
+
+def simplex_standard_form(
+    c: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    max_iterations: int = 10_000,
+) -> LPResult:
+    """Solve ``min c.x  s.t.  a_eq x = b_eq, x >= 0``.
+
+    Parameters
+    ----------
+    c, a_eq, b_eq:
+        Problem data; ``a_eq`` is ``(m, n)``.
+    max_iterations:
+        Combined pivot budget across both phases.
+
+    Returns
+    -------
+    LPResult
+        With ``x`` of length ``n`` on success.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    a = np.asarray(a_eq, dtype=float)
+    b = np.asarray(b_eq, dtype=float).ravel()
+    if a.ndim != 2:
+        raise ValueError("a_eq must be a 2-D matrix")
+    m, n = a.shape
+    if c.shape != (n,) or b.shape != (m,):
+        raise ValueError("inconsistent LP dimensions")
+
+    if m == 0:
+        # No constraints: optimum is 0 if c >= 0 (at x = 0), else unbounded.
+        if np.all(c >= -_TOL):
+            return LPResult(LPStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+        return LPResult(LPStatus.UNBOUNDED, message="no constraints, negative cost")
+
+    # Normalize to b >= 0 so the artificial basis is feasible.
+    a = a.copy()
+    b = b.copy()
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    # Phase I: minimize the sum of artificial variables.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    # Phase-I objective row: sum of artificial rows (reduced costs).
+    tableau[m, :n] = -a.sum(axis=0)
+    tableau[m, -1] = -b.sum()
+    basis = list(range(n, n + m))
+
+    status, iters1 = _run_pivots(tableau, basis, n + m, max_iterations)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, iterations=iters1, message="phase 1 failed")
+    if tableau[m, -1] < -1e-7:
+        return LPResult(
+            LPStatus.INFEASIBLE,
+            iterations=iters1,
+            message=f"phase-1 objective {-tableau[m, -1]:.3e} > 0",
+        )
+
+    # Drive any artificial variables out of the basis.
+    for row, var in enumerate(basis):
+        if var < n:
+            continue
+        pivot_col = next(
+            (
+                j
+                for j in range(n)
+                if abs(tableau[row, j]) > _TOL and j not in basis
+            ),
+            None,
+        )
+        if pivot_col is None:
+            # Redundant constraint row; the artificial stays basic at 0,
+            # which is harmless as long as its column is never re-entered.
+            continue
+        _pivot(tableau, row, pivot_col)
+        basis[row] = pivot_col
+
+    # Phase II: install the real objective expressed in the current basis.
+    tableau[m, :] = 0.0
+    tableau[m, :n] = c
+    for row, var in enumerate(basis):
+        if var < n and abs(c[var]) > 0:
+            tableau[m, :] -= c[var] * tableau[row, :]
+    # Artificial columns are forbidden from re-entering by restricting the
+    # entering-column scan to the first ``n`` columns below.
+    status, iters2 = _run_pivots(
+        tableau, basis, n, max_iterations - iters1, allowed_cols=n
+    )
+    iterations = iters1 + iters2
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, iterations=iterations, message="phase 2 failed")
+
+    x = np.zeros(n + m)
+    for row, var in enumerate(basis):
+        x[var] = tableau[row, -1]
+    solution = x[:n]
+    return LPResult(
+        LPStatus.OPTIMAL, solution, float(c @ solution), iterations
+    )
+
+
+def _run_pivots(
+    tableau: np.ndarray,
+    basis: list[int],
+    num_cols: int,
+    budget: int,
+    allowed_cols: int | None = None,
+) -> tuple[LPStatus, int]:
+    """Run simplex pivots in place until optimal/unbounded/budget."""
+    m = tableau.shape[0] - 1
+    limit = allowed_cols if allowed_cols is not None else num_cols
+    iterations = 0
+    while True:
+        if iterations >= budget:
+            return LPStatus.ITERATION_LIMIT, iterations
+        # Bland's rule: first improving column.
+        obj = tableau[m, :limit]
+        entering = next((j for j in range(limit) if obj[j] < -_TOL), None)
+        if entering is None:
+            return LPStatus.OPTIMAL, iterations
+        col = tableau[:m, entering]
+        ratios = np.full(m, np.inf)
+        positive = col > _TOL
+        ratios[positive] = tableau[:m, -1][positive] / col[positive]
+        if not np.isfinite(ratios).any():
+            return LPStatus.UNBOUNDED, iterations
+        best = ratios.min()
+        # Bland's rule on ties: leave the row whose basic variable has the
+        # smallest index.
+        candidates = [i for i in range(m) if ratios[i] <= best + _TOL]
+        leaving = min(candidates, key=lambda i: basis[i])
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+        iterations += 1
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gaussian pivot on ``tableau[row, col]`` in place."""
+    pivot_val = tableau[row, col]
+    tableau[row, :] /= pivot_val
+    m = tableau.shape[0]
+    for r in range(m):
+        if r != row and abs(tableau[r, col]) > 0:
+            factor = tableau[r, col]
+            if np.isfinite(factor):
+                tableau[r, :] -= factor * tableau[row, :]

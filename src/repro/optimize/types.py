@@ -1,0 +1,54 @@
+"""Result and status types shared by the LP solvers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LPStatus", "LPResult"]
+
+
+class LPStatus(enum.Enum):
+    """Terminal status of a linear-programming solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+    @property
+    def ok(self) -> bool:
+        """True when a usable optimal point was produced."""
+        return self is LPStatus.OPTIMAL
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an LP solve.
+
+    Attributes
+    ----------
+    status:
+        Terminal :class:`LPStatus`.
+    x:
+        Optimal point (empty array unless ``status.ok``).
+    objective:
+        Objective value at ``x`` (``nan`` unless ``status.ok``).
+    iterations:
+        Pivot / Newton iterations performed.
+    message:
+        Human-readable detail, mainly for failures.
+    """
+
+    status: LPStatus
+    x: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    objective: float = float("nan")
+    iterations: int = 0
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok

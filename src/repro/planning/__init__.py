@@ -1,0 +1,15 @@
+"""Deployment planning: partition quality, site selection, patrol routes."""
+
+from .cells import PartitionQuality, partition_quality
+from .site_selection import SitePlan, candidate_sites, select_sites
+from .tour import Tour, plan_tour
+
+__all__ = [
+    "PartitionQuality",
+    "partition_quality",
+    "SitePlan",
+    "candidate_sites",
+    "select_sites",
+    "Tour",
+    "plan_tour",
+]

@@ -1,0 +1,139 @@
+"""Greedy nomadic-site selection.
+
+Where should the nomadic AP measure from?  The paper leaves this implicit
+("the further the nomadic AP moves, the more CSI measurements"), and its
+related work optimizes *static* anchor layouts (maxL-minE, two-birds
+deployment).  This module answers the nomadic version: given the fixed
+APs, greedily pick the measurement sites that most improve the geometric
+partition quality of :mod:`repro.planning.cells`.
+
+Greedy selection on this objective is the classic submodular-style
+coverage heuristic: each step adds the candidate whose bisectors split
+the currently largest cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..environment import Scenario
+from ..geometry import Point, Polygon
+from .cells import PartitionQuality, partition_quality
+
+__all__ = ["SitePlan", "candidate_sites", "select_sites"]
+
+
+@dataclass(frozen=True)
+class SitePlan:
+    """Outcome of a site-selection run.
+
+    Attributes
+    ----------
+    sites:
+        Chosen measurement sites, in selection order (greedy marginal
+        value order, most valuable first).
+    quality:
+        Partition quality with all chosen sites included.
+    baseline_quality:
+        Partition quality with the static anchors only.
+    """
+
+    sites: tuple[Point, ...]
+    quality: PartitionQuality
+    baseline_quality: PartitionQuality
+
+    def improvement(self) -> float:
+        """Relative reduction of geometric mean error."""
+        if self.baseline_quality.mean_error_m <= 0:
+            return 0.0
+        return 1.0 - self.quality.mean_error_m / self.baseline_quality.mean_error_m
+
+
+def candidate_sites(
+    scenario: Scenario,
+    spacing_m: float = 2.0,
+    margin: float = 0.5,
+) -> list[Point]:
+    """Feasible candidate measurement sites: an obstacle-free venue grid."""
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    points = scenario.plan.boundary.grid_points(spacing_m, margin=margin)
+    return [
+        p
+        for p in points
+        if not any(
+            o.polygon.contains(p, boundary=False)
+            for o in scenario.plan.obstacles
+        )
+    ]
+
+
+def _score(quality: PartitionQuality, worst_weight: float) -> float:
+    """Scalar objective: mean error plus a blind-spot penalty.
+
+    Pure mean-error minimization over-refines the largest arm of a venue
+    and leaves the rest under-covered (we measured an 11 m Lobby outlier
+    with the mean-only objective); the worst-cell term forces coverage.
+    """
+    return quality.mean_error_m + worst_weight * quality.worst_cell_error_m
+
+
+def select_sites(
+    scenario: Scenario,
+    num_sites: int,
+    candidates: Sequence[Point] | None = None,
+    grid_spacing_m: float = 1.0,
+    worst_weight: float = 1.0,
+) -> SitePlan:
+    """Greedily choose ``num_sites`` nomadic measurement sites.
+
+    Parameters
+    ----------
+    scenario:
+        Supplies the static anchor positions and the venue.
+    candidates:
+        Candidate site pool; defaults to :func:`candidate_sites`.
+    grid_spacing_m:
+        Sampling density of the quality evaluation (coarser = faster).
+    worst_weight:
+        Weight of the worst-cell (blind-spot) term of the objective;
+        0 optimizes mean error only.
+    """
+    if num_sites < 1:
+        raise ValueError("num_sites must be at least 1")
+    if worst_weight < 0:
+        raise ValueError("worst_weight must be non-negative")
+    pool = list(candidates) if candidates is not None else candidate_sites(scenario)
+    if len(pool) < num_sites:
+        raise ValueError(
+            f"candidate pool ({len(pool)}) smaller than num_sites ({num_sites})"
+        )
+    statics = [ap.position for ap in scenario.static_aps]
+    if len(statics) < 2:
+        raise ValueError("need at least two static APs as the base anchors")
+    area = scenario.plan.boundary
+
+    baseline = partition_quality(statics, area, grid_spacing_m)
+    chosen: list[Point] = []
+    remaining = list(pool)
+    current = baseline
+    for _ in range(num_sites):
+        best_site = None
+        best_quality = None
+        for site in remaining:
+            quality = partition_quality(
+                statics + chosen + [site], area, grid_spacing_m
+            )
+            if best_quality is None or _score(quality, worst_weight) < _score(
+                best_quality, worst_weight
+            ):
+                best_quality = quality
+                best_site = site
+        assert best_site is not None and best_quality is not None
+        chosen.append(best_site)
+        remaining = [s for s in remaining if s is not best_site]
+        current = best_quality
+    return SitePlan(tuple(chosen), current, baseline)

@@ -1,0 +1,105 @@
+"""Patrol-route planning over selected measurement sites.
+
+Once the sites are chosen, the person carrying the nomadic AP needs a
+short route visiting all of them — the mobile-anchor path-planning
+problem of the paper's related work ([10], [11]).  Small instances are
+solved with nearest-neighbour construction plus 2-opt improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Point
+
+__all__ = ["Tour", "plan_tour"]
+
+
+@dataclass(frozen=True)
+class Tour:
+    """An ordered visiting sequence over a site set.
+
+    Attributes
+    ----------
+    order:
+        Indices into the site list, starting at the start site.
+    sites:
+        The sites being toured.
+    closed:
+        True when the tour returns to its start (patrol loop); False for
+        a one-way sweep.
+    """
+
+    order: tuple[int, ...]
+    sites: tuple[Point, ...]
+    closed: bool
+
+    def __post_init__(self) -> None:
+        if sorted(self.order) != list(range(len(self.sites))):
+            raise ValueError("order must be a permutation of the site indices")
+
+    def length_m(self) -> float:
+        """Total walking distance of the tour."""
+        legs = [
+            self.sites[a].distance_to(self.sites[b])
+            for a, b in zip(self.order, self.order[1:])
+        ]
+        if self.closed and len(self.order) > 1:
+            legs.append(
+                self.sites[self.order[-1]].distance_to(self.sites[self.order[0]])
+            )
+        return sum(legs)
+
+    def ordered_sites(self) -> list[Point]:
+        """The sites in visiting order."""
+        return [self.sites[i] for i in self.order]
+
+
+def plan_tour(
+    sites: Sequence[Point],
+    start: int = 0,
+    closed: bool = True,
+    two_opt_rounds: int = 20,
+) -> Tour:
+    """Short tour over ``sites`` starting at index ``start``.
+
+    Nearest-neighbour construction followed by 2-opt until no improving
+    swap is found (or ``two_opt_rounds`` passes).
+    """
+    n = len(sites)
+    if n < 1:
+        raise ValueError("need at least one site")
+    if not 0 <= start < n:
+        raise IndexError("start index out of range")
+    if n == 1:
+        return Tour((0,), tuple(sites), closed)
+
+    # Nearest-neighbour construction.
+    unvisited = set(range(n))
+    order = [start]
+    unvisited.remove(start)
+    while unvisited:
+        last = sites[order[-1]]
+        nxt = min(unvisited, key=lambda i: last.distance_to(sites[i]))
+        order.append(nxt)
+        unvisited.remove(nxt)
+
+    # 2-opt improvement (keeping the start fixed).
+    def tour_length(o: list[int]) -> float:
+        return Tour(tuple(o), tuple(sites), closed).length_m()
+
+    best = order
+    best_len = tour_length(best)
+    for _ in range(two_opt_rounds):
+        improved = False
+        for i in range(1, n - 1):
+            for j in range(i + 1, n):
+                candidate = best[:i] + best[i : j + 1][::-1] + best[j + 1 :]
+                cand_len = tour_length(candidate)
+                if cand_len < best_len - 1e-12:
+                    best, best_len = candidate, cand_len
+                    improved = True
+        if not improved:
+            break
+    return Tour(tuple(best), tuple(sites), closed)

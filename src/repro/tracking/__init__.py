@@ -1,0 +1,19 @@
+"""Moving-object tracking on top of NomLoc fixes (beyond-paper feature)."""
+
+from .kalman import KalmanConfig, KalmanTracker
+from .particle_filter import ParticleFilterConfig, ParticleFilterTracker
+from .tracker import NomLocTracker, TrackFilter, TrackingResult
+from .trajectories import Trajectory, random_trajectory, waypoint_trajectory
+
+__all__ = [
+    "Trajectory",
+    "waypoint_trajectory",
+    "random_trajectory",
+    "ParticleFilterConfig",
+    "ParticleFilterTracker",
+    "KalmanConfig",
+    "KalmanTracker",
+    "TrackFilter",
+    "NomLocTracker",
+    "TrackingResult",
+]

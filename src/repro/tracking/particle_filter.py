@@ -1,0 +1,178 @@
+"""Particle-filter tracking over NomLoc location fixes.
+
+NomLoc produces independent per-query fixes; a moving target benefits from
+fusing them with a motion model.  This is a standard constant-velocity
+bootstrap particle filter whose measurement model treats each NomLoc fix
+as a noisy position observation, with venue awareness: particles that
+leave the floor plan (or enter obstacle interiors) are heavily
+down-weighted, which encodes exactly the area-boundary prior the SP
+localizer itself uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..environment import FloorPlan
+from ..geometry import Point
+
+__all__ = ["ParticleFilterConfig", "ParticleFilterTracker"]
+
+
+@dataclass(frozen=True)
+class ParticleFilterConfig:
+    """Particle filter tuning.
+
+    Attributes
+    ----------
+    num_particles:
+        Particle count; a few hundred suffices in 2-D.
+    velocity_noise_mps:
+        Std of the per-second velocity random walk (manoeuvre noise).
+    initial_speed_mps:
+        Std of the initial velocity prior.
+    measurement_sigma_m:
+        Assumed std of NomLoc fixes (meter-scale per the evaluation).
+    resample_fraction:
+        Resample when the effective sample size falls below this fraction
+        of ``num_particles``.
+    outside_penalty:
+        Multiplicative weight penalty for particles outside the venue or
+        inside obstacle interiors.
+    """
+
+    num_particles: int = 400
+    velocity_noise_mps: float = 0.6
+    initial_speed_mps: float = 0.8
+    measurement_sigma_m: float = 1.5
+    resample_fraction: float = 0.5
+    outside_penalty: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.num_particles < 2:
+            raise ValueError("need at least two particles")
+        if self.measurement_sigma_m <= 0:
+            raise ValueError("measurement sigma must be positive")
+        if not 0 < self.resample_fraction <= 1:
+            raise ValueError("resample fraction must be in (0, 1]")
+        if not 0 < self.outside_penalty <= 1:
+            raise ValueError("outside penalty must be in (0, 1]")
+
+
+class ParticleFilterTracker:
+    """Constant-velocity bootstrap filter confined to a floor plan."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        config: ParticleFilterConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.plan = plan
+        self.config = config or ParticleFilterConfig()
+        self.rng = rng or np.random.default_rng()
+        n = self.config.num_particles
+        seeds = plan.boundary.sample_points(n, self.rng)
+        self.states = np.zeros((n, 4))  # x, y, vx, vy
+        self.states[:, 0] = [p.x for p in seeds]
+        self.states[:, 1] = [p.y for p in seeds]
+        self.states[:, 2:] = self.rng.normal(
+            0.0, self.config.initial_speed_mps, size=(n, 2)
+        )
+        self.weights = np.full(n, 1.0 / n)
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, dt_s: float) -> None:
+        """Propagate particles by ``dt_s`` under the CV + noise model."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        if dt_s == 0:
+            return
+        noise = self.rng.normal(
+            0.0,
+            self.config.velocity_noise_mps * np.sqrt(dt_s),
+            size=(len(self.states), 2),
+        )
+        self.states[:, 2:] += noise
+        self.states[:, 0] += self.states[:, 2] * dt_s
+        self.states[:, 1] += self.states[:, 3] * dt_s
+
+    def update(self, fix: Point) -> None:
+        """Condition on one NomLoc fix and resample when degenerate."""
+        sigma = self.config.measurement_sigma_m
+        dx = self.states[:, 0] - fix.x
+        dy = self.states[:, 1] - fix.y
+        likelihood = np.exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma))
+        penalty = np.array(
+            [
+                1.0 if self._is_legal(x, y) else self.config.outside_penalty
+                for x, y in self.states[:, :2]
+            ]
+        )
+        self.weights = self.weights * likelihood * penalty
+        total = self.weights.sum()
+        if total <= 0 or not np.isfinite(total):
+            # Filter diverged: re-seed around the fix.
+            self._reseed(fix)
+            return
+        self.weights /= total
+        self.updates += 1
+        if self.effective_sample_size() < (
+            self.config.resample_fraction * len(self.states)
+        ):
+            self._systematic_resample()
+
+    def step(self, dt_s: float, fix: Point) -> Point:
+        """Predict, update, and return the posterior mean position."""
+        self.predict(dt_s)
+        self.update(fix)
+        return self.estimate()
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> Point:
+        """Weighted posterior mean position."""
+        x = float(np.average(self.states[:, 0], weights=self.weights))
+        y = float(np.average(self.states[:, 1], weights=self.weights))
+        return Point(x, y)
+
+    def effective_sample_size(self) -> float:
+        """``1 / sum(w^2)`` — the usual degeneracy diagnostic."""
+        return float(1.0 / np.sum(self.weights**2))
+
+    def spread_m(self) -> float:
+        """Weighted RMS distance of particles from the estimate."""
+        est = self.estimate()
+        d2 = (self.states[:, 0] - est.x) ** 2 + (self.states[:, 1] - est.y) ** 2
+        return float(np.sqrt(np.average(d2, weights=self.weights)))
+
+    # ------------------------------------------------------------------
+    def _is_legal(self, x: float, y: float) -> bool:
+        p = Point(float(x), float(y))
+        if not self.plan.contains(p):
+            return False
+        return not any(
+            o.polygon.contains(p, boundary=False) for o in self.plan.obstacles
+        )
+
+    def _systematic_resample(self) -> None:
+        n = len(self.states)
+        positions = (self.rng.uniform() + np.arange(n)) / n
+        cumulative = np.cumsum(self.weights)
+        cumulative[-1] = 1.0
+        indexes = np.searchsorted(cumulative, positions)
+        self.states = self.states[indexes].copy()
+        # Roughen to avoid sample impoverishment.
+        self.states[:, :2] += self.rng.normal(0.0, 0.05, size=(n, 2))
+        self.weights = np.full(n, 1.0 / n)
+
+    def _reseed(self, around: Point) -> None:
+        n = len(self.states)
+        self.states[:, 0] = around.x + self.rng.normal(0.0, 2.0, n)
+        self.states[:, 1] = around.y + self.rng.normal(0.0, 2.0, n)
+        self.states[:, 2:] = self.rng.normal(
+            0.0, self.config.initial_speed_mps, size=(n, 2)
+        )
+        self.weights = np.full(n, 1.0 / n)

@@ -1,0 +1,141 @@
+"""Ground-truth trajectories for moving objects.
+
+The paper evaluates stationary objects; real ILBS targets move.  This
+module generates physically plausible indoor walks — waypoint paths with
+constant speed, confined to the venue and steering around obstacles — that
+the tracking filter is evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..environment import FloorPlan
+from ..geometry import Point, Segment
+
+__all__ = ["Trajectory", "waypoint_trajectory", "random_trajectory"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timestamped ground-truth path.
+
+    Attributes
+    ----------
+    times_s:
+        Strictly increasing sample times.
+    positions:
+        Object position at each sample time.
+    """
+
+    times_s: tuple[float, ...]
+    positions: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.positions):
+            raise ValueError("times and positions must align")
+        if len(self.times_s) < 1:
+            raise ValueError("a trajectory needs at least one sample")
+        diffs = np.diff(self.times_s)
+        if np.any(diffs <= 0):
+            raise ValueError("times must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def __iter__(self):
+        return iter(zip(self.times_s, self.positions))
+
+    @property
+    def duration_s(self) -> float:
+        return self.times_s[-1] - self.times_s[0]
+
+    def length_m(self) -> float:
+        """Total path length."""
+        return sum(
+            a.distance_to(b)
+            for a, b in zip(self.positions, self.positions[1:])
+        )
+
+    def average_speed(self) -> float:
+        """Mean speed in m/s (0 for single-sample trajectories)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.length_m() / self.duration_s
+
+
+def waypoint_trajectory(
+    waypoints: list[Point],
+    speed_mps: float = 1.2,
+    sample_interval_s: float = 1.0,
+) -> Trajectory:
+    """Constant-speed walk through ``waypoints``, resampled uniformly.
+
+    ``speed_mps`` defaults to a typical indoor walking pace.
+    """
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    if speed_mps <= 0 or sample_interval_s <= 0:
+        raise ValueError("speed and sample interval must be positive")
+    # Cumulative arc length over the waypoint polyline.
+    seg_lengths = [
+        a.distance_to(b) for a, b in zip(waypoints, waypoints[1:])
+    ]
+    if any(l <= 1e-12 for l in seg_lengths):
+        raise ValueError("consecutive waypoints must be distinct")
+    total = sum(seg_lengths)
+    duration = total / speed_mps
+    times = np.arange(0.0, duration + 1e-9, sample_interval_s)
+    if times[-1] < duration - 1e-9:
+        times = np.append(times, duration)
+
+    positions = []
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    for t in times:
+        arc = min(t * speed_mps, total)
+        seg_idx = int(np.searchsorted(cumulative, arc, side="right")) - 1
+        seg_idx = min(seg_idx, len(seg_lengths) - 1)
+        local = arc - cumulative[seg_idx]
+        a, b = waypoints[seg_idx], waypoints[seg_idx + 1]
+        frac = local / seg_lengths[seg_idx]
+        positions.append(a + (b - a) * frac)
+    return Trajectory(tuple(float(t) for t in times), tuple(positions))
+
+
+def random_trajectory(
+    plan: FloorPlan,
+    rng: np.random.Generator,
+    num_waypoints: int = 5,
+    speed_mps: float = 1.2,
+    sample_interval_s: float = 1.0,
+    margin: float = 0.5,
+    max_attempts: int = 500,
+) -> Trajectory:
+    """A random waypoint walk inside ``plan``.
+
+    Consecutive waypoints are resampled until the straight leg between
+    them stays inside the venue and clear of obstacle interiors, so the
+    walk is physically realizable.
+    """
+    if num_waypoints < 2:
+        raise ValueError("need at least two waypoints")
+    waypoints = plan.boundary.sample_points(1, rng, margin=margin)
+    attempts = 0
+    while len(waypoints) < num_waypoints:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                "could not find a clear waypoint path; venue too cluttered"
+            )
+        candidate = plan.boundary.sample_points(1, rng, margin=margin)[0]
+        leg = Segment(waypoints[-1], candidate)
+        if candidate.distance_to(waypoints[-1]) < 1.0:
+            continue
+        if any(o.polygon.segment_crosses_interior(leg) for o in plan.obstacles):
+            continue
+        if any(w.blocks(leg) for w in plan.walls):
+            continue
+        waypoints.append(candidate)
+    return waypoint_trajectory(waypoints, speed_mps, sample_interval_s)

@@ -1,0 +1,12 @@
+"""Terminal visualization of venues, deployments, and estimates."""
+
+from .ascii_map import AsciiCanvas, render_floorplan, render_scenario
+from .heatmap import HeatmapResult, render_heatmap
+
+__all__ = [
+    "AsciiCanvas",
+    "render_floorplan",
+    "render_scenario",
+    "HeatmapResult",
+    "render_heatmap",
+]

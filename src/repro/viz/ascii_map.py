@@ -1,0 +1,179 @@
+"""ASCII rendering of floor plans, deployments, and estimates.
+
+Terminal-friendly diagnostics: draw a venue with its obstacles and walls,
+overlay APs / test sites / estimates / feasible regions, and print the
+result.  Pure text — no plotting dependency — so it works everywhere the
+library does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..environment import FloorPlan, Scenario
+from ..geometry import Point, Polygon, Segment
+
+__all__ = ["AsciiCanvas", "render_floorplan", "render_scenario"]
+
+#: Glyphs used by the renderer, in increasing priority (later overwrites).
+GLYPH_BOUNDARY = "#"
+GLYPH_WALL = "|"
+GLYPH_OBSTACLE = "%"
+GLYPH_REGION = "~"
+
+
+@dataclass
+class AsciiCanvas:
+    """A character raster with a world-to-cell transform.
+
+    Attributes
+    ----------
+    width:
+        Canvas width in characters.
+    plan_bbox:
+        ``(xmin, ymin, xmax, ymax)`` of the world window rendered.
+    aspect:
+        Character-cell aspect compensation; terminal cells are roughly
+        twice as tall as wide, so y is compressed by this factor.
+    """
+
+    width: int
+    plan_bbox: tuple[float, float, float, float]
+    aspect: float = 0.5
+    _grid: list[list[str]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 10:
+            raise ValueError("canvas width must be at least 10 characters")
+        xmin, ymin, xmax, ymax = self.plan_bbox
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError("degenerate world window")
+        world_w = xmax - xmin
+        world_h = ymax - ymin
+        self._cell = world_w / (self.width - 1)
+        self.height = max(3, int(round(world_h / self._cell * self.aspect)) + 1)
+        self._grid = [[" "] * self.width for _ in range(self.height)]
+
+    # ------------------------------------------------------------------
+    def to_cell(self, p: Point) -> tuple[int, int] | None:
+        """World point to ``(row, col)``, or ``None`` if off-canvas."""
+        xmin, ymin, xmax, ymax = self.plan_bbox
+        if not (xmin - 1e-9 <= p.x <= xmax + 1e-9 and ymin - 1e-9 <= p.y <= ymax + 1e-9):
+            return None
+        col = int(round((p.x - xmin) / self._cell))
+        # Rows grow downward; world y grows upward.
+        row = self.height - 1 - int(round((p.y - ymin) / self._cell * self.aspect))
+        if 0 <= row < self.height and 0 <= col < self.width:
+            return (row, col)
+        return None
+
+    def put(self, p: Point, glyph: str) -> None:
+        """Stamp one character at the world position (silently clips)."""
+        if len(glyph) != 1:
+            raise ValueError("glyph must be a single character")
+        cell = self.to_cell(p)
+        if cell is not None:
+            row, col = cell
+            self._grid[row][col] = glyph
+
+    def put_label(self, p: Point, label: str) -> None:
+        """Stamp a short string starting at the world position."""
+        cell = self.to_cell(p)
+        if cell is None:
+            return
+        row, col = cell
+        for i, ch in enumerate(label):
+            if col + i < self.width:
+                self._grid[row][col + i] = ch
+
+    def draw_segment(self, seg: Segment, glyph: str) -> None:
+        """Rasterize a world-space segment."""
+        steps = max(
+            2,
+            int(seg.length() / self._cell * 2) + 1,
+        )
+        for k in range(steps + 1):
+            t = k / steps
+            self.put(seg.a + (seg.b - seg.a) * t, glyph)
+
+    def fill_polygon(self, poly: Polygon, glyph: str) -> None:
+        """Fill a polygon's interior cells."""
+        xmin, ymin, xmax, ymax = poly.bounding_box()
+        x = xmin
+        while x <= xmax + 1e-9:
+            y = ymin
+            while y <= ymax + 1e-9:
+                p = Point(x, y)
+                if poly.contains(p):
+                    self.put(p, glyph)
+                y += self._cell / self.aspect / 2
+            x += self._cell / 2
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string."""
+        return "\n".join("".join(row).rstrip() for row in self._grid)
+
+
+def render_floorplan(
+    plan: FloorPlan,
+    width: int = 72,
+    markers: dict[str, list[Point]] | None = None,
+    labels: dict[str, Point] | None = None,
+    region: Polygon | None = None,
+) -> str:
+    """Render a floor plan with optional overlays.
+
+    Parameters
+    ----------
+    markers:
+        ``glyph -> positions`` stamped after the structure (e.g.
+        ``{"T": [truth], "E": [estimate]}``).
+    labels:
+        ``text -> position`` for multi-character annotations (AP names).
+    region:
+        A polygon filled with ``~`` before markers (feasible regions).
+    """
+    canvas = AsciiCanvas(width, plan.boundary.bounding_box())
+    if region is not None:
+        canvas.fill_polygon(region, GLYPH_REGION)
+    for obstacle in plan.obstacles:
+        canvas.fill_polygon(obstacle.polygon, GLYPH_OBSTACLE)
+    for wall in plan.walls:
+        canvas.draw_segment(wall.segment, GLYPH_WALL)
+    for edge in plan.boundary.edges():
+        canvas.draw_segment(edge, GLYPH_BOUNDARY)
+    for glyph, points in (markers or {}).items():
+        for p in points:
+            canvas.put(p, glyph)
+    for text, p in (labels or {}).items():
+        canvas.put_label(p, text)
+    return canvas.render()
+
+
+def render_scenario(
+    scenario: Scenario,
+    width: int = 72,
+    estimate: Point | None = None,
+    truth: Point | None = None,
+    region: Polygon | None = None,
+) -> str:
+    """Render a scenario: venue + AP deployment + optional query overlay.
+
+    Static APs appear as their names, nomadic measurement sites as ``n``,
+    test sites as ``.``, the ground truth as ``T``, the estimate as ``E``.
+    """
+    markers: dict[str, list[Point]] = {".": list(scenario.test_sites)}
+    labels: dict[str, Point] = {}
+    nomadic_sites: list[Point] = []
+    for ap in scenario.aps:
+        labels[ap.name] = ap.position
+        if ap.nomadic:
+            nomadic_sites.extend(s for s in ap.sites if s != ap.position)
+    markers["n"] = nomadic_sites
+    if truth is not None:
+        markers["T"] = [truth]
+    if estimate is not None:
+        markers["E"] = [estimate]
+    return render_floorplan(
+        scenario.plan, width, markers=markers, labels=labels, region=region
+    )

@@ -1,0 +1,105 @@
+"""ASCII heatmaps of spatial quantities over a venue.
+
+The paper's Fig. 1 motivates everything: localization accuracy varies
+across space.  :func:`render_heatmap` makes that visible in a terminal —
+sample a quantity (localization error, PDP accuracy, coverage) over a
+venue grid and shade each cell by magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..environment import FloorPlan
+from ..geometry import Point
+from .ascii_map import AsciiCanvas
+
+__all__ = ["HeatmapResult", "render_heatmap"]
+
+#: Shading ramp from low to high values.
+RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class HeatmapResult:
+    """A rendered heatmap plus its underlying samples.
+
+    Attributes
+    ----------
+    text:
+        The ASCII rendering.
+    points:
+        Sampled positions.
+    values:
+        Sampled quantity per position.
+    vmin, vmax:
+        The value range mapped onto the shading ramp.
+    """
+
+    text: str
+    points: tuple[Point, ...]
+    values: tuple[float, ...]
+    vmin: float
+    vmax: float
+
+    def legend(self) -> str:
+        """One-line ramp legend with the value range."""
+        return (
+            f"low {self.vmin:.2f} [{RAMP}] {self.vmax:.2f} high"
+        )
+
+
+def render_heatmap(
+    plan: FloorPlan,
+    sample: Callable[[Point], float],
+    grid_spacing_m: float = 1.0,
+    width: int = 72,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    skip_obstacles: bool = True,
+) -> HeatmapResult:
+    """Sample ``sample`` over the venue grid and shade the result.
+
+    Parameters
+    ----------
+    sample:
+        Function from position to a scalar (e.g. mean localization
+        error at that point).
+    vmin, vmax:
+        Fixed ramp bounds; default to the sampled min/max (useful to
+        share one scale across two heatmaps being compared).
+    """
+    if grid_spacing_m <= 0:
+        raise ValueError("grid spacing must be positive")
+    points = plan.boundary.grid_points(grid_spacing_m, margin=0.05)
+    if skip_obstacles:
+        points = [
+            p
+            for p in points
+            if not any(
+                o.polygon.contains(p, boundary=False) for o in plan.obstacles
+            )
+        ]
+    if not points:
+        raise ValueError("no sample points; grid too coarse for the venue")
+    values = [float(sample(p)) for p in points]
+
+    lo = vmin if vmin is not None else min(values)
+    hi = vmax if vmax is not None else max(values)
+    if hi <= lo:
+        hi = lo + 1e-9
+
+    canvas = AsciiCanvas(width, plan.boundary.bounding_box())
+    for p, v in zip(points, values):
+        frac = (v - lo) / (hi - lo)
+        idx = int(np.clip(frac * (len(RAMP) - 1), 0, len(RAMP) - 1))
+        glyph = RAMP[idx] if RAMP[idx] != " " else "."
+        canvas.put(p, glyph)
+    for edge in plan.boundary.edges():
+        canvas.draw_segment(edge, "#")
+    return HeatmapResult(
+        canvas.render(), tuple(points), tuple(values), lo, hi
+    )

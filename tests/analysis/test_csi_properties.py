@@ -1,0 +1,116 @@
+"""Tests for CSI property analysis (the paper's Sec. IV-A claims)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_link,
+    frequency_selectivity,
+    rms_delay_spread_s,
+    temporal_stability,
+)
+from repro.channel import (
+    CSIMeasurement,
+    CSISynthesizer,
+    LinkSimulator,
+    OFDMConfig,
+)
+from repro.core import estimate_pdp, estimate_rss
+from repro.environment import FloorPlan, Obstacle, get_scenario
+from repro.channel import METAL
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture(scope="module")
+def lab_batch():
+    scen = get_scenario("lab")
+    sim = LinkSimulator(scen.plan)
+    rng = np.random.default_rng(0)
+    return sim.measure_batch(scen.test_sites[0], scen.aps[1].position, 80, rng)
+
+
+class TestTemporalStability:
+    def test_validation(self, lab_batch):
+        with pytest.raises(ValueError):
+            temporal_stability(lab_batch[:1], estimate_pdp)
+
+    def test_pdp_stabler_than_rssi(self, lab_batch):
+        """The paper's stability claim: PDP varies less than coarse RSS."""
+        cv_pdp = temporal_stability(lab_batch, estimate_pdp)
+        cv_rss = temporal_stability(lab_batch, estimate_rss)
+        assert cv_pdp < cv_rss
+
+    def test_noiseless_static_channel_is_stable(self):
+        plan = FloorPlan("r", Polygon.rectangle(0, 0, 10, 10))
+        synth = CSISynthesizer(noise=None, rssi_jitter_db=0.0)
+        sim = LinkSimulator(plan, synth)
+        rng = np.random.default_rng(1)
+        batch = sim.measure_batch(
+            Point(1, 5), Point(9, 5), 20, rng, with_fading=False
+        )
+        assert temporal_stability(batch, estimate_pdp) < 1e-9
+
+
+class TestFrequencySelectivity:
+    def test_flat_channel_zero(self):
+        cfg = OFDMConfig()
+        m = CSIMeasurement(np.ones(56, dtype=complex), cfg)
+        assert frequency_selectivity(m) == pytest.approx(0.0)
+
+    def test_multipath_increases_selectivity(self):
+        """Reflections create frequency selectivity; a single-path link
+        (reflections disabled) is flat."""
+        from repro.channel import TraceConfig
+
+        plan = FloorPlan("r", Polygon.rectangle(0, 0, 30, 30))
+        synth = CSISynthesizer(noise=None)
+        rng = np.random.default_rng(2)
+        sel = {}
+        for name, order in (("single-path", 0), ("multipath", 2)):
+            sim = LinkSimulator(
+                plan,
+                synth,
+                trace_config=TraceConfig(
+                    max_reflection_order=order, include_scatter=False
+                ),
+            )
+            batch = sim.measure_batch(
+                Point(2, 15), Point(28, 15), 20, rng, with_fading=False
+            )
+            sel[name] = np.mean([frequency_selectivity(m) for m in batch])
+        assert sel["single-path"] < 0.01
+        assert sel["multipath"] > 10 * sel["single-path"]
+
+    def test_zero_energy_rejected(self):
+        cfg = OFDMConfig()
+        m = CSIMeasurement(np.zeros(56, dtype=complex), cfg)
+        with pytest.raises(ValueError):
+            frequency_selectivity(m)
+
+
+class TestDelaySpread:
+    def test_single_tap_near_zero_spread(self):
+        cfg = OFDMConfig()
+        m = CSIMeasurement(np.ones(56, dtype=complex), cfg)
+        # Flat channel: residual spread only from the window main lobe
+        # (about one tap width), far below any real multipath spread.
+        assert rms_delay_spread_s(m) < 6e-8
+
+    def test_lab_link_has_spread(self, lab_batch):
+        spreads = [rms_delay_spread_s(m) for m in lab_batch[:10]]
+        assert all(s > 0 for s in spreads)
+        # Indoor spreads are tens to a couple hundred ns.
+        assert np.mean(spreads) < 1e-6
+
+
+class TestAnalyzeLink:
+    def test_report(self, lab_batch):
+        report = analyze_link(lab_batch)
+        assert report.csi_stabler_than_rss
+        assert report.mean_frequency_selectivity > 0
+        assert report.mean_delay_spread_s > 0
+        assert report.pdp_stability_cv > 0
+
+    def test_validation(self, lab_batch):
+        with pytest.raises(ValueError):
+            analyze_link(lab_batch[:1])

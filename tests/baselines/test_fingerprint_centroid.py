@@ -1,0 +1,108 @@
+"""Tests for the fingerprinting and weighted-centroid baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FingerprintLocalizer,
+    StaticSPLocalizer,
+    WeightedCentroidLocalizer,
+)
+from repro.core import SystemConfig
+from repro.environment import get_scenario
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return get_scenario("lab")
+
+
+FAST = SystemConfig(packets_per_link=6)
+
+
+class TestFingerprint:
+    @pytest.fixture(scope="class")
+    def localizer(self):
+        return FingerprintLocalizer(
+            get_scenario("lab"),
+            FAST,
+            grid_spacing_m=2.0,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_survey_built(self, localizer):
+        assert localizer.survey_size > 10
+        for fp in localizer.radio_map:
+            assert fp.signature_db.shape == (4,)
+            assert localizer.scenario.plan.contains(fp.position)
+
+    def test_survey_avoids_obstacles(self, localizer):
+        for fp in localizer.radio_map:
+            for o in localizer.scenario.plan.obstacles:
+                assert not o.polygon.contains(fp.position, boundary=False)
+
+    def test_locates_inside(self, localizer, lab):
+        rng = np.random.default_rng(1)
+        for site in lab.test_sites[:4]:
+            p = localizer.locate(site, rng)
+            assert lab.plan.boundary.contains(p)
+
+    def test_calibrated_accuracy_beats_random(self, localizer, lab):
+        rng = np.random.default_rng(2)
+        errs = [
+            localizer.localization_error(site, rng)
+            for site in lab.test_sites
+        ]
+        # Dense survey should put fingerprinting at a few metres.
+        assert np.mean(errs) < 4.0
+
+    def test_validation(self, lab):
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(lab, FAST, k=0)
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(lab, FAST, grid_spacing_m=0)
+        with pytest.raises(ValueError):
+            # Grid coarser than the venue -> too few reference points.
+            FingerprintLocalizer(lab, FAST, grid_spacing_m=50.0, k=5)
+
+
+class TestWeightedCentroid:
+    def test_estimate_in_ap_hull(self, lab):
+        loc = WeightedCentroidLocalizer(lab, FAST)
+        rng = np.random.default_rng(0)
+        ap_x = [ap.position.x for ap in lab.aps]
+        ap_y = [ap.position.y for ap in lab.aps]
+        for site in lab.test_sites[:5]:
+            p = loc.locate(site, rng)
+            assert min(ap_x) <= p.x <= max(ap_x)
+            assert min(ap_y) <= p.y <= max(ap_y)
+
+    def test_pulls_toward_nearest_ap(self, lab):
+        loc = WeightedCentroidLocalizer(lab, FAST, exponent=2.0)
+        rng = np.random.default_rng(1)
+        # Object right next to AP2 (11, 1).
+        near_ap2 = lab.test_sites[3]  # (9.4, 1.4)
+        p = loc.locate(near_ap2, rng)
+        ap2 = next(ap.position for ap in lab.aps if ap.name == "AP2")
+        others = [ap.position for ap in lab.aps if ap.name != "AP2"]
+        assert p.distance_to(ap2) < min(p.distance_to(o) for o in others) + 3.0
+
+    def test_exponent_validation(self, lab):
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(lab, FAST, exponent=0.0)
+
+
+class TestStaticSP:
+    def test_forces_static_mode(self, lab):
+        loc = StaticSPLocalizer(lab, SystemConfig(packets_per_link=6))
+        assert loc.system.config.use_nomadic is False
+        rng = np.random.default_rng(0)
+        anchors = loc.system.gather_anchors(lab.test_sites[0], rng)
+        assert len(anchors) == 4
+        assert not any(a.nomadic for a in anchors)
+
+    def test_locate(self, lab):
+        loc = StaticSPLocalizer(lab, SystemConfig(packets_per_link=6))
+        rng = np.random.default_rng(1)
+        err = loc.localization_error(lab.test_sites[0], rng)
+        assert 0 <= err < 10.0

@@ -1,0 +1,119 @@
+"""Tests for the calibrated ranging + trilateration baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CSIRangingModel, TrilaterationLocalizer, trilaterate
+from repro.core import SystemConfig
+from repro.environment import get_scenario
+from repro.geometry import Point
+
+
+class TestCSIRangingModel:
+    def test_recovers_synthetic_model(self):
+        """Perfect log-distance data is fitted exactly."""
+        n_true, a_true = 2.5, -40.0
+        dists = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        pdp_db = a_true - 10 * n_true * np.log10(dists)
+        pdps = 10 ** (pdp_db / 10)
+        model = CSIRangingModel()
+        model.calibrate(pdps, dists)
+        assert model.exponent == pytest.approx(n_true, abs=1e-6)
+        assert model.intercept_db == pytest.approx(a_true, abs=1e-6)
+        for d in (1.5, 3.0, 10.0):
+            pdp = 10 ** ((a_true - 10 * n_true * np.log10(d)) / 10)
+            assert model.distance(pdp) == pytest.approx(d, rel=1e-6)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CSIRangingModel().distance(1e-6)
+
+    def test_validation(self):
+        m = CSIRangingModel()
+        with pytest.raises(ValueError):
+            m.calibrate(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            m.calibrate(np.array([1.0, -1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            m.calibrate(np.array([1.0, 2.0]), np.array([3.0, 3.0]))
+
+    def test_distance_monotone_decreasing_in_pdp(self):
+        model = CSIRangingModel()
+        model.calibrate(
+            np.array([1e-3, 1e-4, 1e-5]), np.array([1.0, 3.0, 9.0])
+        )
+        assert model.distance(1e-3) < model.distance(1e-5)
+
+
+class TestTrilaterate:
+    def test_exact_distances_exact_fix(self):
+        anchors = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        truth = Point(3.0, 7.0)
+        dists = [truth.distance_to(a) for a in anchors]
+        fix = trilaterate(anchors, dists, Point(5, 5))
+        assert fix.almost_equals(truth, tol=1e-5)
+
+    def test_noisy_distances_small_error(self):
+        rng = np.random.default_rng(0)
+        anchors = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        truth = Point(6.0, 4.0)
+        dists = [truth.distance_to(a) + rng.normal(0, 0.2) for a in anchors]
+        fix = trilaterate(anchors, dists, Point(5, 5))
+        assert fix.distance_to(truth) < 1.0
+
+    def test_needs_three_anchors(self):
+        with pytest.raises(ValueError):
+            trilaterate([Point(0, 0), Point(1, 0)], [1.0, 1.0], Point(0, 0))
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            trilaterate([Point(0, 0), Point(1, 0), Point(0, 1)], [1.0], Point(0, 0))
+
+    def test_initial_at_anchor(self):
+        """Degenerate start (on an anchor) must not crash the Jacobian."""
+        anchors = [Point(0, 0), Point(10, 0), Point(5, 8)]
+        truth = Point(4, 3)
+        dists = [truth.distance_to(a) for a in anchors]
+        fix = trilaterate(anchors, dists, Point(0, 0))
+        assert fix.distance_to(truth) < 1e-3
+
+
+class TestTrilaterationLocalizer:
+    @pytest.fixture(scope="class")
+    def localizer(self):
+        scen = get_scenario("lab")
+        return TrilaterationLocalizer(
+            scen,
+            SystemConfig(packets_per_link=10),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_calibration_happened(self, localizer):
+        assert localizer.ranging.exponent > 0.5
+
+    def test_locates_inside_venue(self, localizer):
+        scen = localizer.scenario
+        rng = np.random.default_rng(1)
+        for site in scen.test_sites[:4]:
+            p = localizer.locate(site, rng)
+            assert scen.plan.contains(p)
+
+    def test_meter_scale_error(self, localizer):
+        scen = localizer.scenario
+        rng = np.random.default_rng(2)
+        errs = [
+            localizer.localization_error(site, rng)
+            for site in scen.test_sites[:6]
+        ]
+        assert np.mean(errs) < 6.0  # sane, not necessarily good
+
+    def test_custom_calibration_points(self):
+        scen = get_scenario("lab")
+        points = [Point(2, 2), Point(6, 4), Point(10, 6), Point(4, 7)]
+        loc = TrilaterationLocalizer(
+            scen,
+            SystemConfig(packets_per_link=5),
+            calibration_points=points,
+            rng=np.random.default_rng(3),
+        )
+        assert loc.ranging.exponent > 0.5

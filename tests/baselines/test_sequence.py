@@ -1,0 +1,114 @@
+"""Tests for sequence-based localization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequenceLocalizer, kendall_tau, rank_sequence
+from repro.core import SystemConfig
+from repro.environment import get_scenario
+from repro.geometry import Point
+
+
+class TestRankSequence:
+    def test_ascending(self):
+        assert rank_sequence(np.array([3.0, 1.0, 2.0])).tolist() == [2, 0, 1]
+
+    def test_descending(self):
+        out = rank_sequence(np.array([3.0, 1.0, 2.0]), descending=True)
+        assert out.tolist() == [0, 2, 1]
+
+    def test_ties_stable(self):
+        out = rank_sequence(np.array([1.0, 1.0, 0.5]))
+        assert out.tolist() == [1, 2, 0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=10))
+    @settings(max_examples=60)
+    def test_permutation_property(self, values):
+        ranks = rank_sequence(np.array(values))
+        assert sorted(ranks.tolist()) == list(range(len(values)))
+
+
+class TestKendallTau:
+    def test_identical(self):
+        assert kendall_tau(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_reversed(self):
+        assert kendall_tau(np.array([0, 1, 2]), np.array([2, 1, 0])) == -1.0
+
+    def test_partial(self):
+        # One discordant pair of three.
+        tau = kendall_tau(np.array([0, 1, 2]), np.array([0, 2, 1]))
+        assert tau == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kendall_tau(np.array([0, 1]), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            kendall_tau(np.array([0]), np.array([0]))
+
+    @given(st.permutations(list(range(5))))
+    @settings(max_examples=40)
+    def test_symmetry(self, perm):
+        a = np.arange(5)
+        b = np.array(perm)
+        assert kendall_tau(a, b) == pytest.approx(kendall_tau(b, a))
+
+    @given(st.permutations(list(range(5))))
+    @settings(max_examples=40)
+    def test_range(self, perm):
+        tau = kendall_tau(np.arange(5), np.array(perm))
+        assert -1.0 <= tau <= 1.0
+
+
+class TestSequenceLocalizer:
+    @pytest.fixture(scope="class")
+    def localizer(self):
+        return SequenceLocalizer(
+            get_scenario("lab"),
+            SystemConfig(packets_per_link=10),
+            grid_spacing_m=0.5,
+        )
+
+    def test_face_table_built(self, localizer):
+        # 4 anchors -> at most 24 orderings; the venue realizes several.
+        assert 4 <= localizer.num_faces <= 24
+        for face in localizer.faces:
+            assert localizer.scenario.plan.contains(face.centroid)
+            assert sorted(face.sequence) == [0, 1, 2, 3]
+
+    def test_spacing_validation(self):
+        with pytest.raises(ValueError):
+            SequenceLocalizer(get_scenario("lab"), grid_spacing_m=0)
+
+    def test_locates_inside(self, localizer):
+        scen = localizer.scenario
+        rng = np.random.default_rng(0)
+        for site in scen.test_sites[:5]:
+            p = localizer.locate(site, rng)
+            assert scen.plan.contains(p)
+
+    def test_meter_scale_accuracy(self, localizer):
+        scen = localizer.scenario
+        rng = np.random.default_rng(1)
+        errs = [
+            localizer.localization_error(site, rng)
+            for site in scen.test_sites
+        ]
+        assert np.mean(errs) < 4.0
+
+    def test_perfect_ranks_hit_right_face(self, localizer):
+        """Bypass radio: feed the true distance ordering directly."""
+        from repro.baselines.sequence import rank_sequence as rs
+
+        scen = localizer.scenario
+        anchors = [ap.position for ap in scen.aps]
+        obj = scen.test_sites[0]
+        true_seq = rs(np.array([obj.distance_to(a) for a in anchors]))
+        face = max(
+            localizer.faces,
+            key=lambda f: kendall_tau(true_seq, np.array(f.sequence)),
+        )
+        # The matched face's centroid is in the object's neighbourhood.
+        assert face.centroid.distance_to(obj) < 6.0

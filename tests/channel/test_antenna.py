@@ -1,0 +1,87 @@
+"""Tests for antenna patterns."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import OMNI, AntennaPattern
+from repro.geometry import Point
+
+
+class TestAntennaPattern:
+    def test_omni_is_flat(self):
+        assert OMNI.is_omni
+        for az in (-180, -90, 0, 45, 180):
+            assert OMNI.gain_db(az) == 0.0
+
+    def test_boresight_and_back(self):
+        p = AntennaPattern(boresight_deg=90.0, front_gain_db=6.0, back_loss_db=12.0)
+        assert p.gain_db(90.0) == pytest.approx(6.0)
+        assert p.gain_db(-90.0) == pytest.approx(-12.0)
+        # Broadside sits midway.
+        assert p.gain_db(0.0) == pytest.approx((6.0 - 12.0) / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AntennaPattern(front_gain_db=-1.0)
+        with pytest.raises(ValueError):
+            AntennaPattern(back_loss_db=-1.0)
+
+    @given(st.floats(min_value=-720, max_value=720))
+    @settings(max_examples=60)
+    def test_gain_bounded(self, az):
+        p = AntennaPattern(boresight_deg=30.0, front_gain_db=5.0, back_loss_db=10.0)
+        g = p.gain_db(az)
+        assert -10.0 - 1e-9 <= g <= 5.0 + 1e-9
+
+    @given(st.floats(min_value=-360, max_value=360))
+    @settings(max_examples=40)
+    def test_periodic(self, az):
+        p = AntennaPattern(boresight_deg=10.0, front_gain_db=4.0, back_loss_db=8.0)
+        assert p.gain_db(az) == pytest.approx(p.gain_db(az + 360.0), abs=1e-9)
+
+    def test_gain_towards(self):
+        p = AntennaPattern(boresight_deg=0.0, front_gain_db=6.0, back_loss_db=12.0)
+        at = Point(0, 0)
+        assert p.gain_towards_db(at, Point(5, 0)) == pytest.approx(6.0)
+        assert p.gain_towards_db(at, Point(-5, 0)) == pytest.approx(-12.0)
+        # Degenerate: target on top of the antenna.
+        assert p.gain_towards_db(at, Point(0, 0)) == 6.0
+
+
+class TestSystemIntegration:
+    def test_antenna_scales_pdp(self):
+        from repro.core import NomLocSystem, SystemConfig
+        from repro.environment import get_scenario
+
+        lab = get_scenario("lab")
+        ap2 = next(ap for ap in lab.aps if ap.name == "AP2")
+        site = lab.test_sites[0]
+        az = math.degrees(
+            math.atan2(site.y - ap2.position.y, site.x - ap2.position.x)
+        )
+        boosted = AntennaPattern(boresight_deg=az, front_gain_db=6.0)
+        base = NomLocSystem(lab, SystemConfig(packets_per_link=5))
+        directional = NomLocSystem(
+            lab, SystemConfig(packets_per_link=5), antennas={"AP2": boosted}
+        )
+        p_base = {
+            a.name: a.pdp
+            for a in base.gather_anchors(site, np.random.default_rng(1))
+        }
+        p_dir = {
+            a.name: a.pdp
+            for a in directional.gather_anchors(site, np.random.default_rng(1))
+        }
+        assert p_dir["AP2"] == pytest.approx(10**0.6 * p_base["AP2"])
+        assert p_dir["AP3"] == pytest.approx(p_base["AP3"])
+
+    def test_unknown_ap_rejected(self):
+        from repro.core import NomLocSystem
+        from repro.environment import get_scenario
+
+        with pytest.raises(ValueError):
+            NomLocSystem(get_scenario("lab"), antennas={"AP9": OMNI})

@@ -1,0 +1,295 @@
+"""Tests for CSI synthesis, CIR processing, fading, and noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    INTEL5300_SUBCARRIERS,
+    CSIMeasurement,
+    CSISynthesizer,
+    FadingModel,
+    NoiseModel,
+    OFDMConfig,
+    PathComponent,
+    PathKind,
+    PropagationModel,
+    csi_to_cir,
+    delay_profile,
+    rician_gain,
+    thermal_noise_dbm,
+)
+
+
+def component(length_m=5.0, excess_db=0.0, kind=PathKind.DIRECT, blocked=False, bounces=0):
+    return PathComponent(
+        kind=kind,
+        length_m=length_m,
+        delay_s=length_m / 299_792_458.0,
+        excess_loss_db=excess_db,
+        bounces=bounces,
+        blocked=blocked,
+    )
+
+
+class TestOFDMConfig:
+    def test_defaults_match_80211n_20mhz(self):
+        cfg = OFDMConfig()
+        assert cfg.n_fft == 64
+        assert cfg.subcarrier_spacing_hz == pytest.approx(312_500.0)
+        assert cfg.tap_resolution_s == pytest.approx(50e-9)
+        assert len(cfg.active_subcarriers) == 56
+        assert 0 not in cfg.active_subcarriers
+
+    def test_subcarrier_bounds_validated(self):
+        with pytest.raises(ValueError):
+            OFDMConfig(active_subcarriers=(40,))
+        with pytest.raises(ValueError):
+            OFDMConfig(n_fft=0)
+
+    def test_frequencies_symmetric(self):
+        cfg = OFDMConfig()
+        freqs = cfg.subcarrier_frequencies_hz()
+        assert freqs.min() == pytest.approx(-28 * 312_500.0)
+        assert freqs.max() == pytest.approx(28 * 312_500.0)
+
+
+class TestCSISynthesis:
+    def test_single_los_path_flat_magnitude(self):
+        synth = CSISynthesizer(noise=None)
+        rng = np.random.default_rng(0)
+        m = synth.synthesize([component(5.0)], rng, with_fading=False)
+        mags = np.abs(m.csi)
+        assert np.allclose(mags, mags[0], rtol=1e-9)
+
+    def test_magnitude_matches_path_loss(self):
+        synth = CSISynthesizer(noise=None)
+        rng = np.random.default_rng(0)
+        comp = component(5.0)
+        m = synth.synthesize([comp], rng, with_fading=False)
+        expected = synth.path_amplitude(comp)
+        assert np.abs(m.csi[0]) == pytest.approx(expected, rel=1e-9)
+
+    def test_two_paths_create_frequency_selectivity(self):
+        """Multipath must make |H(f)| vary across subcarriers."""
+        synth = CSISynthesizer(noise=None)
+        rng = np.random.default_rng(0)
+        paths = [component(5.0), component(20.0, excess_db=3.0, kind=PathKind.REFLECTED, bounces=1)]
+        m = synth.synthesize(paths, rng, with_fading=False)
+        mags = np.abs(m.csi)
+        assert mags.std() / mags.mean() > 0.05
+
+    def test_empty_paths_rejected(self):
+        synth = CSISynthesizer()
+        with pytest.raises(ValueError):
+            synth.synthesize([], np.random.default_rng(0))
+
+    def test_batch_count(self):
+        synth = CSISynthesizer()
+        rng = np.random.default_rng(0)
+        batch = synth.synthesize_batch([component()], 7, rng)
+        assert len(batch) == 7
+        with pytest.raises(ValueError):
+            synth.synthesize_batch([component()], -1, rng)
+
+    def test_determinism_with_seed(self):
+        synth = CSISynthesizer()
+        a = synth.synthesize([component()], np.random.default_rng(42))
+        b = synth.synthesize([component()], np.random.default_rng(42))
+        np.testing.assert_array_equal(a.csi, b.csi)
+
+    def test_noise_floor_dominates_far_link(self):
+        """A 1 km 'link' should be buried in noise."""
+        synth = CSISynthesizer()
+        rng = np.random.default_rng(1)
+        far = synth.synthesize([component(1000.0, excess_db=60.0)], rng)
+        noise_mw = NoiseModel().noise_power_mw()
+        assert far.total_power_mw() < 100 * noise_mw
+
+
+class TestCSIMeasurement:
+    def test_length_validation(self):
+        cfg = OFDMConfig()
+        with pytest.raises(ValueError):
+            CSIMeasurement(np.zeros(3, dtype=complex), cfg)
+
+    def test_total_power(self):
+        cfg = OFDMConfig(active_subcarriers=(-1, 1))
+        m = CSIMeasurement(np.array([3 + 4j, 0 + 0j]), cfg)
+        assert m.total_power_mw() == pytest.approx(25.0)
+
+    def test_intel5300_subsample(self):
+        synth = CSISynthesizer(noise=None)
+        rng = np.random.default_rng(0)
+        m = synth.synthesize([component()], rng, with_fading=False)
+        sub = m.subsample_intel5300()
+        assert len(sub.csi) == 30
+        assert sub.config.active_subcarriers == INTEL5300_SUBCARRIERS
+        # Values must be picked, not recomputed.
+        full_idx = m.config.active_subcarriers.index(-28)
+        assert sub.csi[0] == m.csi[full_idx]
+
+    def test_intel5300_subsample_requires_carriers(self):
+        cfg = OFDMConfig(active_subcarriers=(-1, 1))
+        m = CSIMeasurement(np.ones(2, dtype=complex), cfg)
+        with pytest.raises(ValueError):
+            m.subsample_intel5300()
+
+
+class TestRSSIModel:
+    def test_rssi_reported_by_default(self):
+        synth = CSISynthesizer()
+        m = synth.synthesize([component()], np.random.default_rng(0))
+        assert m.rssi_dbm is not None
+        assert m.rssi_mw() > 0
+
+    def test_rssi_quantized(self):
+        synth = CSISynthesizer(rssi_jitter_db=0.0, rssi_quantization_db=1.0)
+        m = synth.synthesize([component()], np.random.default_rng(0))
+        assert m.rssi_dbm == pytest.approx(round(m.rssi_dbm))
+
+    def test_rssi_jitter_makes_it_unstable(self):
+        """Coarse RSSI fluctuates packet-to-packet far more than CSI power
+        — the paper's 'temporal stability' argument for CSI."""
+        synth = CSISynthesizer(rssi_jitter_db=2.0)
+        rng = np.random.default_rng(1)
+        batch = synth.synthesize_batch([component()], 200, rng)
+        rssi_db = np.array([m.rssi_dbm for m in batch])
+        csi_db = np.array(
+            [10 * np.log10(m.total_power_mw()) for m in batch]
+        )
+        assert np.std(rssi_db) > np.std(csi_db)
+
+    def test_rssi_none_falls_back_to_power(self):
+        cfg = OFDMConfig(active_subcarriers=(-1, 1))
+        m = CSIMeasurement(np.array([3 + 4j, 0 + 0j]), cfg)
+        assert m.rssi_dbm is None
+        assert m.rssi_mw() == pytest.approx(25.0)
+
+    def test_rssi_tracks_true_power(self):
+        synth = CSISynthesizer(rssi_jitter_db=0.5)
+        rng = np.random.default_rng(2)
+        near = np.mean(
+            [
+                synth.synthesize([component(2.0)], rng).rssi_mw()
+                for _ in range(40)
+            ]
+        )
+        far = np.mean(
+            [
+                synth.synthesize([component(20.0)], rng).rssi_mw()
+                for _ in range(40)
+            ]
+        )
+        assert near > far
+
+
+class TestCIR:
+    def test_flat_channel_single_tap(self):
+        """A zero-delay unit channel concentrates in tap 0."""
+        cfg = OFDMConfig()
+        m = CSIMeasurement(np.ones(56, dtype=complex), cfg)
+        taps = csi_to_cir(m)
+        profile = delay_profile(m)
+        assert np.abs(taps[0]) == pytest.approx(1.0, rel=1e-9)
+        assert profile.max_power() == pytest.approx(profile.first_tap_power())
+
+    def test_delayed_path_lands_in_right_tap(self):
+        """A path delayed by k tap-widths peaks at tap k."""
+        cfg = OFDMConfig()
+        synth = CSISynthesizer(noise=None, ofdm=cfg)
+        rng = np.random.default_rng(0)
+        k = 4
+        delay = k * cfg.tap_resolution_s
+        comp = PathComponent(
+            kind=PathKind.REFLECTED,
+            length_m=delay * 299_792_458.0,
+            delay_s=delay,
+            excess_loss_db=0.0,
+            bounces=1,
+        )
+        m = synth.synthesize([comp], rng, with_fading=False)
+        profile = delay_profile(m)
+        assert int(np.argmax(profile.powers)) == k
+
+    def test_profile_truncation(self):
+        cfg = OFDMConfig()
+        m = CSIMeasurement(np.ones(56, dtype=complex), cfg)
+        profile = delay_profile(m)
+        short = profile.truncated(1.5e-6)
+        assert short.delays_s.max() <= 1.5e-6 + 1e-12
+        assert len(short.delays_s) == 31  # taps 0..30 at 50 ns
+
+    def test_profile_validation(self):
+        from repro.channel import DelayProfile
+
+        with pytest.raises(ValueError):
+            DelayProfile(np.zeros(3), np.zeros(4))
+
+    def test_parseval_power_preserved(self):
+        """IFFT preserves total power (up to the occupancy rescale)."""
+        cfg = OFDMConfig()
+        rng = np.random.default_rng(3)
+        csi = rng.standard_normal(56) + 1j * rng.standard_normal(56)
+        m = CSIMeasurement(csi, cfg)
+        taps = csi_to_cir(m)
+        scale = cfg.n_fft / 56
+        freq_power = np.sum(np.abs(csi) ** 2) / cfg.n_fft * scale**2
+        time_power = np.sum(np.abs(taps) ** 2)
+        assert time_power == pytest.approx(freq_power, rel=1e-9)
+
+
+class TestFading:
+    def test_rician_unit_mean_power(self):
+        rng = np.random.default_rng(0)
+        for k in (0.0, 1.0, 10.0):
+            gains = np.array([rician_gain(k, rng) for _ in range(20000)])
+            assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, abs=0.05)
+
+    def test_high_k_less_variance(self):
+        rng = np.random.default_rng(0)
+        low = np.abs([rician_gain(0.1, rng) for _ in range(5000)])
+        rng = np.random.default_rng(0)
+        high = np.abs([rician_gain(50.0, rng) for _ in range(5000)])
+        assert np.std(high) < np.std(low)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            rician_gain(-1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            FadingModel(k_direct_los=-1.0)
+
+    def test_k_selection(self):
+        fm = FadingModel()
+        assert fm.k_for(component(blocked=False)) == fm.k_direct_los
+        assert fm.k_for(component(blocked=True)) == fm.k_direct_nlos
+        assert fm.k_for(component(kind=PathKind.REFLECTED, bounces=1)) == fm.k_reflected
+        assert fm.k_for(component(kind=PathKind.SCATTERED, bounces=1)) == fm.k_scattered
+
+
+class TestNoise:
+    def test_thermal_noise_reference(self):
+        # -174 + 73 + 6 = -95 dBm for 20 MHz, NF 6 dB.
+        assert thermal_noise_dbm(20e6, 6.0) == pytest.approx(-95.0, abs=0.1)
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+
+    def test_sample_power_budget(self):
+        nm = NoiseModel()
+        rng = np.random.default_rng(0)
+        samples = np.concatenate(
+            [nm.sample_subcarrier_noise(56, rng) for _ in range(2000)]
+        )
+        measured = np.mean(np.abs(samples) ** 2) * 56
+        assert measured == pytest.approx(nm.noise_power_mw(), rel=0.1)
+
+    def test_needs_positive_subcarriers(self):
+        with pytest.raises(ValueError):
+            NoiseModel().sample_subcarrier_noise(0, np.random.default_rng(0))
+
+    @given(st.integers(min_value=1, max_value=128))
+    @settings(max_examples=20)
+    def test_output_length(self, n):
+        out = NoiseModel().sample_subcarrier_noise(n, np.random.default_rng(0))
+        assert out.shape == (n,)

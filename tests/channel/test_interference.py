@@ -1,0 +1,119 @@
+"""Tests for bursty co-channel interference and the robust PDP estimator."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    CSISynthesizer,
+    LinkSimulator,
+    NoiseModel,
+    PropagationModel,
+)
+from repro.core import estimate_pdp, estimate_pdp_median
+from repro.environment import FloorPlan
+from repro.geometry import Point, Polygon
+
+
+def bursty_sim(prob, burst_dbm=-55.0):
+    plan = FloorPlan("room", Polygon.rectangle(0, 0, 20, 20))
+    synth = CSISynthesizer(
+        noise=NoiseModel(burst_probability=prob, burst_power_dbm=burst_dbm)
+    )
+    return LinkSimulator(plan, synth)
+
+
+class TestInterferenceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(burst_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(burst_probability=-0.1)
+
+    def test_zero_probability_is_thermal_only(self):
+        nm_clean = NoiseModel()
+        nm_bursty = NoiseModel(burst_probability=0.0, burst_power_dbm=-30.0)
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        a = nm_clean.sample_subcarrier_noise(56, rng1)
+        b = nm_bursty.sample_subcarrier_noise(56, rng2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bursts_raise_noise_sometimes(self):
+        nm = NoiseModel(burst_probability=0.3, burst_power_dbm=-55.0)
+        rng = np.random.default_rng(1)
+        powers = [
+            float(np.sum(np.abs(nm.sample_subcarrier_noise(56, rng)) ** 2))
+            for _ in range(400)
+        ]
+        powers = np.array(powers)
+        thermal = nm.noise_power_mw()
+        hit_fraction = float(np.mean(powers > 5 * thermal))
+        assert 0.15 < hit_fraction < 0.45  # roughly the burst probability
+
+    def test_ifft_processing_gain_rejects_moderate_bursts(self):
+        """The IFFT concentrates the coherent path into one tap while
+        interference spreads across all 64, so a burst at the same total
+        power as the signal barely moves the max-tap PDP — inherent
+        interference rejection that scalar RSS does not have."""
+        tx, rx = Point(1, 1), Point(19, 19)
+        clean = estimate_pdp(
+            bursty_sim(0.0).measure_batch(tx, rx, 80, np.random.default_rng(2))
+        )
+        # -30 dBm burst == the link's total received power.
+        moderate = estimate_pdp(
+            bursty_sim(1.0, burst_dbm=-30.0).measure_batch(
+                tx, rx, 80, np.random.default_rng(2)
+            )
+        )
+        assert moderate == pytest.approx(clean, rel=0.3)
+
+    def test_overwhelming_bursts_inflate_mean_pdp(self):
+        """A colliding nearby transmitter (-10 dBm bursts) does corrupt
+        the mean estimator."""
+        tx, rx = Point(1, 1), Point(19, 19)
+        rng = np.random.default_rng(2)
+        pdp_clean = estimate_pdp(
+            bursty_sim(0.0).measure_batch(tx, rx, 80, rng)
+        )
+        pdp_bursty = estimate_pdp(
+            bursty_sim(0.3, burst_dbm=-10.0).measure_batch(tx, rx, 80, rng)
+        )
+        assert pdp_bursty > pdp_clean * 1.5
+
+
+class TestRobustEstimator:
+    def test_median_matches_mean_on_clean_links(self):
+        sim = bursty_sim(0.0)
+        rng = np.random.default_rng(3)
+        batch = sim.measure_batch(Point(2, 2), Point(10, 10), 60, rng)
+        mean_est = estimate_pdp(batch)
+        median_est = estimate_pdp_median(batch)
+        assert median_est == pytest.approx(mean_est, rel=0.25)
+
+    def test_median_resists_overwhelming_bursts(self):
+        """Under 30% strong-collision bursts the median estimator stays
+        near the clean value while the mean inflates."""
+        tx, rx = Point(1, 1), Point(19, 19)
+        rng = np.random.default_rng(4)
+        clean_value = estimate_pdp_median(
+            bursty_sim(0.0).measure_batch(tx, rx, 80, rng)
+        )
+        bursty_batch = bursty_sim(0.3, burst_dbm=-10.0).measure_batch(
+            tx, rx, 80, rng
+        )
+        mean_err = abs(estimate_pdp(bursty_batch) - clean_value) / clean_value
+        median_err = (
+            abs(estimate_pdp_median(bursty_batch) - clean_value) / clean_value
+        )
+        assert median_err < mean_err
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_pdp_median([])
+
+    def test_registered_as_metric(self):
+        from repro.core import PROXIMITY_METRICS, SystemConfig
+
+        assert "pdp_median" in PROXIMITY_METRICS
+        cfg = SystemConfig(proximity_metric="pdp_median")
+        assert cfg.resolve_metric() is PROXIMITY_METRICS["pdp_median"]

@@ -1,0 +1,91 @@
+"""Tests for the cached link-level simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CSISynthesizer, LinkSimulator, METAL, PropagationModel
+from repro.environment import FloorPlan, Obstacle
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture
+def sim():
+    plan = FloorPlan(
+        "room",
+        Polygon.rectangle(0, 0, 10, 10),
+        (),
+        (Obstacle(Polygon.rectangle(4, 4, 6, 6), METAL, "rack"),),
+    )
+    return LinkSimulator(plan)
+
+
+class TestLinkSimulator:
+    def test_trace_cached(self, sim):
+        a, b = Point(1, 1), Point(9, 9)
+        p1 = sim.paths(a, b)
+        p2 = sim.paths(a, b)
+        assert p1 is p2
+        sim.clear_cache()
+        assert sim.paths(a, b) is not p1
+
+    def test_is_los(self, sim):
+        assert sim.is_los(Point(1, 1), Point(9, 1))
+        assert not sim.is_los(Point(1, 5), Point(9, 5))  # through the rack
+
+    def test_measure_shapes(self, sim):
+        rng = np.random.default_rng(0)
+        m = sim.measure(Point(1, 1), Point(9, 1), rng)
+        assert m.csi.shape == (56,)
+        batch = sim.measure_batch(Point(1, 1), Point(9, 1), 5, rng)
+        assert len(batch) == 5
+
+    def test_closer_link_stronger(self, sim):
+        rng = np.random.default_rng(0)
+        near = np.mean(
+            [
+                sim.measure(Point(1, 1), Point(3, 1), rng).total_power_mw()
+                for _ in range(50)
+            ]
+        )
+        far = np.mean(
+            [
+                sim.measure(Point(1, 1), Point(9, 1), rng).total_power_mw()
+                for _ in range(50)
+            ]
+        )
+        assert near > far
+
+    def test_nlos_weaker_than_los_at_same_distance(self, sim):
+        rng = np.random.default_rng(0)
+        # Both links are 8 m; one passes through the metal rack.
+        los = np.mean(
+            [
+                sim.measure(Point(1, 1), Point(9, 1), rng).total_power_mw()
+                for _ in range(50)
+            ]
+        )
+        nlos = np.mean(
+            [
+                sim.measure(Point(1, 5), Point(9, 5), rng).total_power_mw()
+                for _ in range(50)
+            ]
+        )
+        assert nlos < los
+
+    def test_delay_profile_shortcut(self, sim):
+        rng = np.random.default_rng(0)
+        profile = sim.measure_delay_profile(Point(1, 1), Point(9, 1), rng)
+        assert profile.delays_s[0] == 0.0
+        assert profile.max_power() > 0
+
+    def test_custom_synthesizer(self):
+        plan = FloorPlan("r", Polygon.rectangle(0, 0, 5, 5))
+        synth = CSISynthesizer(
+            tx_power_dbm=20.0,
+            propagation=PropagationModel(path_loss_exponent=3.0),
+            noise=None,
+        )
+        sim = LinkSimulator(plan, synth)
+        rng = np.random.default_rng(0)
+        m = sim.measure(Point(1, 1), Point(4, 4), rng, with_fading=False)
+        assert m.total_power_mw() > 0

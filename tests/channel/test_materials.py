@@ -1,0 +1,40 @@
+"""Tests for RF material presets."""
+
+import pytest
+
+from repro.channel import CONCRETE, DRYWALL, GLASS, MATERIALS, METAL, Material
+
+
+class TestMaterial:
+    def test_registry_complete(self):
+        assert set(MATERIALS) == {
+            "concrete",
+            "brick",
+            "drywall",
+            "glass",
+            "wood",
+            "metal",
+            "human_body",
+        }
+        for name, mat in MATERIALS.items():
+            assert mat.name == name
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", -1.0, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            Material("bad", 1.0, -2.0, 3.0)
+        with pytest.raises(ValueError):
+            Material("bad", 1.0, 2.0, -3.0)
+
+    def test_orderings_that_experiments_rely_on(self):
+        # Metal blocks hardest and reflects best.
+        assert METAL.penetration_loss_db > CONCRETE.penetration_loss_db
+        assert METAL.reflection_loss_db < DRYWALL.reflection_loss_db
+        # Light partitions attenuate less than structural concrete.
+        assert DRYWALL.penetration_loss_db < CONCRETE.penetration_loss_db
+        assert GLASS.penetration_loss_db < CONCRETE.penetration_loss_db
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            CONCRETE.penetration_loss_db = 0.0

@@ -1,0 +1,173 @@
+"""Tests for the image-method multipath tracer."""
+
+import pytest
+
+from repro.channel import (
+    CONCRETE,
+    METAL,
+    PathKind,
+    SPEED_OF_LIGHT,
+    TraceConfig,
+    trace_paths,
+)
+from repro.environment import FloorPlan, Obstacle, Wall
+from repro.geometry import Point, Polygon, Segment
+
+
+@pytest.fixture
+def empty_room():
+    """A bare 10 x 10 concrete room."""
+    return FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+
+
+@pytest.fixture
+def room_with_wall():
+    """Room split by an interior wall with a gap at the top."""
+    wall = Wall(Segment(Point(5, 0), Point(5, 7)), CONCRETE)
+    return FloorPlan("split", Polygon.rectangle(0, 0, 10, 10), (wall,))
+
+
+@pytest.fixture
+def room_with_rack(empty_room):
+    rack = Obstacle(Polygon.rectangle(4, 4, 6, 6), METAL, "rack")
+    return FloorPlan("racked", Polygon.rectangle(0, 0, 10, 10), (), (rack,))
+
+
+class TestDirectPath:
+    def test_los_direct(self, empty_room):
+        paths = trace_paths(empty_room, Point(1, 5), Point(9, 5))
+        direct = [p for p in paths if p.kind is PathKind.DIRECT]
+        assert len(direct) == 1
+        d = direct[0]
+        assert d.length_m == pytest.approx(8.0)
+        assert d.delay_s == pytest.approx(8.0 / SPEED_OF_LIGHT)
+        assert d.excess_loss_db == 0.0
+        assert not d.blocked
+        assert d.bounces == 0
+
+    def test_wall_blocks_direct(self, room_with_wall):
+        paths = trace_paths(room_with_wall, Point(1, 3), Point(9, 3))
+        direct = next(p for p in paths if p.kind is PathKind.DIRECT)
+        assert direct.blocked
+        assert direct.excess_loss_db == pytest.approx(
+            CONCRETE.penetration_loss_db
+        )
+
+    def test_gap_above_wall_is_clear(self, room_with_wall):
+        paths = trace_paths(room_with_wall, Point(1, 9), Point(9, 9))
+        direct = next(p for p in paths if p.kind is PathKind.DIRECT)
+        assert not direct.blocked
+
+    def test_obstacle_blocks_direct(self, room_with_rack):
+        paths = trace_paths(room_with_rack, Point(1, 5), Point(9, 5))
+        direct = next(p for p in paths if p.kind is PathKind.DIRECT)
+        assert direct.blocked
+        assert direct.excess_loss_db == pytest.approx(METAL.penetration_loss_db)
+
+    def test_direct_always_first(self, room_with_rack):
+        """Sorted by delay: the direct path has the shortest length."""
+        paths = trace_paths(room_with_rack, Point(1, 1), Point(9, 9))
+        assert paths[0].kind is PathKind.DIRECT
+
+
+class TestReflections:
+    def test_first_order_count_in_empty_room(self, empty_room):
+        cfg = TraceConfig(max_reflection_order=1, include_scatter=False)
+        paths = trace_paths(empty_room, Point(3, 5), Point(7, 5), cfg)
+        reflected = [p for p in paths if p.kind is PathKind.REFLECTED]
+        # All four boundary walls see both endpoints => four single bounces.
+        assert len(reflected) == 4
+        assert all(r.bounces == 1 for r in reflected)
+
+    def test_reflection_longer_than_direct(self, empty_room):
+        cfg = TraceConfig(max_reflection_order=1, include_scatter=False)
+        paths = trace_paths(empty_room, Point(2, 5), Point(8, 5), cfg)
+        direct = next(p for p in paths if p.kind is PathKind.DIRECT)
+        for r in (p for p in paths if p.kind is PathKind.REFLECTED):
+            assert r.length_m > direct.length_m
+
+    def test_known_reflection_geometry(self, empty_room):
+        """Bounce off the y=0 wall between mirrored endpoints."""
+        cfg = TraceConfig(max_reflection_order=1, include_scatter=False)
+        paths = trace_paths(empty_room, Point(2, 3), Point(8, 3), cfg)
+        floor_bounce = min(
+            (p for p in paths if p.kind is PathKind.REFLECTED),
+            key=lambda p: abs(p.length_m - ((6**2 + 6**2) ** 0.5)),
+        )
+        # Image of (2,3) in y=0 is (2,-3); distance to (8,3) = sqrt(36+36).
+        assert floor_bounce.length_m == pytest.approx((72) ** 0.5, abs=1e-6)
+
+    def test_second_order_exist_and_are_longer(self, empty_room):
+        cfg1 = TraceConfig(max_reflection_order=1, include_scatter=False)
+        cfg2 = TraceConfig(max_reflection_order=2, include_scatter=False)
+        p1 = trace_paths(empty_room, Point(2, 2), Point(8, 8), cfg1)
+        p2 = trace_paths(empty_room, Point(2, 2), Point(8, 8), cfg2)
+        doubles = [p for p in p2 if p.bounces == 2]
+        assert len(p2) > len(p1)
+        assert doubles
+        direct = next(p for p in p2 if p.kind is PathKind.DIRECT)
+        assert all(d.length_m > direct.length_m for d in doubles)
+
+    def test_reflection_order_zero(self, empty_room):
+        cfg = TraceConfig(max_reflection_order=0, include_scatter=False)
+        paths = trace_paths(empty_room, Point(2, 2), Point(8, 8), cfg)
+        assert len(paths) == 1
+        assert paths[0].kind is PathKind.DIRECT
+
+    def test_metal_reflects_stronger_than_drywall(self):
+        from repro.channel import DRYWALL
+
+        for material, expect in ((METAL, METAL), (DRYWALL, DRYWALL)):
+            plan = FloorPlan(
+                "one-wall",
+                Polygon.rectangle(0, 0, 20, 20),
+                (Wall(Segment(Point(0, 10), Point(20, 10)), material),),
+            )
+            cfg = TraceConfig(max_reflection_order=1, include_scatter=False)
+            paths = trace_paths(plan, Point(5, 5), Point(15, 5), cfg)
+            losses = {
+                round(p.excess_loss_db, 6)
+                for p in paths
+                if p.kind is PathKind.REFLECTED
+            }
+            # The interior wall's bounce shows up with its own loss.
+            assert expect.reflection_loss_db in losses
+
+
+class TestScatter:
+    def test_scatter_component_present(self, room_with_rack):
+        cfg = TraceConfig(max_reflection_order=0, include_scatter=True)
+        paths = trace_paths(room_with_rack, Point(1, 1), Point(9, 1), cfg)
+        scattered = [p for p in paths if p.kind is PathKind.SCATTERED]
+        assert len(scattered) == 1
+        s = scattered[0]
+        centre = Point(5, 5)
+        expected = Point(1, 1).distance_to(centre) + centre.distance_to(Point(9, 1))
+        assert s.length_m == pytest.approx(expected, abs=1e-6)
+        assert s.excess_loss_db == pytest.approx(METAL.scatter_loss_db)
+
+    def test_scatter_disabled(self, room_with_rack):
+        cfg = TraceConfig(max_reflection_order=0, include_scatter=False)
+        paths = trace_paths(room_with_rack, Point(1, 1), Point(9, 1), cfg)
+        assert all(p.kind is not PathKind.SCATTERED for p in paths)
+
+
+class TestTraceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(max_reflection_order=3)
+        with pytest.raises(ValueError):
+            TraceConfig(min_component_db=0.0)
+
+    def test_cutoff_drops_weak_components(self, empty_room):
+        generous = TraceConfig(max_reflection_order=2, min_component_db=200.0)
+        strict = TraceConfig(max_reflection_order=2, min_component_db=5.0)
+        tx, rx = Point(2, 2), Point(8, 8)
+        assert len(trace_paths(empty_room, tx, rx, strict)) <= len(
+            trace_paths(empty_room, tx, rx, generous)
+        )
+
+    def test_sorted_by_delay(self, room_with_rack):
+        paths = trace_paths(room_with_rack, Point(1, 2), Point(9, 8))
+        delays = [p.delay_s for p in paths]
+        assert delays == sorted(delays)

@@ -1,0 +1,115 @@
+"""Tests for path-loss and unit-conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    SPEED_OF_LIGHT,
+    PropagationModel,
+    db_to_linear_amplitude,
+    dbm_to_mw,
+    free_space_path_loss_db,
+    mw_to_dbm,
+)
+
+
+class TestConversions:
+    def test_dbm_mw_roundtrip(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+        assert mw_to_dbm(1.0) == pytest.approx(0.0)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            mw_to_dbm(-1.0)
+
+    def test_db_to_linear_amplitude(self):
+        assert db_to_linear_amplitude(0.0) == pytest.approx(1.0)
+        assert db_to_linear_amplitude(-20.0) == pytest.approx(0.1)
+        # amplitude squared equals the power ratio
+        assert db_to_linear_amplitude(-3.0) ** 2 == pytest.approx(
+            dbm_to_mw(-3.0), rel=1e-9
+        )
+
+    @given(st.floats(min_value=-120, max_value=40))
+    def test_roundtrip_property(self, dbm):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestFreeSpacePathLoss:
+    def test_reference_value(self):
+        # ~40 dB at 1 m, 2.4 GHz — the textbook number.
+        assert free_space_path_loss_db(1.0, 2.412e9) == pytest.approx(40.1, abs=0.2)
+
+    def test_plus_six_db_per_doubling(self):
+        f = 2.412e9
+        assert free_space_path_loss_db(2.0, f) - free_space_path_loss_db(
+            1.0, f
+        ) == pytest.approx(20 * math.log10(2))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 2.4e9)
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(1.0, 0.0)
+
+
+class TestPropagationModel:
+    def test_matches_fspl_at_reference(self):
+        m = PropagationModel(path_loss_exponent=3.0)
+        assert m.path_loss_db(1.0) == pytest.approx(
+            free_space_path_loss_db(1.0, m.frequency_hz)
+        )
+
+    def test_exponent_slope(self):
+        m = PropagationModel(path_loss_exponent=2.8)
+        slope = m.path_loss_db(10.0) - m.path_loss_db(1.0)
+        assert slope == pytest.approx(28.0)
+
+    def test_near_field_clamp(self):
+        m = PropagationModel(d_min=0.3)
+        assert m.path_loss_db(0.01) == m.path_loss_db(0.3)
+
+    def test_received_power_monotone_in_distance(self):
+        m = PropagationModel()
+        powers = [m.received_power_dbm(15.0, d) for d in (1, 2, 5, 10, 20)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_extra_loss_subtracts(self):
+        m = PropagationModel()
+        base = m.received_power_dbm(15.0, 5.0)
+        assert m.received_power_dbm(15.0, 5.0, extra_loss_db=12.0) == pytest.approx(
+            base - 12.0
+        )
+        # Negative extra loss (shadowing gain) adds power.
+        assert m.received_power_dbm(15.0, 5.0, extra_loss_db=-3.0) == pytest.approx(
+            base + 3.0
+        )
+
+    def test_delay(self):
+        m = PropagationModel()
+        assert m.delay_s(SPEED_OF_LIGHT) == pytest.approx(1.0)
+        assert m.delay_s(3.0) == pytest.approx(3.0 / SPEED_OF_LIGHT)
+        with pytest.raises(ValueError):
+            m.delay_s(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PropagationModel(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            PropagationModel(reference_distance_m=0.0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=100),
+        st.floats(min_value=0.5, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_monotonicity_property(self, d1, d2):
+        m = PropagationModel(path_loss_exponent=2.5)
+        if d1 < d2:
+            assert m.path_loss_db(d1) <= m.path_loss_db(d2)

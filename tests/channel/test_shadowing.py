@@ -1,0 +1,101 @@
+"""Tests for the correlated shadowing field."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinkSimulator, ShadowingModel
+from repro.environment import FloorPlan
+from repro.geometry import Point, Polygon
+
+
+class TestShadowingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShadowingModel(sigma_db=-1)
+        with pytest.raises(ValueError):
+            ShadowingModel(decorrelation_m=0)
+        with pytest.raises(ValueError):
+            ShadowingModel(grid_spacing_m=0)
+
+    def test_zero_sigma_is_zero_field(self):
+        m = ShadowingModel(sigma_db=0.0)
+        assert m.field_db(Point(3, 4)) == 0.0
+        assert m.link_shadowing_db(Point(0, 0), Point(5, 5)) == 0.0
+
+    def test_deterministic(self):
+        m1 = ShadowingModel(sigma_db=4.0, seed=7)
+        m2 = ShadowingModel(sigma_db=4.0, seed=7)
+        p = Point(12.3, -4.5)
+        assert m1.field_db(p) == m2.field_db(p)
+
+    def test_seeds_differ(self):
+        p = Point(3, 3)
+        a = ShadowingModel(sigma_db=4.0, seed=1).field_db(p)
+        b = ShadowingModel(sigma_db=4.0, seed=2).field_db(p)
+        assert a != b
+
+    def test_field_statistics(self):
+        """Zero mean, roughly the configured sigma."""
+        m = ShadowingModel(sigma_db=4.0, seed=3, decorrelation_m=3.0)
+        rng = np.random.default_rng(0)
+        # Sample far apart so draws are nearly independent.
+        samples = [
+            m.field_db(Point(float(x), float(y)))
+            for x, y in rng.uniform(0, 2000, size=(300, 2))
+        ]
+        assert abs(np.mean(samples)) < 1.0
+        assert 2.5 < np.std(samples) < 5.5
+
+    def test_spatial_correlation(self):
+        """Nearby points agree; distant points do not."""
+        m = ShadowingModel(sigma_db=4.0, seed=5, decorrelation_m=4.0)
+        rng = np.random.default_rng(1)
+        near_diffs, far_diffs = [], []
+        for _ in range(120):
+            base = Point(*rng.uniform(0, 500, 2))
+            near = Point(base.x + 0.5, base.y)
+            far = Point(base.x + 40.0, base.y)
+            v = m.field_db(base)
+            near_diffs.append(abs(m.field_db(near) - v))
+            far_diffs.append(abs(m.field_db(far) - v))
+        assert np.mean(near_diffs) < np.mean(far_diffs) / 2
+
+    def test_link_shadowing_variance_preserved(self):
+        m = ShadowingModel(sigma_db=4.0, seed=9, decorrelation_m=3.0)
+        rng = np.random.default_rng(2)
+        vals = []
+        for _ in range(300):
+            tx = Point(*rng.uniform(0, 3000, 2))
+            rx = Point(tx.x + rng.uniform(1, 10), tx.y)
+            vals.append(m.link_shadowing_db(tx, rx))
+        assert 2.5 < np.std(vals) < 5.5
+
+
+class TestLinkSimulatorIntegration:
+    def test_shadowing_shifts_all_components_equally(self):
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 20, 20))
+        plain = LinkSimulator(plan)
+        shadowed = LinkSimulator(
+            plan, shadowing=ShadowingModel(sigma_db=6.0, seed=4)
+        )
+        tx, rx = Point(2, 2), Point(15, 9)
+        p0 = plain.paths(tx, rx)
+        p1 = shadowed.paths(tx, rx)
+        assert len(p0) == len(p1)
+        offsets = {
+            round(b.excess_loss_db - a.excess_loss_db, 9)
+            for a, b in zip(p0, p1)
+        }
+        assert len(offsets) == 1  # one common link-level offset
+        assert offsets != {0.0}
+
+    def test_shadowing_stable_per_link(self):
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 20, 20))
+        sim = LinkSimulator(plan, shadowing=ShadowingModel(sigma_db=6.0, seed=4))
+        tx, rx = Point(2, 2), Point(15, 9)
+        sim_paths = sim.paths(tx, rx)
+        sim.clear_cache()
+        again = sim.paths(tx, rx)
+        assert [p.excess_loss_db for p in sim_paths] == [
+            p.excess_loss_db for p in again
+        ]

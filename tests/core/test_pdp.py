@@ -1,0 +1,168 @@
+"""Tests for PDP estimation and the confidence factor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import CSISynthesizer, LinkSimulator, PropagationModel
+from repro.core import (
+    confidence_factor,
+    estimate_pdp,
+    judge_proximity,
+    proximity_confidence,
+)
+from repro.environment import FloorPlan
+from repro.geometry import Point, Polygon
+
+ratios = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestConfidenceFactor:
+    """The paper's f must satisfy Eqs. 2-4."""
+
+    def test_f_of_one_is_half(self):
+        assert confidence_factor(1.0) == pytest.approx(0.5)
+
+    def test_eq4_branches(self):
+        assert confidence_factor(0.5) == pytest.approx(2 ** -0.5)
+        assert confidence_factor(2.0) == pytest.approx(1 - 2 ** -0.5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_factor(0.0)
+        with pytest.raises(ValueError):
+            confidence_factor(-1.0)
+
+    @given(ratios)
+    @settings(max_examples=200)
+    def test_eq2_reciprocal_identity(self, x):
+        """f(x) + f(1/x) = 1 for all x > 0."""
+        assert confidence_factor(x) + confidence_factor(1.0 / x) == pytest.approx(
+            1.0, abs=1e-12
+        )
+
+    @given(ratios)
+    def test_eq3_nonnegative(self, x):
+        assert confidence_factor(x) >= 0.0
+
+    @given(ratios, ratios)
+    @settings(max_examples=100)
+    def test_monotone_decreasing(self, a, b):
+        lo, hi = sorted((a, b))
+        if hi - lo < 1e-9:
+            return
+        assert confidence_factor(lo) >= confidence_factor(hi)
+
+    def test_limits(self):
+        assert confidence_factor(1e-6) == pytest.approx(1.0, abs=1e-5)
+        assert confidence_factor(1e6) == pytest.approx(0.0, abs=1e-5)
+
+    def test_continuous_at_one(self):
+        eps = 1e-9
+        assert confidence_factor(1 - eps) == pytest.approx(
+            confidence_factor(1 + eps), abs=1e-6
+        )
+
+
+class TestProximityConfidence:
+    def test_symmetric(self):
+        assert proximity_confidence(3.0, 7.0) == proximity_confidence(7.0, 3.0)
+
+    def test_range(self):
+        assert proximity_confidence(5.0, 5.0) == pytest.approx(0.5)
+        assert proximity_confidence(1e-6, 1.0) > 0.99
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            proximity_confidence(0.0, 1.0)
+
+    @given(
+        st.floats(min_value=1e-9, max_value=1e3),
+        st.floats(min_value=1e-9, max_value=1e3),
+    )
+    @settings(max_examples=100)
+    def test_in_half_one_interval(self, p, q):
+        w = proximity_confidence(p, q)
+        assert 0.5 <= w < 1.0 + 1e-12
+
+
+class TestJudgeProximity:
+    def test_larger_pdp_wins(self):
+        j = judge_proximity([1.0, 3.0, 2.0], 0, 1)
+        assert j.near_index == 1
+        assert j.far_index == 0
+        assert j.pdp_near == 3.0
+
+    def test_tie_goes_to_first(self):
+        j = judge_proximity([2.0, 2.0], 0, 1)
+        assert j.near_index == 0
+        assert j.confidence == pytest.approx(0.5)
+
+    def test_self_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            judge_proximity([1.0, 2.0], 1, 1)
+
+
+class TestEstimatePDP:
+    def test_requires_measurements(self):
+        with pytest.raises(ValueError):
+            estimate_pdp([])
+
+    def test_average_of_max_tap_powers(self):
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+        sim = LinkSimulator(plan)
+        rng = np.random.default_rng(0)
+        batch = sim.measure_batch(Point(2, 5), Point(8, 5), 20, rng)
+        pdp = estimate_pdp(batch)
+        from repro.channel import delay_profile
+
+        expected = np.mean([delay_profile(m).max_power() for m in batch])
+        assert pdp == pytest.approx(expected)
+
+    def test_pdp_decreases_with_distance(self):
+        """The core physical premise: larger PDP means closer (LOS)."""
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 30, 10))
+        sim = LinkSimulator(plan)
+        rng = np.random.default_rng(1)
+        tx = Point(1, 5)
+        pdps = []
+        for x in (3, 8, 15, 25):
+            batch = sim.measure_batch(tx, Point(float(x), 5), 40, rng)
+            pdps.append(estimate_pdp(batch))
+        assert pdps == sorted(pdps, reverse=True)
+
+    def test_nlos_pdp_below_los_at_same_distance(self):
+        """NLOS crushes the PDP relative to an equal-length LOS link."""
+        from repro.channel import METAL
+        from repro.environment import Obstacle
+
+        plan = FloorPlan(
+            "blocked",
+            Polygon.rectangle(0, 0, 20, 20),
+            (),
+            (Obstacle(Polygon.rectangle(9, 9, 11, 11), METAL, "blocker"),),
+        )
+        sim = LinkSimulator(plan)
+        rng = np.random.default_rng(2)
+        los = estimate_pdp(sim.measure_batch(Point(2, 2), Point(18, 2), 40, rng))
+        nlos = estimate_pdp(sim.measure_batch(Point(2, 10), Point(18, 10), 40, rng))
+        assert nlos < los
+
+    def test_averaging_stabilizes(self):
+        """More packets shrink the PDP estimator's spread."""
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+        sim = LinkSimulator(plan)
+
+        def spread(n_packets, seeds=20):
+            vals = [
+                estimate_pdp(
+                    sim.measure_batch(
+                        Point(2, 5), Point(8, 5), n_packets, np.random.default_rng(s)
+                    )
+                )
+                for s in range(seeds)
+            ]
+            return np.std(vals) / np.mean(vals)
+
+        assert spread(40) < spread(2)

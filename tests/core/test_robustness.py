@@ -1,0 +1,142 @@
+"""Failure-injection and property tests on the SP localizer.
+
+The localizer must degrade gracefully, never crash, and never escape the
+venue, whatever the PDP measurements look like — they are, after all,
+radio measurements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Anchor, LocalizerConfig, NomLocLocalizer
+from repro.geometry import Point, Polygon
+
+
+SQUARE = Polygon.rectangle(0, 0, 10, 10)
+L_SHAPE = Polygon.from_coords(
+    [(0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20)]
+)
+CORNERS = [Point(0.5, 0.5), Point(9.5, 0.5), Point(9.5, 9.5), Point(0.5, 9.5)]
+
+
+def anchors_with_pdps(pdps, positions=None):
+    positions = positions or CORNERS
+    return [
+        Anchor(f"A{i}", p, pdp)
+        for i, (p, pdp) in enumerate(zip(positions, pdps))
+    ]
+
+
+class TestArbitraryPDPs:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-12, max_value=1e3),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_always_inside_square(self, pdps):
+        loc = NomLocLocalizer(SQUARE)
+        est = loc.locate(anchors_with_pdps(pdps))
+        assert SQUARE.contains(est.position) or min(
+            est.position.distance_to(v) for v in SQUARE.vertices
+        ) < 1e-6
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-12, max_value=1e3),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_l_shape_never_escapes(self, pdps):
+        loc = NomLocLocalizer(L_SHAPE)
+        positions = [Point(1, 1), Point(19, 1), Point(19, 9), Point(1, 19)]
+        est = loc.locate(anchors_with_pdps(pdps, positions))
+        assert L_SHAPE.contains(est.position) or min(
+            est.position.distance_to(v) for v in L_SHAPE.vertices
+        ) < 1e-6
+
+    def test_equal_pdps_tie_break_is_deterministic_and_sane(self):
+        """All-equal PDPs tie-break by index into a consistent ordering
+        chain; the estimate is the centre of that (degenerate) cell."""
+        loc = NomLocLocalizer(SQUARE)
+        est = loc.locate(anchors_with_pdps([1.0, 1.0, 1.0, 1.0]))
+        assert SQUARE.contains(est.position)
+        # The tie chain pins x = 5 (A0<A1 gives x<=5, A2<A3 gives x>=5).
+        assert est.position.x == pytest.approx(5.0, abs=0.1)
+        again = loc.locate(anchors_with_pdps([1.0, 1.0, 1.0, 1.0]))
+        assert est.position == again.position
+
+    def test_extreme_disparity(self):
+        """One anchor dominating by 10^9: the estimate is nearest to it."""
+        loc = NomLocLocalizer(SQUARE)
+        est = loc.locate(anchors_with_pdps([1e6, 1e-3, 1e-3, 1e-3]))
+        d_winner = est.position.distance_to(CORNERS[0])
+        for other in CORNERS[1:]:
+            assert d_winner <= est.position.distance_to(other) + 1e-6
+
+
+class TestAnchorDropout:
+    def test_dropout_grows_region_but_stays_sane(self):
+        loc = NomLocLocalizer(SQUARE)
+        obj = Point(3, 3)
+        full = [
+            Anchor(f"A{i}", p, 1.0 / (0.1 + obj.distance_to(p)) ** 2)
+            for i, p in enumerate(CORNERS)
+        ]
+        est_full = loc.locate(full)
+        est_drop = loc.locate(full[:-1])  # one AP dies
+        assert est_full.region is not None and est_drop.region is not None
+        assert est_drop.region.area() >= est_full.region.area() - 1e-9
+        assert SQUARE.contains(est_drop.position)
+
+    def test_two_anchor_minimum(self):
+        loc = NomLocLocalizer(SQUARE)
+        est = loc.locate(
+            [Anchor("A", Point(1, 5), 2.0), Anchor("B", Point(9, 5), 1.0)]
+        )
+        # Two anchors: one bisector; estimate in A's halfplane.
+        assert est.position.x < 5.0
+        assert SQUARE.contains(est.position)
+
+
+class TestCollinearAnchors:
+    def test_collinear_deployment_works(self):
+        """Anchors on one line only resolve the along-line coordinate."""
+        loc = NomLocLocalizer(SQUARE)
+        line = [Point(1, 5), Point(4, 5), Point(7, 5), Point(9.5, 5)]
+        obj = Point(4.2, 5.0)
+        anchors = [
+            Anchor(f"A{i}", p, 1.0 / (0.1 + obj.distance_to(p)) ** 2)
+            for i, p in enumerate(line)
+        ]
+        est = loc.locate(anchors)
+        assert abs(est.position.x - obj.x) < 2.0
+        assert SQUARE.contains(est.position)
+
+
+class TestWeightSemantics:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_relaxation_cost_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        loc = NomLocLocalizer(SQUARE)
+        pdps = rng.uniform(1e-8, 1e-3, 4)
+        est = loc.locate(anchors_with_pdps(list(pdps)))
+        assert est.relaxation_cost >= -1e-9
+
+    def test_boundary_never_sacrificed_for_pairwise(self):
+        """Even absurd PDPs cannot push the estimate outside."""
+        loc = NomLocLocalizer(SQUARE, LocalizerConfig())
+        outside_pull = [
+            Anchor("far", Point(9.9, 9.9), 1e3),
+            Anchor("a", Point(0.5, 0.5), 1e-9),
+            Anchor("b", Point(5.0, 0.5), 1e-9),
+        ]
+        est = loc.locate(outside_pull)
+        assert SQUARE.contains(est.position)

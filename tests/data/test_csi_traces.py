@@ -1,0 +1,51 @@
+"""Tests for raw CSI trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CSISynthesizer, LinkSimulator, OFDMConfig
+from repro.data import load_csi_batch, save_csi_batch
+from repro.environment import FloorPlan
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture
+def batch():
+    plan = FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+    sim = LinkSimulator(plan)
+    rng = np.random.default_rng(0)
+    return sim.measure_batch(Point(1, 1), Point(8, 8), 12, rng)
+
+
+class TestCSITraces:
+    def test_roundtrip_lossless(self, batch, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_csi_batch(path, batch)
+        loaded = load_csi_batch(path)
+        assert len(loaded) == len(batch)
+        for orig, back in zip(batch, loaded):
+            np.testing.assert_array_equal(orig.csi, back.csi)
+            assert back.config.n_fft == orig.config.n_fft
+            assert back.config.active_subcarriers == orig.config.active_subcarriers
+
+    def test_empty_batch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csi_batch(tmp_path / "x.npz", [])
+
+    def test_mixed_configs_rejected(self, batch, tmp_path):
+        from repro.channel import CSIMeasurement
+
+        other_cfg = OFDMConfig(active_subcarriers=(-1, 1))
+        odd = CSIMeasurement(np.ones(2, dtype=complex), other_cfg)
+        with pytest.raises(ValueError):
+            save_csi_batch(tmp_path / "x.npz", list(batch) + [odd])
+
+    def test_pdp_preserved_through_roundtrip(self, batch, tmp_path):
+        """Derived quantities survive persistence."""
+        from repro.core import estimate_pdp
+
+        path = tmp_path / "trace.npz"
+        save_csi_batch(path, batch)
+        assert estimate_pdp(load_csi_batch(path)) == pytest.approx(
+            estimate_pdp(batch)
+        )

@@ -1,0 +1,68 @@
+"""Tests for floor plans."""
+
+import pytest
+
+from repro.channel import CONCRETE, DRYWALL, METAL
+from repro.environment import FloorPlan, Obstacle, Wall
+from repro.geometry import Point, Polygon, Segment
+
+
+@pytest.fixture
+def plan():
+    boundary = Polygon.rectangle(0, 0, 10, 8)
+    walls = (Wall(Segment(Point(5, 0), Point(5, 5)), DRYWALL),)
+    obstacles = (Obstacle(Polygon.rectangle(7, 6, 9, 7), METAL, "rack"),)
+    return FloorPlan("test", boundary, walls, obstacles)
+
+
+class TestFloorPlan:
+    def test_obstacle_outside_rejected(self):
+        boundary = Polygon.rectangle(0, 0, 5, 5)
+        bad = Obstacle(Polygon.rectangle(4, 4, 7, 7), METAL)
+        with pytest.raises(ValueError):
+            FloorPlan("bad", boundary, (), (bad,))
+
+    def test_reflective_walls_include_boundary(self, plan):
+        walls = plan.reflective_walls()
+        assert len(walls) == 4 + 1
+        assert sum(w.material is CONCRETE for w in walls) == 4
+
+    def test_blocking_walls(self, plan):
+        crossing = Segment(Point(2, 3), Point(8, 3))
+        clear = Segment(Point(2, 7), Point(4.5, 7))
+        assert len(plan.blocking_walls(crossing)) == 1
+        assert plan.blocking_walls(clear) == []
+
+    def test_blocking_obstacles(self, plan):
+        through = Segment(Point(6, 6.5), Point(10, 6.5))
+        assert len(plan.blocking_obstacles(through)) == 1
+
+    def test_is_los(self, plan):
+        assert plan.is_los(Point(1, 7), Point(4, 7))
+        assert not plan.is_los(Point(2, 3), Point(8, 3))  # wall
+        assert not plan.is_los(Point(6, 6.5), Point(9.5, 6.5))  # rack
+
+    def test_penetration_loss(self, plan):
+        through_both = Segment(Point(2, 3), Point(8.5, 6.8))
+        loss = plan.penetration_loss_db(through_both)
+        assert loss >= DRYWALL.penetration_loss_db
+
+    def test_contains(self, plan):
+        assert plan.contains(Point(1, 1))
+        assert not plan.contains(Point(11, 1))
+
+    def test_convex_pieces_of_rectangle(self, plan):
+        assert len(plan.convex_pieces()) == 1
+
+    def test_clutter_density(self, plan):
+        expected = 2.0 / 80.0
+        assert plan.clutter_density() == pytest.approx(expected)
+
+    def test_wall_blocks(self):
+        w = Wall(Segment(Point(0, 0), Point(0, 10)))
+        assert w.blocks(Segment(Point(-1, 5), Point(1, 5)))
+        assert not w.blocks(Segment(Point(1, 5), Point(2, 5)))
+
+    def test_obstacle_scatter_point(self):
+        o = Obstacle(Polygon.rectangle(0, 0, 2, 2), METAL)
+        assert o.scatter_point().almost_equals(Point(1, 1))

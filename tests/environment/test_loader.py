@@ -1,0 +1,89 @@
+"""Tests for scenario JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.environment import (
+    build_lab,
+    build_lobby,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [build_lab, build_lobby])
+    def test_builtin_scenarios_roundtrip(self, factory):
+        original = factory()
+        back = scenario_from_dict(scenario_to_dict(original))
+        assert back.name == original.name
+        assert back.path_loss_exponent == original.path_loss_exponent
+        assert back.test_sites == original.test_sites
+        assert back.plan.boundary.vertices == original.plan.boundary.vertices
+        assert len(back.plan.walls) == len(original.plan.walls)
+        assert len(back.plan.obstacles) == len(original.plan.obstacles)
+        for a, b in zip(back.aps, original.aps):
+            assert a.name == b.name
+            assert a.position == b.position
+            assert a.nomadic == b.nomadic
+            assert a.sites == b.sites
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "lab.json"
+        save_scenario(build_lab(), path)
+        back = load_scenario(path)
+        assert back.name == "lab"
+        assert len(back.aps) == 4
+
+    def test_materials_preserved(self):
+        lab = build_lab()
+        back = scenario_from_dict(scenario_to_dict(lab))
+        assert [o.material.name for o in back.plan.obstacles] == [
+            o.material.name for o in lab.plan.obstacles
+        ]
+        assert back.plan.boundary_material.name == "concrete"
+
+    def test_loaded_scenario_is_usable(self, tmp_path):
+        """A reloaded scenario drives the full system."""
+        import numpy as np
+
+        from repro.core import NomLocSystem, SystemConfig
+
+        path = tmp_path / "lab.json"
+        save_scenario(build_lab(), path)
+        scenario = load_scenario(path)
+        system = NomLocSystem(scenario, SystemConfig(packets_per_link=5))
+        err = system.localization_error(
+            scenario.test_sites[0], np.random.default_rng(0)
+        )
+        assert 0 <= err < 10
+
+
+class TestValidation:
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"format_version": 99})
+
+    def test_unknown_material(self):
+        doc = scenario_to_dict(build_lab())
+        doc["plan"]["obstacles"][0]["material"] = "vibranium"
+        with pytest.raises(ValueError):
+            scenario_from_dict(doc)
+
+    def test_constructor_validation_applies(self):
+        """Bad geometry in the document is caught by Scenario checks."""
+        doc = scenario_to_dict(build_lab())
+        doc["test_sites"].append([999.0, 999.0])
+        with pytest.raises(ValueError):
+            scenario_from_dict(doc)
+
+    def test_json_is_stable(self, tmp_path):
+        """Serialization is deterministic (sorted keys, fixed layout)."""
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        save_scenario(build_lab(), p1)
+        save_scenario(build_lab(), p2)
+        assert p1.read_text() == p2.read_text()
+        json.loads(p1.read_text())  # valid JSON

@@ -1,0 +1,223 @@
+"""Tests for the Lab and Lobby scenarios."""
+
+import pytest
+
+from repro.environment import APSpec, Scenario, build_lab, build_lobby, get_scenario
+from repro.geometry import Point, Polygon
+
+
+class TestAPSpec:
+    def test_nomadic_needs_sites(self):
+        with pytest.raises(ValueError):
+            APSpec("AP1", Point(0, 0), nomadic=True, sites=(Point(0, 0),))
+
+    def test_static_must_not_have_sites(self):
+        with pytest.raises(ValueError):
+            APSpec("AP1", Point(0, 0), sites=(Point(1, 1), Point(2, 2)))
+
+    def test_all_sites(self):
+        static = APSpec("A", Point(1, 2))
+        assert static.all_sites() == (Point(1, 2),)
+        nomadic = APSpec("B", Point(0, 0), nomadic=True, sites=(Point(0, 0), Point(1, 1)))
+        assert len(nomadic.all_sites()) == 2
+
+
+class TestScenarioValidation:
+    def test_sites_must_be_inside(self):
+        from repro.environment import FloorPlan
+
+        plan = FloorPlan("p", Polygon.rectangle(0, 0, 5, 5))
+        with pytest.raises(ValueError):
+            Scenario(
+                "bad",
+                plan,
+                (APSpec("AP1", Point(10, 10)),),
+                (Point(1, 1),),
+                2.0,
+            )
+        with pytest.raises(ValueError):
+            Scenario(
+                "bad",
+                plan,
+                (APSpec("AP1", Point(1, 1)),),
+                (Point(10, 10),),
+                2.0,
+            )
+
+    def test_duplicate_names_rejected(self):
+        from repro.environment import FloorPlan
+
+        plan = FloorPlan("p", Polygon.rectangle(0, 0, 5, 5))
+        with pytest.raises(ValueError):
+            Scenario(
+                "bad",
+                plan,
+                (APSpec("AP1", Point(1, 1)), APSpec("AP1", Point(2, 2))),
+                (Point(1, 2),),
+                2.0,
+            )
+
+
+class TestLabScenario:
+    def test_shape_matches_paper(self):
+        lab = build_lab()
+        assert len(lab.aps) == 4
+        assert len(lab.nomadic_aps) == 1
+        assert lab.nomadic_aps[0].name == "AP1"
+        # Home + {P1, P2, P3}.
+        assert len(lab.nomadic_aps[0].sites) == 4
+        assert len(lab.test_sites) == 10  # Fig. 7 Lab has 10 position indices
+
+    def test_lab_is_cluttered(self):
+        lab = build_lab()
+        assert lab.plan.clutter_density() > 0.08
+
+    def test_lab_has_nlos_links(self):
+        """Clutter must create NLOS AP-site pairs (the paper's premise)."""
+        lab = build_lab()
+        nlos = sum(
+            not lab.plan.is_los(ap.position, site)
+            for ap in lab.aps
+            for site in lab.test_sites
+        )
+        assert nlos >= 5
+
+    def test_boundary_convex(self):
+        assert len(build_lab().plan.convex_pieces()) == 1
+
+
+class TestLobbyScenario:
+    def test_shape_matches_paper(self):
+        lobby = build_lobby()
+        assert len(lobby.aps) == 4
+        assert len(lobby.nomadic_aps) == 1
+        assert len(lobby.test_sites) == 12  # Fig. 7 Lobby has 12 indices
+
+    def test_l_shape_non_convex(self):
+        lobby = build_lobby()
+        assert not lobby.plan.boundary.is_convex()
+        pieces = lobby.plan.convex_pieces()
+        assert len(pieces) == 2
+
+    def test_lobby_more_open_than_lab(self):
+        assert build_lobby().plan.clutter_density() < build_lab().plan.clutter_density()
+
+    def test_lobby_larger_than_lab(self):
+        assert build_lobby().plan.boundary.area() > build_lab().plan.boundary.area()
+
+    def test_sparser_ap_deployment(self):
+        """Mean AP separation is larger in the Lobby (paper Sec. V-C)."""
+
+        def mean_sep(scen):
+            aps = [ap.position for ap in scen.aps]
+            seps = [
+                a.distance_to(b) for i, a in enumerate(aps) for b in aps[i + 1 :]
+            ]
+            return sum(seps) / len(seps)
+
+        assert mean_sep(build_lobby()) > mean_sep(build_lab())
+
+
+class TestOfficeScenario:
+    def test_shape(self):
+        from repro.environment import build_office
+
+        office = build_office()
+        assert len(office.aps) == 4
+        assert len(office.nomadic_aps) == 1
+        assert len(office.nomadic_aps[0].sites) == 4
+        assert len(office.test_sites) == 11
+
+    def test_wall_dominated(self):
+        """The office is the wall-heavy regime: most links are NLOS and
+        clutter is light."""
+        from repro.environment import build_lab, build_office
+
+        office = build_office()
+        nlos = sum(
+            not office.plan.is_los(ap.position, site)
+            for ap in office.aps
+            for site in office.test_sites
+        )
+        total = len(office.aps) * len(office.test_sites)
+        assert nlos / total > 0.5
+        assert office.plan.clutter_density() < build_lab().plan.clutter_density()
+        assert len(office.plan.walls) > 10
+
+    def test_corridor_sites_clear_of_walls(self):
+        from repro.environment import build_office
+
+        office = build_office()
+        nomadic = office.nomadic_aps[0]
+        # The corridor walk is LOS between consecutive sites.
+        for a, b in zip(nomadic.sites, nomadic.sites[1:]):
+            assert office.plan.is_los(a, b)
+
+    def test_nomadic_beats_static(self):
+        """The headline effect holds in the third venue too."""
+        import numpy as np
+
+        from repro.core import NomLocSystem, SystemConfig
+        from repro.environment import build_office
+
+        office = build_office()
+        nom = NomLocSystem(office, SystemConfig(packets_per_link=8))
+        sta = NomLocSystem(
+            office, SystemConfig(packets_per_link=8, use_nomadic=False)
+        )
+        nom_errs, sta_errs = [], []
+        for i, site in enumerate(office.test_sites):
+            rng = np.random.default_rng(i)
+            nom_errs.append(nom.localization_error(site, np.random.default_rng(i)))
+            sta_errs.append(sta.localization_error(site, np.random.default_rng(i)))
+        assert np.mean(nom_errs) < np.mean(sta_errs)
+
+
+class TestStaticVariant:
+    def test_pins_nomadic_aps(self):
+        lab = build_lab()
+        static = lab.static_variant()
+        assert not static.nomadic_aps
+        ap1 = next(ap for ap in static.aps if ap.name == "AP1")
+        assert ap1.position == lab.nomadic_aps[0].position
+
+    def test_name_suffix(self):
+        assert build_lab().static_variant().name == "lab-static"
+
+
+class TestDenseSites:
+    def test_grid_properties(self):
+        lab = build_lab()
+        sites = lab.dense_sites(1.0)
+        assert len(sites) > 50
+        for p in sites:
+            assert lab.plan.contains(p)
+            for o in lab.plan.obstacles:
+                assert not o.polygon.contains(p, boundary=False)
+
+    def test_finer_spacing_more_sites(self):
+        lab = build_lab()
+        assert len(lab.dense_sites(0.5)) > len(lab.dense_sites(2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_lab().dense_sites(0.0)
+
+    def test_l_shape_notch_excluded(self):
+        lobby = build_lobby()
+        for p in lobby.dense_sites(2.0):
+            # Nothing in the removed quadrant of the L.
+            assert not (p.x > 12.5 and p.y > 10.5)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_scenario("lab").name == "lab"
+        assert get_scenario("lobby").name == "lobby"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_scenario("warehouse")
+
+    def test_fresh_instances(self):
+        assert get_scenario("lab") is not get_scenario("lab")

@@ -1,0 +1,117 @@
+"""Tests for SLV, error statistics, and error CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import ErrorCDF, ErrorStats, slv
+
+errors_lists = st.lists(
+    st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=40
+)
+
+
+class TestSLV:
+    def test_matches_eq22(self):
+        e = [1.0, 2.0, 3.0]
+        e_bar = 2.0
+        expected = sum((x - e_bar) ** 2 for x in e) / 3
+        assert slv(e) == pytest.approx(expected)
+
+    def test_constant_errors_zero_slv(self):
+        assert slv([2.5] * 10) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slv([])
+
+    @given(errors_lists)
+    def test_nonnegative(self, errors):
+        assert slv(errors) >= 0
+
+    @given(errors_lists, st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=50)
+    def test_shift_invariant(self, errors, shift):
+        """SLV measures spread, not level: adding a constant changes nothing."""
+        shifted = [e + shift for e in errors]
+        assert slv(shifted) == pytest.approx(slv(errors), abs=1e-6)
+
+    def test_uniform_improvement_preserves_slv(self):
+        """The paper's point: accuracy and SLV are different axes."""
+        bad_but_consistent = [5.0, 5.1, 4.9, 5.0]
+        good_but_variable = [0.5, 3.5, 0.2, 4.0]
+        assert np.mean(bad_but_consistent) > np.mean(good_but_variable)
+        assert slv(bad_but_consistent) < slv(good_but_variable)
+
+
+class TestErrorStats:
+    def test_fields(self):
+        s = ErrorStats.from_errors([1.0, 2.0, 3.0, 4.0, 10.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.maximum == 10.0
+        assert s.count == 5
+        assert s.p90 == pytest.approx(np.percentile([1, 2, 3, 4, 10], 90))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorStats.from_errors([])
+        with pytest.raises(ValueError):
+            ErrorStats.from_errors([1.0, -0.1])
+
+
+class TestErrorCDF:
+    def test_at(self):
+        cdf = ErrorCDF.from_errors([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_percentile_roundtrip(self):
+        cdf = ErrorCDF.from_errors(np.linspace(0, 10, 101))
+        assert cdf.percentile(50) == pytest.approx(5.0)
+        assert cdf.median == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            cdf.percentile(101)
+
+    def test_series_shape(self):
+        cdf = ErrorCDF.from_errors([1.0, 2.0, 3.0])
+        series = cdf.series(max_error=3.0, points=4)
+        assert len(series) == 4
+        assert series[0] == (0.0, 0.0)
+        assert series[-1][1] == 1.0
+        with pytest.raises(ValueError):
+            cdf.series(points=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorCDF.from_errors([])
+        with pytest.raises(ValueError):
+            ErrorCDF.from_errors([-1.0])
+
+    def test_dominates(self):
+        better = ErrorCDF.from_errors([0.5, 1.0, 1.5])
+        worse = ErrorCDF.from_errors([2.0, 3.0, 4.0])
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_dominates_self(self):
+        cdf = ErrorCDF.from_errors([1.0, 2.0])
+        assert cdf.dominates(cdf)
+
+    @given(errors_lists)
+    @settings(max_examples=50)
+    def test_monotone_nondecreasing(self, errors):
+        cdf = ErrorCDF.from_errors(errors)
+        xs = np.linspace(0, max(errors) + 1, 20)
+        vals = [cdf.at(float(x)) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @given(errors_lists)
+    @settings(max_examples=50)
+    def test_mean_matches_numpy(self, errors):
+        assert ErrorCDF.from_errors(errors).mean == pytest.approx(
+            float(np.mean(errors))
+        )

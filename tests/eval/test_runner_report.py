@@ -1,0 +1,102 @@
+"""Tests for the campaign runner and text report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.channel import DelayProfile
+from repro.eval import (
+    ErrorCDF,
+    ErrorStats,
+    format_cdf_table,
+    format_delay_profile,
+    format_stats_table,
+    format_table,
+    run_campaign,
+)
+from repro.geometry import Point
+
+
+class FakeLocalizer:
+    """Deterministic per-site errors plus seeded jitter."""
+
+    def __init__(self, base=1.0):
+        self.base = base
+        self.calls = []
+
+    def localization_error(self, position, rng):
+        self.calls.append(position)
+        return self.base + position.x * 0.1 + float(rng.uniform(0, 0.01))
+
+
+class TestRunCampaign:
+    def test_shape(self):
+        loc = FakeLocalizer()
+        sites = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        res = run_campaign(loc, sites, repetitions=4, seed=1, name="t")
+        assert res.name == "t"
+        assert len(res.sites) == 3
+        assert all(len(s.errors) == 4 for s in res.sites)
+        assert len(loc.calls) == 12
+
+    def test_reproducible(self):
+        sites = [Point(0, 0), Point(1, 0)]
+        r1 = run_campaign(FakeLocalizer(), sites, 3, seed=5)
+        r2 = run_campaign(FakeLocalizer(), sites, 3, seed=5)
+        assert r1.per_site_means() == r2.per_site_means()
+
+    def test_different_seeds_differ(self):
+        sites = [Point(0, 0)]
+        r1 = run_campaign(FakeLocalizer(), sites, 2, seed=1)
+        r2 = run_campaign(FakeLocalizer(), sites, 2, seed=2)
+        assert r1.per_site_means() != r2.per_site_means()
+
+    def test_stats_and_cdf_views(self):
+        res = run_campaign(FakeLocalizer(), [Point(0, 0), Point(10, 0)], 2)
+        assert isinstance(res.stats, ErrorStats)
+        assert isinstance(res.cdf, ErrorCDF)
+        assert res.stats.count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_campaign(FakeLocalizer(), [], 3)
+        with pytest.raises(ValueError):
+            run_campaign(FakeLocalizer(), [Point(0, 0)], 0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.14159]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "3.142" in lines[3]
+
+    def test_format_table_needs_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_stats_table(self):
+        stats = ErrorStats.from_errors([1.0, 2.0, 3.0])
+        out = format_stats_table({"static": stats, "nomadic": stats})
+        assert "static" in out and "nomadic" in out
+        assert "SLV" in out
+
+    def test_cdf_table(self):
+        cdfs = {
+            "a": ErrorCDF.from_errors([1.0, 2.0]),
+            "b": ErrorCDF.from_errors([0.5, 4.0]),
+        }
+        out = format_cdf_table(cdfs, max_error=4.0, points=5)
+        assert "error(m)" in out
+        assert out.count("\n") == 5 + 1  # header + separator + 5 rows
+
+    def test_cdf_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_cdf_table({})
+
+    def test_delay_profile(self):
+        profile = DelayProfile(
+            np.array([0.0, 50e-9, 100e-9]), np.array([3.0, 1.0, 0.2])
+        )
+        out = format_delay_profile(profile, "LOS", max_taps=2)
+        assert out.startswith("LOS")
+        assert "0.05" in out  # 50 ns in us

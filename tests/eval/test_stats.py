@@ -1,0 +1,156 @@
+"""Tests for bootstrap CIs and the paired sign test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    bootstrap_ci,
+    compare_campaigns,
+    paired_sign_test,
+    run_campaign,
+)
+from repro.geometry import Point
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for trial in range(40):
+            sample = rng.normal(5.0, 1.0, 30)
+            lo, hi = bootstrap_ci(sample, seed=trial)
+            hits += lo <= 5.0 <= hi
+        assert hits >= 32  # ~95% nominal coverage, generous slack
+
+    def test_interval_ordering_and_location(self):
+        sample = np.linspace(1, 3, 50)
+        lo, hi = bootstrap_ci(sample)
+        assert lo < np.mean(sample) < hi
+        assert lo < hi
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 10), seed=0)
+        large = bootstrap_ci(rng.normal(0, 1, 400), seed=0)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_custom_statistic(self):
+        sample = np.concatenate([np.ones(50), [100.0]])
+        lo_med, hi_med = bootstrap_ci(sample, statistic=np.median)
+        assert hi_med < 2.0  # the median ignores the outlier
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=3)
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(sample, seed=7) == bootstrap_ci(sample, seed=7)
+
+
+class TestPairedSignTest:
+    def test_identical_samples(self):
+        a = [1.0, 2.0, 3.0]
+        assert paired_sign_test(a, a) == 1.0
+
+    def test_overwhelming_difference(self):
+        a = [1.0] * 12
+        b = [5.0] * 12
+        p = paired_sign_test(a, b)
+        assert p == pytest.approx(2 * 0.5**12, rel=1e-9)
+
+    def test_balanced_difference_not_significant(self):
+        a = [1, 5, 1, 5, 1, 5]
+        b = [5, 1, 5, 1, 5, 1]
+        assert paired_sign_test(a, b) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=10), min_size=2, max_size=20
+        )
+    )
+    @settings(max_examples=50)
+    def test_p_value_range(self, values):
+        rng = np.random.default_rng(0)
+        other = [v + rng.normal(0, 1) for v in values]
+        p = paired_sign_test(values, other)
+        assert 0.0 <= p <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 15)
+        b = rng.normal(0.5, 1, 15)
+        assert paired_sign_test(a, b) == pytest.approx(paired_sign_test(b, a))
+
+
+class FakeLocalizer:
+    def __init__(self, offset):
+        self.offset = offset
+
+    def localization_error(self, position, rng):
+        return self.offset + float(rng.uniform(0, 0.5))
+
+
+class TestCompareCampaigns:
+    def _campaigns(self, offset_a, offset_b, n_sites=12):
+        sites = [Point(float(i), 0.0) for i in range(n_sites)]
+        a = run_campaign(FakeLocalizer(offset_a), sites, 3, seed=0, name="a")
+        b = run_campaign(FakeLocalizer(offset_b), sites, 3, seed=0, name="b")
+        return a, b
+
+    def test_clear_winner_significant(self):
+        a, b = self._campaigns(1.0, 3.0)
+        cmp = compare_campaigns(a, b)
+        assert cmp.mean_difference < 0
+        assert cmp.ci_high < 0
+        assert cmp.significant
+        assert cmp.a_better_sites == 12
+        assert cmp.b_better_sites == 0
+
+    def test_no_difference_not_significant(self):
+        a, b = self._campaigns(2.0, 2.0)
+        cmp = compare_campaigns(a, b)
+        assert not cmp.significant
+        assert cmp.ci_low <= 0 <= cmp.ci_high or abs(cmp.mean_difference) < 0.3
+
+    def test_site_mismatch_rejected(self):
+        a, _ = self._campaigns(1.0, 2.0, n_sites=5)
+        _, b = self._campaigns(1.0, 2.0, n_sites=6)
+        with pytest.raises(ValueError):
+            compare_campaigns(a, b)
+
+    def test_nomloc_vs_static_significance(self):
+        """The headline claim, with inference: nomadic beats static."""
+        from repro.core import NomLocSystem, SystemConfig
+        from repro.environment import get_scenario
+
+        scen = get_scenario("office")
+        nom = run_campaign(
+            NomLocSystem(scen, SystemConfig(packets_per_link=8)),
+            scen.test_sites,
+            2,
+            seed=0,
+            name="nomadic",
+        )
+        sta = run_campaign(
+            NomLocSystem(
+                scen, SystemConfig(packets_per_link=8, use_nomadic=False)
+            ),
+            scen.test_sites,
+            2,
+            seed=0,
+            name="static",
+        )
+        cmp = compare_campaigns(nom, sta)
+        assert cmp.mean_difference < 0  # nomadic better on average
+        assert cmp.a_better_sites > cmp.b_better_sites

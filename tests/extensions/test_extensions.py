@@ -1,0 +1,93 @@
+"""Tests for the future-work extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.extensions import (
+    LOBBY_UPGRADES,
+    PatternBoundLocalizer,
+    lobby_with_nomadic_count,
+    upgrade_to_nomadic,
+)
+from repro.geometry import Point
+from repro.mobility import SweepPattern
+
+
+class TestUpgradeToNomadic:
+    def test_upgrade(self):
+        lobby = get_scenario("lobby")
+        upgraded = upgrade_to_nomadic(lobby, {"AP2": LOBBY_UPGRADES["AP2"]})
+        assert len(upgraded.nomadic_aps) == 2
+        ap2 = next(ap for ap in upgraded.aps if ap.name == "AP2")
+        assert ap2.nomadic
+        assert ap2.sites == LOBBY_UPGRADES["AP2"]
+
+    def test_unknown_ap_rejected(self):
+        lobby = get_scenario("lobby")
+        with pytest.raises(ValueError):
+            upgrade_to_nomadic(lobby, {"AP9": (Point(1, 1), Point(2, 2))})
+
+    def test_double_upgrade_rejected(self):
+        lobby = get_scenario("lobby")
+        with pytest.raises(ValueError):
+            upgrade_to_nomadic(lobby, {"AP1": (Point(1, 1), Point(2, 2))})
+
+    def test_upgrade_sites_validated_by_scenario(self):
+        lobby = get_scenario("lobby")
+        with pytest.raises(ValueError):
+            upgrade_to_nomadic(lobby, {"AP2": (Point(23.5, 1.5), Point(99, 99))})
+
+
+class TestLobbyWithNomadicCount:
+    def test_counts(self):
+        lobby = get_scenario("lobby")
+        for count in (1, 2, 3):
+            variant = lobby_with_nomadic_count(lobby, count)
+            assert len(variant.nomadic_aps) == count
+
+    def test_count_one_is_identity(self):
+        lobby = get_scenario("lobby")
+        assert lobby_with_nomadic_count(lobby, 1) is lobby
+
+    def test_invalid_count(self):
+        lobby = get_scenario("lobby")
+        with pytest.raises(ValueError):
+            lobby_with_nomadic_count(lobby, 0)
+        with pytest.raises(ValueError):
+            lobby_with_nomadic_count(lobby, 4)
+
+    def test_multi_nomadic_system_runs(self):
+        lobby = get_scenario("lobby")
+        variant = lobby_with_nomadic_count(lobby, 2)
+        system = NomLocSystem(
+            variant, SystemConfig(packets_per_link=5, trace_steps=6)
+        )
+        rng = np.random.default_rng(0)
+        anchors = system.gather_anchors(variant.test_sites[0], rng)
+        names = {a.name.split("@")[0] for a in anchors if a.nomadic}
+        assert names == {"AP1", "AP2"}
+        est = system.locate_from_anchors(anchors)
+        assert variant.plan.contains(est.position)
+
+
+class TestPatternBoundLocalizer:
+    def test_binds_pattern(self):
+        lab = get_scenario("lab")
+        system = NomLocSystem(lab, SystemConfig(packets_per_link=5, trace_steps=4))
+        bound = PatternBoundLocalizer(system, SweepPattern(4))
+        rng = np.random.default_rng(0)
+        err = bound.localization_error(lab.test_sites[0], rng)
+        assert err >= 0
+        est = bound.locate(lab.test_sites[0], np.random.default_rng(0))
+        assert lab.plan.contains(est.position)
+
+    def test_none_pattern_uses_markov(self):
+        lab = get_scenario("lab")
+        system = NomLocSystem(lab, SystemConfig(packets_per_link=5))
+        bound = PatternBoundLocalizer(system, None)
+        err = bound.localization_error(
+            lab.test_sites[0], np.random.default_rng(1)
+        )
+        assert err >= 0

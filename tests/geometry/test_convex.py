@@ -1,0 +1,124 @@
+"""Tests for convex hulls, triangulation, and convex decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    convex_hull,
+    decompose_convex,
+    triangulate,
+)
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def l_shape():
+    return Polygon.from_coords(
+        [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+    )
+
+
+def u_shape():
+    return Polygon.from_coords(
+        [(0, 0), (9, 0), (9, 6), (6, 6), (6, 2), (3, 2), (3, 6), (0, 6)]
+    )
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert hull.area() == pytest.approx(1.0)
+        assert len(hull.vertices) == 4
+
+    def test_collinear_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 0)])
+
+    @given(st.lists(points, min_size=3, max_size=25))
+    @settings(max_examples=60)
+    def test_hull_contains_all_points(self, pts):
+        try:
+            hull = convex_hull(pts)
+        except ValueError:
+            return  # degenerate input
+        for p in pts:
+            assert hull.contains(p) or any(
+                p.distance_to(v) < 1e-6 for v in hull.vertices
+            )
+
+    @given(st.lists(points, min_size=3, max_size=25))
+    @settings(max_examples=60)
+    def test_hull_is_convex(self, pts):
+        try:
+            hull = convex_hull(pts)
+        except ValueError:
+            return
+        assert hull.is_convex()
+
+
+class TestTriangulate:
+    def test_triangle_passthrough(self):
+        tri = Polygon.from_coords([(0, 0), (1, 0), (0, 1)])
+        tris = triangulate(tri)
+        assert len(tris) == 1
+
+    def test_square_two_triangles(self):
+        tris = triangulate(Polygon.rectangle(0, 0, 2, 2))
+        assert len(tris) == 2
+
+    def test_triangle_count_is_n_minus_2(self):
+        poly = l_shape()
+        tris = triangulate(poly)
+        assert len(tris) == len(poly.vertices) - 2
+
+    def test_areas_sum_to_polygon_area(self):
+        poly = u_shape()
+        tris = triangulate(poly)
+        total = sum(Polygon(t).area() for t in tris)
+        assert total == pytest.approx(poly.area())
+
+
+class TestDecomposeConvex:
+    def test_convex_input_unchanged(self):
+        sq = Polygon.rectangle(0, 0, 3, 3)
+        pieces = decompose_convex(sq)
+        assert pieces == [sq]
+
+    def test_l_shape_two_pieces(self):
+        pieces = decompose_convex(l_shape())
+        assert len(pieces) == 2
+        assert all(p.is_convex() for p in pieces)
+
+    def test_pieces_tile_area(self):
+        for poly in (l_shape(), u_shape()):
+            pieces = decompose_convex(poly)
+            assert sum(p.area() for p in pieces) == pytest.approx(poly.area())
+
+    def test_pieces_are_convex(self):
+        for poly in (l_shape(), u_shape()):
+            for p in decompose_convex(poly):
+                assert p.is_convex()
+
+    def test_interior_points_covered(self):
+        poly = u_shape()
+        pieces = decompose_convex(poly)
+        rng = np.random.default_rng(3)
+        for pt in poly.sample_points(100, rng):
+            assert any(piece.contains(pt) for piece in pieces)
+
+    def test_exterior_points_not_covered(self):
+        poly = l_shape()
+        pieces = decompose_convex(poly)
+        # Deep inside the notch — not in the polygon, must not be in a piece.
+        notch = Point(8, 8)
+        assert not any(piece.contains(notch, boundary=False) for piece in pieces)

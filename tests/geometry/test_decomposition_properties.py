@@ -1,0 +1,126 @@
+"""Property tests: convex decomposition of random rectilinear polygons.
+
+Floor plans are mostly rectilinear (L/U/T/staircase shapes); these tests
+generate random staircase polygons and verify the decomposition's tiling
+invariants hold on every one of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, decompose_convex
+
+
+@st.composite
+def staircase_polygons(draw):
+    """Monotone staircase polygons: x in [0, n], steps of varying height.
+
+    Built as the region under a positive step function — always simple,
+    usually non-convex.
+    """
+    num_steps = draw(st.integers(min_value=2, max_value=6))
+    heights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=8),
+            min_size=num_steps,
+            max_size=num_steps,
+        )
+    )
+    widths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=num_steps,
+            max_size=num_steps,
+        )
+    )
+    coords = [(0.0, 0.0)]
+    x = 0.0
+    for w, h in zip(widths, heights):
+        coords.append((x, float(h)))
+        x += w
+        coords.append((x, float(h)))
+    coords.append((x, 0.0))
+    # Drop duplicate-y consecutive corners introduced by equal heights.
+    cleaned = [coords[0]]
+    for c in coords[1:]:
+        if c != cleaned[-1]:
+            cleaned.append(c)
+    if len(cleaned) < 3:
+        return None
+    try:
+        return Polygon.from_coords(cleaned)
+    except (ValueError, RuntimeError):
+        return None
+
+
+class TestStaircaseDecomposition:
+    @given(staircase_polygons())
+    @settings(max_examples=60, deadline=None)
+    def test_pieces_tile_the_polygon(self, poly):
+        if poly is None:
+            return
+        pieces = decompose_convex(poly)
+        assert pieces
+        total = sum(p.area() for p in pieces)
+        assert total == pytest.approx(poly.area(), rel=1e-6)
+
+    @given(staircase_polygons())
+    @settings(max_examples=60, deadline=None)
+    def test_every_piece_is_convex(self, poly):
+        if poly is None:
+            return
+        for piece in decompose_convex(poly):
+            assert piece.is_convex()
+
+    @given(staircase_polygons())
+    @settings(max_examples=40, deadline=None)
+    def test_interior_points_covered_exactly_once(self, poly):
+        if poly is None:
+            return
+        pieces = decompose_convex(poly)
+        rng = np.random.default_rng(0)
+        try:
+            samples = poly.sample_points(25, rng, margin=0.05)
+        except RuntimeError:
+            return  # polygon too thin to sample with margin
+        for p in samples:
+            holders = [
+                piece for piece in pieces if piece.contains(p, boundary=False)
+            ]
+            # Strictly interior points of the polygon lie strictly inside
+            # exactly one piece unless they sit on a shared diagonal.
+            on_boundary = any(
+                piece.contains(p, boundary=True)
+                and not piece.contains(p, boundary=False)
+                for piece in pieces
+            )
+            assert len(holders) == 1 or on_boundary
+
+    @given(staircase_polygons())
+    @settings(max_examples=40, deadline=None)
+    def test_localizer_accepts_every_staircase(self, poly):
+        """Any staircase venue can host the SP localizer end-to-end."""
+        if poly is None or poly.area() < 4.0:
+            return
+        from repro.core import Anchor, NomLocLocalizer
+
+        loc = NomLocLocalizer(poly)
+        xmin, ymin, xmax, ymax = poly.bounding_box()
+        rng = np.random.default_rng(1)
+        try:
+            inner = poly.sample_points(3, rng, margin=0.2)
+        except RuntimeError:
+            return
+        obj = inner[0]
+        anchors = [
+            Anchor(f"A{i}", p, 1.0 / (0.1 + obj.distance_to(p)) ** 2)
+            for i, p in enumerate(inner)
+        ]
+        if len({a.position for a in anchors}) < 2:
+            return
+        est = loc.locate(anchors)
+        # The estimate stays within the venue bounding box at worst.
+        assert xmin - 0.1 <= est.position.x <= xmax + 0.1
+        assert ymin - 0.1 <= est.position.y <= ymax + 0.1

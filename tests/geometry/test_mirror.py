@@ -1,0 +1,105 @@
+"""Tests for virtual-AP mirror reflections and boundary constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    Segment,
+    boundary_halfspaces,
+    reflect_point,
+    virtual_aps,
+)
+
+coords = st.floats(min_value=-20, max_value=20, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestReflectPoint:
+    def test_reflect_across_x_axis(self):
+        edge = Segment(Point(0, 0), Point(1, 0))
+        assert reflect_point(Point(3, 4), edge).almost_equals(Point(3, -4))
+
+    def test_reflect_across_diagonal(self):
+        edge = Segment(Point(0, 0), Point(1, 1))
+        assert reflect_point(Point(1, 0), edge).almost_equals(Point(0, 1))
+
+    def test_point_on_line_is_fixed(self):
+        edge = Segment(Point(0, 0), Point(5, 0))
+        assert reflect_point(Point(2, 0), edge).almost_equals(Point(2, 0))
+
+    def test_degenerate_edge_raises(self):
+        with pytest.raises(ValueError):
+            reflect_point(Point(1, 1), Segment(Point(0, 0), Point(0, 0)))
+
+    @given(points, points, points)
+    @settings(max_examples=80)
+    def test_involution(self, p, a, b):
+        if a.distance_to(b) < 1e-3:
+            return
+        edge = Segment(a, b)
+        assert reflect_point(reflect_point(p, edge), edge).almost_equals(p, tol=1e-5)
+
+    @given(points, points, points)
+    @settings(max_examples=80)
+    def test_equidistant_from_line_endpoints(self, p, a, b):
+        if a.distance_to(b) < 1e-3:
+            return
+        m = reflect_point(p, Segment(a, b))
+        assert p.distance_to(a) == pytest.approx(m.distance_to(a), abs=1e-5)
+        assert p.distance_to(b) == pytest.approx(m.distance_to(b), abs=1e-5)
+
+
+class TestVirtualAPs:
+    def test_one_vap_per_edge(self):
+        area = Polygon.rectangle(0, 0, 10, 6)
+        vaps = virtual_aps(Point(3, 3), area)
+        assert len(vaps) == 4
+
+    def test_vaps_outside_area(self):
+        area = Polygon.rectangle(0, 0, 10, 6)
+        for vap in virtual_aps(Point(3, 3), area):
+            assert not area.contains(vap, boundary=False)
+
+    def test_anchor_must_be_inside(self):
+        area = Polygon.rectangle(0, 0, 10, 6)
+        with pytest.raises(ValueError):
+            virtual_aps(Point(20, 20), area)
+        with pytest.raises(ValueError):
+            virtual_aps(Point(0, 0), area)  # on boundary
+
+
+class TestBoundaryHalfspaces:
+    def test_rectangle_constraints_recover_area(self):
+        """For a convex area the boundary halfspaces ARE the area."""
+        area = Polygon.rectangle(0, 0, 10, 6)
+        hs = boundary_halfspaces(Point(4, 3), area)
+        rng = np.random.default_rng(11)
+        inside = area.sample_points(100, rng, margin=0.05)
+        for p in inside:
+            assert all(h.contains(p, tol=1e-6) for h in hs)
+        outside = [Point(-1, 3), Point(11, 3), Point(4, -1), Point(4, 7)]
+        for p in outside:
+            assert not all(h.contains(p, tol=1e-6) for h in hs)
+
+    def test_anchor_choice_does_not_matter(self):
+        """Paper: 'the site of AP 1 could be any other site within the area'."""
+        area = Polygon.rectangle(0, 0, 8, 8)
+        hs_a = boundary_halfspaces(Point(1, 1), area)
+        hs_b = boundary_halfspaces(Point(6, 7), area)
+        rng = np.random.default_rng(5)
+        probes = [Point(float(x), float(y)) for x, y in rng.uniform(-4, 12, (200, 2))]
+        for p in probes:
+            in_a = all(h.contains(p, tol=1e-9) for h in hs_a)
+            in_b = all(h.contains(p, tol=1e-9) for h in hs_b)
+            assert in_a == in_b
+
+    def test_triangle_area(self):
+        area = Polygon.from_coords([(0, 0), (6, 0), (0, 6)])
+        hs = boundary_halfspaces(Point(1, 1), area)
+        assert len(hs) == 3
+        assert all(h.contains(Point(2, 2)) for h in hs)
+        assert not all(h.contains(Point(5, 5)) for h in hs)

@@ -1,0 +1,182 @@
+"""Unit and property tests for Polygon."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Segment
+
+
+@pytest.fixture
+def unit_square():
+    return Polygon.rectangle(0, 0, 1, 1)
+
+
+@pytest.fixture
+def l_shape():
+    # An L: 10x10 square with the top-right 5x5 quadrant removed.
+    return Polygon.from_coords(
+        [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+    )
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon((Point(0, 0), Point(1, 0)))
+
+    def test_cw_input_is_normalized_to_ccw(self):
+        p = Polygon.from_coords([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert p.signed_area() > 0
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(0, 0, 0, 1)
+
+
+class TestMeasures:
+    def test_square_area(self, unit_square):
+        assert unit_square.area() == pytest.approx(1.0)
+
+    def test_l_shape_area(self, l_shape):
+        assert l_shape.area() == pytest.approx(75.0)
+
+    def test_perimeter(self, unit_square):
+        assert unit_square.perimeter() == pytest.approx(4.0)
+
+    def test_centroid_square(self, unit_square):
+        assert unit_square.centroid().almost_equals(Point(0.5, 0.5))
+
+    def test_centroid_l_shape_inside(self, l_shape):
+        c = l_shape.centroid()
+        assert l_shape.contains(c)
+
+    def test_bounding_box(self, l_shape):
+        assert l_shape.bounding_box() == (0, 0, 10, 10)
+
+
+class TestPredicates:
+    def test_contains_interior(self, unit_square):
+        assert unit_square.contains(Point(0.5, 0.5))
+
+    def test_contains_boundary_toggle(self, unit_square):
+        edge_pt = Point(0.5, 0.0)
+        assert unit_square.contains(edge_pt, boundary=True)
+        assert not unit_square.contains(edge_pt, boundary=False)
+
+    def test_excludes_exterior(self, unit_square):
+        assert not unit_square.contains(Point(2, 2))
+
+    def test_l_shape_notch_excluded(self, l_shape):
+        assert not l_shape.contains(Point(8, 8))
+        assert l_shape.contains(Point(2, 8))
+        assert l_shape.contains(Point(8, 2))
+
+    def test_in_operator(self, unit_square):
+        assert Point(0.2, 0.7) in unit_square
+
+    def test_is_convex(self, unit_square, l_shape):
+        assert unit_square.is_convex()
+        assert not l_shape.is_convex()
+
+    def test_reflex_vertices(self, l_shape):
+        reflex = l_shape.reflex_vertex_indices()
+        assert len(reflex) == 1
+        assert l_shape.vertices[reflex[0]] == Point(5, 5)
+
+    def test_intersects_segment(self, unit_square):
+        crossing = Segment(Point(-1, 0.5), Point(2, 0.5))
+        outside = Segment(Point(2, 2), Point(3, 3))
+        assert unit_square.intersects_segment(crossing)
+        assert not unit_square.intersects_segment(outside)
+
+    def test_segment_crosses_interior(self, unit_square):
+        through = Segment(Point(-1, 0.5), Point(2, 0.5))
+        grazing = Segment(Point(-1, 0.0), Point(2, 0.0))
+        assert unit_square.segment_crosses_interior(through)
+        assert not unit_square.segment_crosses_interior(grazing)
+
+
+class TestSampling:
+    def test_sample_points_inside(self, l_shape):
+        rng = np.random.default_rng(7)
+        pts = l_shape.sample_points(50, rng)
+        assert len(pts) == 50
+        assert all(l_shape.contains(p, boundary=False) for p in pts)
+
+    def test_sample_with_margin(self, unit_square):
+        rng = np.random.default_rng(7)
+        pts = unit_square.sample_points(20, rng, margin=0.2)
+        for p in pts:
+            assert 0.2 <= p.x <= 0.8
+            assert 0.2 <= p.y <= 0.8
+
+    def test_sample_negative_count(self, unit_square):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            unit_square.sample_points(-1, rng)
+
+    def test_grid_points(self, unit_square):
+        pts = unit_square.grid_points(0.5)
+        assert len(pts) == 4
+        assert all(unit_square.contains(p) for p in pts)
+
+    def test_grid_spacing_validation(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.grid_points(0)
+
+    def test_translated(self, unit_square):
+        t = unit_square.translated(5, -2)
+        assert t.contains(Point(5.5, -1.5))
+        assert t.area() == pytest.approx(1.0)
+
+
+@st.composite
+def convex_polygons(draw):
+    """Random convex polygons built from points on a circle."""
+    n = draw(st.integers(min_value=3, max_value=10))
+    angles = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0, max_value=6.28),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    radius = draw(st.floats(min_value=1.0, max_value=50.0))
+    pts = [Point(radius * np.cos(a), radius * np.sin(a)) for a in angles]
+    # Reject nearly-degenerate layouts where consecutive points coincide.
+    for i in range(len(pts)):
+        if pts[i].distance_to(pts[(i + 1) % len(pts)]) < 1e-3:
+            return None
+    try:
+        return Polygon(tuple(pts))
+    except ValueError:
+        return None
+
+
+class TestPolygonProperties:
+    @given(convex_polygons())
+    @settings(max_examples=60)
+    def test_centroid_inside_convex(self, poly):
+        if poly is None:
+            return
+        assert poly.contains(poly.centroid())
+
+    @given(convex_polygons())
+    @settings(max_examples=60)
+    def test_area_positive(self, poly):
+        if poly is None:
+            return
+        assert poly.area() > 0
+
+    @given(convex_polygons(), st.floats(min_value=-10, max_value=10),
+           st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=40)
+    def test_translation_preserves_area(self, poly, dx, dy):
+        if poly is None:
+            return
+        assert poly.translated(dx, dy).area() == pytest.approx(poly.area())

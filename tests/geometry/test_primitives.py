@@ -1,0 +1,159 @@
+"""Unit tests for geometric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Segment,
+    distance_point_to_segment,
+    orientation,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_vector_arithmetic(self):
+        p = Point(1, 2) + Point(3, 4)
+        assert p == Point(4, 6)
+        assert Point(4, 6) - Point(3, 4) == Point(1, 2)
+        assert Point(1, 2) * 2 == Point(2, 4)
+        assert 2 * Point(1, 2) == Point(2, 4)
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_iter_unpacking(self):
+        x, y = Point(7.5, -2.0)
+        assert (x, y) == (7.5, -2.0)
+
+    def test_centroid(self):
+        c = Point.centroid([Point(0, 0), Point(2, 0), Point(0, 2), Point(2, 2)])
+        assert c.almost_equals(Point(1, 1))
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            Point.centroid([])
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.length() == pytest.approx(4.0)
+        assert s.midpoint() == Point(2, 0)
+
+    def test_direction_and_normal_are_unit(self):
+        s = Segment(Point(1, 1), Point(4, 5))
+        assert s.direction().norm() == pytest.approx(1.0)
+        assert s.normal().norm() == pytest.approx(1.0)
+
+    def test_degenerate_direction_raises(self):
+        with pytest.raises(ValueError):
+            Segment(Point(1, 1), Point(1, 1)).direction()
+
+    def test_contains_point(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.contains_point(Point(5, 0))
+        assert not s.contains_point(Point(5, 1))
+        assert not s.contains_point(Point(11, 0))
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_cw(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    @given(points, points, points)
+    def test_antisymmetry(self, o, a, b):
+        assert orientation(o, a, b) == -orientation(o, b, a)
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        s1 = Segment(Point(0, 0), Point(2, 2))
+        s2 = Segment(Point(0, 2), Point(2, 0))
+        assert segments_intersect(s1, s2)
+        p = segment_intersection_point(s1, s2)
+        assert p is not None and p.almost_equals(Point(1, 1))
+
+    def test_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(0, 1), Point(1, 1))
+        assert not segments_intersect(s1, s2)
+        assert segment_intersection_point(s1, s2) is None
+
+    def test_touching_endpoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(1, 0), Point(2, 5))
+        assert segments_intersect(s1, s2)
+        p = segment_intersection_point(s1, s2)
+        assert p is not None and p.almost_equals(Point(1, 0))
+
+    def test_collinear_overlap(self):
+        s1 = Segment(Point(0, 0), Point(4, 0))
+        s2 = Segment(Point(2, 0), Point(6, 0))
+        assert segments_intersect(s1, s2)
+        p = segment_intersection_point(s1, s2)
+        assert p is not None and p.almost_equals(Point(3, 0))
+
+    def test_collinear_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(2, 0), Point(3, 0))
+        assert not segments_intersect(s1, s2)
+
+    def test_parallel_offset(self):
+        s1 = Segment(Point(0, 0), Point(4, 4))
+        s2 = Segment(Point(0, 1), Point(4, 5))
+        assert segment_intersection_point(s1, s2) is None
+
+    @given(points, points, points, points)
+    def test_intersection_point_consistent_with_predicate(self, a, b, c, d):
+        s1, s2 = Segment(a, b), Segment(c, d)
+        p = segment_intersection_point(s1, s2)
+        if p is not None:
+            assert segments_intersect(s1, s2)
+
+
+class TestDistancePointToSegment:
+    def test_perpendicular_foot_inside(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert distance_point_to_segment(Point(5, 3), s) == pytest.approx(3.0)
+
+    def test_clamps_to_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert distance_point_to_segment(Point(13, 4), s) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert distance_point_to_segment(Point(4, 5), s) == pytest.approx(5.0)
+
+    @given(points, points, points)
+    def test_nonnegative_and_bounded_by_endpoints(self, p, a, b):
+        s = Segment(a, b)
+        d = distance_point_to_segment(p, s)
+        assert d >= 0
+        assert d <= min(p.distance_to(a), p.distance_to(b)) + 1e-9

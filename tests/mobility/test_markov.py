@@ -1,0 +1,112 @@
+"""Tests for the Markov mobility model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.mobility import MarkovMobilityModel
+
+
+def sites(n):
+    return tuple(Point(float(i), 0.0) for i in range(n))
+
+
+class TestConstruction:
+    def test_default_uniform(self):
+        m = MarkovMobilityModel(sites(4))
+        np.testing.assert_allclose(m.transition, np.full((4, 4), 0.25))
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovMobilityModel(())
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            MarkovMobilityModel(sites(3), np.eye(2))
+
+    def test_rows_must_sum_to_one(self):
+        bad = np.array([[0.5, 0.4], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovMobilityModel(sites(2), bad)
+
+    def test_negative_probability_rejected(self):
+        bad = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovMobilityModel(sites(2), bad)
+
+
+class TestWalk:
+    def test_walk_length_and_start(self):
+        m = MarkovMobilityModel(sites(4))
+        walk = m.walk(10, np.random.default_rng(0), start=2)
+        assert len(walk) == 10
+        assert walk[0] == 2
+        assert all(0 <= i < 4 for i in walk)
+
+    def test_walk_validation(self):
+        m = MarkovMobilityModel(sites(3))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            m.walk(0, rng)
+        with pytest.raises(IndexError):
+            m.walk(5, rng, start=3)
+        with pytest.raises(IndexError):
+            m.step(7, rng)
+
+    def test_deterministic_chain(self):
+        """A cyclic permutation matrix produces a deterministic tour."""
+        p = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        m = MarkovMobilityModel(sites(3), p)
+        walk = m.walk(7, np.random.default_rng(0))
+        assert walk == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_absorbing_state(self):
+        p = np.array([[1.0, 0.0], [0.5, 0.5]])
+        m = MarkovMobilityModel(sites(2), p)
+        walk = m.walk(20, np.random.default_rng(0), start=0)
+        assert all(i == 0 for i in walk)
+
+    def test_reproducible_with_seed(self):
+        m = MarkovMobilityModel(sites(4))
+        w1 = m.walk(50, np.random.default_rng(9))
+        w2 = m.walk(50, np.random.default_rng(9))
+        assert w1 == w2
+
+    def test_uniform_walk_visits_all_sites(self):
+        m = MarkovMobilityModel(sites(4))
+        walk = m.walk(200, np.random.default_rng(1))
+        assert set(walk) == {0, 1, 2, 3}
+
+
+class TestStationary:
+    def test_uniform_chain(self):
+        m = MarkovMobilityModel(sites(4))
+        np.testing.assert_allclose(m.stationary_distribution(), np.full(4, 0.25), atol=1e-9)
+
+    def test_biased_chain(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        m = MarkovMobilityModel(sites(2), p)
+        pi = m.stationary_distribution()
+        np.testing.assert_allclose(pi @ p, pi, atol=1e-9)
+        assert pi[0] > pi[1]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_stationary_fixed_point_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        raw = rng.uniform(0.05, 1.0, size=(n, n))
+        p = raw / raw.sum(axis=1, keepdims=True)
+        m = MarkovMobilityModel(sites(n), p)
+        pi = m.stationary_distribution()
+        np.testing.assert_allclose(pi @ p, pi, atol=1e-8)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_empirical_frequencies_match_stationary(self):
+        p = np.array([[0.8, 0.2], [0.3, 0.7]])
+        m = MarkovMobilityModel(sites(2), p)
+        walk = m.walk(40_000, np.random.default_rng(0))
+        freq0 = walk.count(0) / len(walk)
+        assert freq0 == pytest.approx(m.stationary_distribution()[0], abs=0.02)

@@ -1,0 +1,86 @@
+"""Tests for mobility patterns (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.mobility import (
+    HotspotPattern,
+    MarkovMobilityModel,
+    MarkovPattern,
+    PatrolPattern,
+    StaticPattern,
+    SweepPattern,
+)
+
+
+RNG = lambda: np.random.default_rng(0)
+
+
+class TestPatrol:
+    def test_ping_pong(self):
+        p = PatrolPattern(4)
+        assert p.generate(10, RNG()) == [0, 1, 2, 3, 2, 1, 0, 1, 2, 3]
+
+    def test_single_site(self):
+        assert PatrolPattern(1).generate(3, RNG()) == [0, 0, 0]
+
+    def test_two_sites(self):
+        assert PatrolPattern(2).generate(5, RNG()) == [0, 1, 0, 1, 0]
+
+
+class TestSweep:
+    def test_cycle(self):
+        assert SweepPattern(3).generate(7, RNG()) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_covers_all_sites_quickly(self):
+        out = SweepPattern(5).generate(5, RNG())
+        assert sorted(out) == [0, 1, 2, 3, 4]
+
+
+class TestStatic:
+    def test_stays_home(self):
+        assert StaticPattern(4, home=2).generate(6, RNG()) == [2] * 6
+
+    def test_home_validation(self):
+        with pytest.raises(IndexError):
+            StaticPattern(3, home=3)
+
+
+class TestHotspot:
+    def test_bias_dominates(self):
+        p = HotspotPattern(4, hotspot=1, bias=0.8)
+        out = p.generate(5000, RNG())
+        assert out.count(1) / len(out) == pytest.approx(0.8, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(IndexError):
+            HotspotPattern(3, hotspot=5)
+        with pytest.raises(ValueError):
+            HotspotPattern(3, bias=1.5)
+
+    def test_single_site(self):
+        assert HotspotPattern(1).generate(4, RNG()) == [0, 0, 0, 0]
+
+
+class TestMarkovPattern:
+    def test_wraps_model(self):
+        model = MarkovMobilityModel(tuple(Point(i, 0) for i in range(3)))
+        p = MarkovPattern(model, start=1)
+        out = p.generate(20, np.random.default_rng(5))
+        assert out[0] == 1
+        assert out == model.walk(20, np.random.default_rng(5), start=1)
+
+
+class TestCommonValidation:
+    @pytest.mark.parametrize(
+        "pattern",
+        [PatrolPattern(3), SweepPattern(3), StaticPattern(3), HotspotPattern(3)],
+    )
+    def test_zero_steps_rejected(self, pattern):
+        with pytest.raises(ValueError):
+            pattern.generate(0, RNG())
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ValueError):
+            PatrolPattern(0)

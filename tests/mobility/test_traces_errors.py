@@ -1,0 +1,97 @@
+"""Tests for position-error injection and mobility traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.mobility import (
+    MarkovMobilityModel,
+    MobilityTrace,
+    PositionErrorModel,
+    TraceStep,
+    generate_trace,
+)
+
+
+def model(n=4):
+    return MarkovMobilityModel(tuple(Point(float(i) * 2, 1.0) for i in range(n)))
+
+
+class TestPositionErrorModel:
+    def test_zero_error_is_identity(self):
+        em = PositionErrorModel(0.0)
+        p = Point(3, 4)
+        assert em.perturb(p, np.random.default_rng(0)) is p
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            PositionErrorModel(-1.0)
+
+    def test_error_bounded_by_range(self):
+        em = PositionErrorModel(2.5)
+        rng = np.random.default_rng(0)
+        p = Point(0, 0)
+        for _ in range(500):
+            q = em.perturb(p, rng)
+            assert p.distance_to(q) <= 2.5 + 1e-12
+
+    def test_mean_error_reasonable_for_uniform_disk(self):
+        """Uniform disk of radius R has mean distance 2R/3."""
+        em = PositionErrorModel(3.0)
+        rng = np.random.default_rng(1)
+        p = Point(0, 0)
+        dists = [p.distance_to(em.perturb(p, rng)) for _ in range(20_000)]
+        assert np.mean(dists) == pytest.approx(2.0, abs=0.05)
+
+    @given(st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=30)
+    def test_bound_property(self, er):
+        em = PositionErrorModel(er)
+        rng = np.random.default_rng(7)
+        p = Point(5, -3)
+        q = em.perturb(p, rng)
+        assert p.distance_to(q) <= er + 1e-12
+
+
+class TestTraces:
+    def test_generate_trace_shape(self):
+        trace = generate_trace(model(), 12, np.random.default_rng(0))
+        assert len(trace) == 12
+        for step in trace:
+            assert step.true_position == model().sites[step.site_index]
+            assert step.reported_position == step.true_position
+
+    def test_trace_with_errors(self):
+        em = PositionErrorModel(1.5)
+        trace = generate_trace(model(), 30, np.random.default_rng(0), em)
+        errors = [s.report_error_m for s in trace]
+        assert max(errors) <= 1.5 + 1e-12
+        assert any(e > 0 for e in errors)
+        assert trace.mean_report_error_m() == pytest.approx(np.mean(errors))
+
+    def test_visited_site_indices_order(self):
+        steps = tuple(
+            TraceStep(i, Point(i, 0), Point(i, 0)) for i in (2, 2, 0, 1, 0)
+        )
+        trace = MobilityTrace(steps)
+        assert trace.visited_site_indices() == [2, 0, 1]
+
+    def test_unique_steps_keeps_first_dwell(self):
+        p = Point(0, 0)
+        steps = (
+            TraceStep(1, p, Point(0.1, 0)),
+            TraceStep(1, p, Point(0.2, 0)),
+            TraceStep(0, p, Point(0.3, 0)),
+        )
+        unique = MobilityTrace(steps).unique_steps()
+        assert [s.site_index for s in unique] == [1, 0]
+        assert unique[0].reported_position == Point(0.1, 0)
+
+    def test_empty_trace_mean_error(self):
+        assert MobilityTrace(()).mean_report_error_m() == 0.0
+
+    def test_long_walk_visits_all(self):
+        trace = generate_trace(model(4), 100, np.random.default_rng(3))
+        assert len(trace.visited_site_indices()) == 4

@@ -1,0 +1,48 @@
+"""Tests for data-path message types."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CSIMeasurement, OFDMConfig
+from repro.geometry import Point
+from repro.net import CSIReport, LocationFix, ProbePacket
+
+
+def measurement():
+    cfg = OFDMConfig(active_subcarriers=(-1, 1))
+    return CSIMeasurement(np.ones(2, dtype=complex), cfg)
+
+
+class TestMessages:
+    def test_probe_packet_fields(self):
+        p = ProbePacket(7, 0.125, "alice")
+        assert p.seq == 7
+        assert p.sent_at == 0.125
+        assert p.object_id == "alice"
+
+    def test_csi_report_requires_measurements(self):
+        with pytest.raises(ValueError):
+            CSIReport(
+                ap_name="AP1",
+                reported_position=Point(1, 1),
+                measurements=(),
+                nomadic=False,
+                exported_at=0.0,
+            )
+
+    def test_csi_report_defaults(self):
+        r = CSIReport(
+            ap_name="AP1",
+            reported_position=Point(1, 1),
+            measurements=(measurement(),),
+            nomadic=True,
+            exported_at=1.5,
+        )
+        assert r.object_id == "object"
+        assert r.nomadic
+
+    def test_location_fix_fields(self):
+        fix = LocationFix("bob", Point(2, 3), 4.0, 12, 0.5)
+        assert fix.object_id == "bob"
+        assert fix.position == Point(2, 3)
+        assert fix.num_reports == 12

@@ -1,0 +1,144 @@
+"""Tests for multi-object localization and AP failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinkSimulator
+from repro.core import NomLocLocalizer
+from repro.environment import FloorPlan, get_scenario
+from repro.geometry import Point, Polygon
+from repro.net import (
+    APNode,
+    EventSimulator,
+    NetworkConfig,
+    NomLocNetwork,
+    ObjectNode,
+    ServerNode,
+)
+
+
+def simple_setup():
+    plan = FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+    sim = EventSimulator()
+    link = LinkSimulator(plan)
+    server = ServerNode(NomLocLocalizer(plan.boundary))
+    config = NetworkConfig(ping_interval_s=1e-3, batch_size=5, packet_loss=0.0)
+    return plan, sim, link, server, config
+
+
+class TestMultiObject:
+    def test_server_separates_objects(self):
+        plan, sim, link, server, config = simple_setup()
+        rng = np.random.default_rng(0)
+        obj_a = ObjectNode(sim, Point(2, 2), config, "alice")
+        obj_b = ObjectNode(sim, Point(8, 8), config, "bob")
+        aps = [
+            APNode(sim, f"AP{i}", pos, link, server, config,
+                   np.random.default_rng(i))
+            for i, pos in enumerate(
+                [Point(0.5, 0.5), Point(9.5, 0.5), Point(9.5, 9.5), Point(0.5, 9.5)]
+            )
+        ]
+        for obj in (obj_a, obj_b):
+            for ap in aps:
+                obj.register_ap(ap)
+            obj.start()
+        sim.run(until=0.1)
+        for ap in aps:
+            ap.flush()
+        sim.run(until=0.2)
+
+        assert set(server.known_objects()) == {"alice", "bob"}
+        fix_a = server.produce_fix(sim.now, "alice")
+        fix_b = server.produce_fix(sim.now, "bob")
+        # Each fix lands near its own object, not the other one.
+        assert fix_a.position.distance_to(Point(2, 2)) < 3.0
+        assert fix_b.position.distance_to(Point(8, 8)) < 3.0
+        assert fix_a.position.distance_to(Point(8, 8)) > 3.0
+
+    def test_network_add_object(self):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(
+            scen,
+            scen.test_sites[0],
+            NetworkConfig(ping_interval_s=2e-3, batch_size=5, dwell_time_s=0.05),
+            seed=2,
+        )
+        second = scen.test_sites[4]
+        net.add_object(second, "second")
+        net.run(0.3)
+        fix2 = net.fix_for("second")
+        assert fix2.object_id == "second"
+        assert fix2.position.distance_to(second) < 6.0
+
+    def test_duplicate_object_id_rejected(self):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(scen, scen.test_sites[0])
+        with pytest.raises(ValueError):
+            net.add_object(scen.test_sites[1], "object")
+
+
+class TestAPFailure:
+    def test_failed_ap_stops_reporting(self):
+        plan, sim, link, server, config = simple_setup()
+        obj = ObjectNode(sim, Point(5, 5), config)
+        ap = APNode(
+            sim, "AP1", Point(1, 1), link, server, config,
+            np.random.default_rng(0),
+        )
+        obj.register_ap(ap)
+        obj.start()
+        sim.run(until=0.05)
+        heard_before = ap.probes_heard
+        assert heard_before > 0
+        ap.fail()
+        sim.run(until=0.1)
+        assert ap.probes_heard == heard_before  # deaf while down
+        ap.flush()
+        sim.run(until=0.15)
+        reports_at_failure = len(server.reports)
+        ap.recover()
+        sim.run(until=0.2)
+        ap.flush()
+        sim.run(until=0.25)
+        assert ap.probes_heard > heard_before
+        assert len(server.reports) > reports_at_failure
+
+    def test_localization_survives_one_ap_down(self):
+        """Graceful degradation: 3 of 4 APs still produce a usable fix."""
+        plan, sim, link, server, config = simple_setup()
+        obj = ObjectNode(sim, Point(3, 7), config)
+        aps = [
+            APNode(sim, f"AP{i}", pos, link, server, config,
+                   np.random.default_rng(i))
+            for i, pos in enumerate(
+                [Point(0.5, 0.5), Point(9.5, 0.5), Point(9.5, 9.5), Point(0.5, 9.5)]
+            )
+        ]
+        aps[1].fail()  # AP at (9.5, 0.5) dies before the campaign
+        for ap in aps:
+            obj.register_ap(ap)
+        obj.start()
+        sim.run(until=0.1)
+        for ap in aps:
+            ap.flush()
+        sim.run(until=0.2)
+        fix = server.produce_fix(sim.now)
+        assert server.distinct_sources() == 3
+        assert fix.position.distance_to(Point(3, 7)) < 4.0
+
+    def test_pending_batch_lost_on_failure(self):
+        plan, sim, link, server, config = simple_setup()
+        config = NetworkConfig(ping_interval_s=1e-3, batch_size=1000, packet_loss=0.0)
+        obj = ObjectNode(sim, Point(5, 5), config)
+        ap = APNode(
+            sim, "AP1", Point(1, 1), link, server, config,
+            np.random.default_rng(0),
+        )
+        obj.register_ap(ap)
+        obj.start()
+        sim.run(until=0.02)  # measurements accumulate, batch never fills
+        ap.fail()
+        ap.flush()
+        sim.run(until=0.1)
+        assert server.reports == []  # the un-exported batch died with the AP

@@ -1,0 +1,158 @@
+"""Integration tests for the NomLoc network data path."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinkSimulator
+from repro.core import NomLocLocalizer
+from repro.environment import FloorPlan, get_scenario
+from repro.geometry import Point, Polygon
+from repro.mobility import MarkovMobilityModel, PositionErrorModel
+from repro.net import (
+    APNode,
+    EventSimulator,
+    NetworkConfig,
+    NomadicAPNode,
+    NomLocNetwork,
+    ObjectNode,
+    ServerNode,
+)
+
+
+class TestNetworkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(ping_interval_s=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(packet_loss=1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(report_latency_s=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(dwell_time_s=0)
+
+
+def tiny_setup(packet_loss=0.0):
+    plan = FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+    sim = EventSimulator()
+    link = LinkSimulator(plan)
+    server = ServerNode(NomLocLocalizer(plan.boundary))
+    config = NetworkConfig(
+        ping_interval_s=1e-3, batch_size=5, packet_loss=packet_loss
+    )
+    rng = np.random.default_rng(0)
+    return plan, sim, link, server, config, rng
+
+
+class TestDataPath:
+    def test_object_ap_server_flow(self):
+        plan, sim, link, server, config, rng = tiny_setup()
+        obj = ObjectNode(sim, Point(3, 3), config)
+        ap = APNode(sim, "AP1", Point(1, 1), link, server, config, rng)
+        obj.register_ap(ap)
+        obj.start()
+        sim.run(until=0.05)  # 50 pings
+        obj.stop()
+        ap.flush()
+        sim.run(until=0.2)
+        assert obj.probes_sent >= 50
+        assert ap.probes_heard == obj.probes_sent
+        assert server.reports
+        total = sum(len(r.measurements) for r in server.reports)
+        assert total == ap.probes_heard
+
+    def test_packet_loss(self):
+        plan, sim, link, server, config, rng = tiny_setup(packet_loss=0.5)
+        obj = ObjectNode(sim, Point(3, 3), config)
+        ap = APNode(sim, "AP1", Point(1, 1), link, server, config, rng)
+        obj.register_ap(ap)
+        obj.start()
+        sim.run(until=0.2)  # 200 pings
+        assert 0 < ap.probes_heard < obj.probes_sent
+        assert ap.probes_heard + ap.probes_lost == obj.probes_sent
+        assert ap.probes_lost == pytest.approx(obj.probes_sent / 2, rel=0.3)
+
+    def test_nomadic_ap_moves_and_tags_sites(self):
+        plan, sim, link, server, config, rng = tiny_setup()
+        config = NetworkConfig(ping_interval_s=1e-3, batch_size=5, dwell_time_s=0.02, packet_loss=0.0)
+        mobility = MarkovMobilityModel(
+            (Point(1, 1), Point(5, 1), Point(9, 1), Point(5, 9))
+        )
+        obj = ObjectNode(sim, Point(5, 5), config)
+        nomadic = NomadicAPNode(
+            sim, "AP1", mobility, link, server, config, rng
+        )
+        obj.register_ap(nomadic)
+        obj.start()
+        nomadic.start_moving()
+        sim.run(until=0.5)
+        obj.stop()
+        nomadic.stop_moving()
+        nomadic.flush()
+        sim.run(until=0.6)
+        assert nomadic.moves >= 10
+        names = {r.ap_name for r in server.reports}
+        assert len(names) >= 2  # reports from at least two distinct sites
+        assert all(n.startswith("AP1@s") for n in names)
+
+    def test_nomadic_position_error_on_reports(self):
+        plan, sim, link, server, config, rng = tiny_setup()
+        config = NetworkConfig(dwell_time_s=0.02, batch_size=3, packet_loss=0.0)
+        mobility = MarkovMobilityModel((Point(2, 2), Point(8, 8)))
+        obj = ObjectNode(sim, Point(5, 5), config)
+        nomadic = NomadicAPNode(
+            sim,
+            "AP1",
+            mobility,
+            link,
+            server,
+            config,
+            rng,
+            error_model=PositionErrorModel(1.0),
+        )
+        obj.register_ap(nomadic)
+        obj.start()
+        nomadic.start_moving()
+        sim.run(until=0.2)
+        nomadic.flush()
+        sim.run(until=0.3)
+        true_sites = set(mobility.sites)
+        reported = {r.reported_position for r in server.reports}
+        assert any(p not in true_sites for p in reported)
+        for p in reported:
+            assert min(p.distance_to(s) for s in true_sites) <= 1.0 + 1e-9
+
+
+class TestNomLocNetwork:
+    def test_end_to_end_fix(self):
+        scen = get_scenario("lab")
+        target = scen.test_sites[2]
+        net = NomLocNetwork(
+            scen,
+            target,
+            NetworkConfig(
+                ping_interval_s=2e-3, batch_size=5, dwell_time_s=0.05
+            ),
+            seed=1,
+        )
+        fix = net.run(duration_s=0.4)
+        assert scen.plan.contains(fix.position)
+        assert fix.num_reports > 0
+        assert fix.position.distance_to(target) < 6.0
+        # The server heard from the statics and several nomadic sites.
+        assert net.server.distinct_sources() >= 4
+
+    def test_duration_validation(self):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(scen, scen.test_sites[0])
+        with pytest.raises(ValueError):
+            net.run(0.0)
+
+    def test_deterministic_given_seed(self):
+        scen = get_scenario("lab")
+        target = scen.test_sites[0]
+        cfg = NetworkConfig(ping_interval_s=5e-3, batch_size=5, dwell_time_s=0.1)
+        fix1 = NomLocNetwork(scen, target, cfg, seed=3).run(0.3)
+        fix2 = NomLocNetwork(scen, target, cfg, seed=3).run(0.3)
+        assert fix1.position == fix2.position

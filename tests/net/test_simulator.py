@@ -1,0 +1,122 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net import EventSimulator
+
+
+class TestEventSimulator:
+    def test_time_ordering(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        sim = EventSimulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = EventSimulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_self_rescheduling(self):
+        sim = EventSimulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=10.5)
+        assert count[0] == 11  # t = 0..10
+
+    def test_cancel(self):
+        sim = EventSimulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = EventSimulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = EventSimulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = EventSimulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestSimulatorProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_random_schedules_fire_in_time_order(self, delays):
+        sim = EventSimulator()
+        fired = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, lambda i=i, d=d: fired.append((sim.now, i)))
+        sim.run()
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays)
+        # Equal-delay events keep their scheduling order.
+        by_time: dict[float, list[int]] = {}
+        for t, i in fired:
+            by_time.setdefault(t, []).append(i)
+        for ids in by_time.values():
+            assert ids == sorted(ids)

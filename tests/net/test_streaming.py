@@ -1,0 +1,108 @@
+"""Tests for moving objects and streaming fixes in the event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.environment import get_scenario
+from repro.geometry import Point
+from repro.net import MovingObjectNode, NetworkConfig, NomLocNetwork
+from repro.net.simulator import EventSimulator
+from repro.tracking import Trajectory, waypoint_trajectory
+
+
+@pytest.fixture
+def trajectory():
+    return waypoint_trajectory(
+        [Point(1.5, 1.5), Point(9.0, 1.5), Point(9.0, 7.0)],
+        speed_mps=1.5,
+        sample_interval_s=0.5,
+    )
+
+
+class TestMovingObjectNode:
+    def test_position_interpolation(self):
+        sim = EventSimulator()
+        traj = Trajectory(
+            (0.0, 2.0, 4.0),
+            (Point(0, 0), Point(4, 0), Point(4, 4)),
+        )
+        node = MovingObjectNode(sim, traj, NetworkConfig())
+        assert node.position_at(0.0) == Point(0, 0)
+        assert node.position_at(1.0).almost_equals(Point(2, 0))
+        assert node.position_at(3.0).almost_equals(Point(4, 2))
+        # Clamped outside the trajectory span.
+        assert node.position_at(-1.0) == Point(0, 0)
+        assert node.position_at(99.0) == Point(4, 4)
+
+    def test_probe_log_follows_trajectory(self, trajectory):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(
+            scen,
+            scen.test_sites[0],
+            NetworkConfig(ping_interval_s=0.05, batch_size=5),
+            seed=0,
+        )
+        mover = net.add_moving_object(trajectory, "walker")
+        net.run(duration_s=2.0)
+        assert len(mover.probe_log) > 10
+        for t, pos in mover.probe_log:
+            expected = mover.position_at(t)
+            assert pos.almost_equals(expected)
+
+
+class TestStreamingFixes:
+    def test_fix_stream_produced(self, trajectory):
+        scen = get_scenario("lab")
+        # A moving object defeats the trace cache (every probe is from a
+        # new position), so keep the ping rate modest in tests.
+        cfg = NetworkConfig(ping_interval_s=0.02, batch_size=5, dwell_time_s=0.5)
+        net = NomLocNetwork(scen, scen.test_sites[0], cfg, seed=3)
+        mover = net.add_moving_object(trajectory, "walker")
+        fixes = net.run_streaming(
+            duration_s=trajectory.duration_s,
+            fix_interval_s=1.0,
+            window_s=1.5,
+            object_id="walker",
+        )
+        assert len(fixes) >= 5
+        times = [f.produced_at for f in fixes]
+        assert times == sorted(times)
+        errors = [
+            f.position.distance_to(mover.position_at(f.produced_at))
+            for f in fixes
+        ]
+        # Real-time tracking of a walker through the lossy data path:
+        # meter-scale with some lag.
+        assert np.mean(errors) < 4.0
+
+    def test_window_keeps_fixes_fresh(self, trajectory):
+        """A windowed fix tracks better than one over all history."""
+        scen = get_scenario("lab")
+        cfg = NetworkConfig(ping_interval_s=0.02, batch_size=5, dwell_time_s=0.5)
+
+        net = NomLocNetwork(scen, scen.test_sites[0], cfg, seed=3)
+        mover = net.add_moving_object(trajectory, "walker")
+        net.run(duration_s=trajectory.duration_s)
+        end_truth = mover.position_at(trajectory.duration_s)
+        # All-history fix vs trailing-window fix at the end of the walk.
+        stale = net.server.produce_fix(net.sim.now, "walker")
+        fresh = net.server.produce_fix(net.sim.now, "walker", window_s=1.5)
+        assert fresh.position.distance_to(end_truth) <= (
+            stale.position.distance_to(end_truth) + 0.5
+        )
+
+    def test_validation(self):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(scen, scen.test_sites[0])
+        with pytest.raises(ValueError):
+            net.run_streaming(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            net.run_streaming(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            net.run_streaming(1.0, 1.0, 0.0)
+
+    def test_duplicate_moving_object_rejected(self, trajectory):
+        scen = get_scenario("lab")
+        net = NomLocNetwork(scen, scen.test_sites[0])
+        with pytest.raises(ValueError):
+            net.add_moving_object(trajectory, "object")

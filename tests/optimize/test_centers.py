@@ -1,0 +1,198 @@
+"""Tests for Chebyshev and analytic centres and the barrier LP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import HalfSpace, Point, Polygon, intersect_halfspaces
+from repro.optimize import (
+    LPStatus,
+    analytic_center,
+    barrier_solve_lp,
+    chebyshev_center,
+)
+
+
+def box_constraints(cx, cy, half):
+    """|x - cx| <= half and |y - cy| <= half as (A, b)."""
+    a = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]], dtype=float)
+    b = np.array([cx + half, -(cx - half), cy + half, -(cy - half)])
+    return a, b
+
+
+class TestChebyshevCenter:
+    def test_square(self):
+        a, b = box_constraints(2.0, 3.0, 1.5)
+        res = chebyshev_center(a, b)
+        assert res.ok
+        np.testing.assert_allclose(res.x, [2.0, 3.0], atol=1e-7)
+        assert res.objective == pytest.approx(1.5)
+
+    def test_triangle_radius(self):
+        # Right triangle x >= 0, y >= 0, x + y <= 2: incentre radius 2-sqrt(2).
+        a = np.array([[-1, 0], [0, -1], [1, 1]], dtype=float)
+        b = np.array([0.0, 0.0, 2.0])
+        res = chebyshev_center(a, b)
+        assert res.ok
+        assert res.objective == pytest.approx(2 - np.sqrt(2), abs=1e-7)
+
+    def test_empty(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])  # x <= 0 and x >= 1
+        res = chebyshev_center(a, b)
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        a = np.array([[1.0, 0.0]])  # halfplane: radius unbounded
+        res = chebyshev_center(a, np.array([1.0]))
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev_center(np.array([[0.0, 0.0]]), np.array([1.0]))
+
+    def test_flat_region_zero_radius(self):
+        # x <= 0 and x >= 0: a line, zero inscribed radius.
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        res = chebyshev_center(a, b)
+        assert res.ok
+        assert res.objective == pytest.approx(0.0, abs=1e-8)
+
+
+class TestAnalyticCenter:
+    def test_square_center(self):
+        a, b = box_constraints(0.0, 0.0, 1.0)
+        res = analytic_center(a, b)
+        assert res.ok
+        np.testing.assert_allclose(res.x, [0.0, 0.0], atol=1e-7)
+
+    def test_center_is_interior(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            centre = rng.uniform(-5, 5, 2)
+            a = rng.uniform(-1, 1, size=(8, 2))
+            norms = np.linalg.norm(a, axis=1)
+            a = a[norms > 0.1]
+            b = a @ centre + rng.uniform(0.5, 2.0, size=a.shape[0])
+            # Bound the region with a big box to guarantee existence.
+            box_a, box_b = box_constraints(centre[0], centre[1], 50.0)
+            a_all = np.vstack([a, box_a])
+            b_all = np.concatenate([b, box_b])
+            res = analytic_center(a_all, b_all)
+            assert res.ok
+            assert np.all(a_all @ res.x < b_all)
+
+    def test_asymmetric_slab_matches_closed_form(self):
+        # Region: 0 <= x <= 3 crossed with 0 <= y <= 1.  Analytic centre of a
+        # product of intervals is the interval midpoints.
+        a = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]], dtype=float)
+        b = np.array([3.0, 0.0, 1.0, 0.0])
+        res = analytic_center(a, b)
+        assert res.ok
+        np.testing.assert_allclose(res.x, [1.5, 0.5], atol=1e-6)
+
+    def test_infeasible_region(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([0.0, -1.0])
+        res = analytic_center(a, b)
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_supplied_x0_must_be_interior(self):
+        a, b = box_constraints(0.0, 0.0, 1.0)
+        res = analytic_center(a, b, x0=np.array([5.0, 5.0]))
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_weighting_pulls_toward_far_faces(self):
+        """Centre of x <= 1, -x <= 1, y <= t, -y <= t stays at origin."""
+        for t in (0.5, 2.0, 7.0):
+            a = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]], dtype=float)
+            b = np.array([1.0, 1.0, t, t])
+            res = analytic_center(a, b)
+            assert res.ok
+            np.testing.assert_allclose(res.x, [0.0, 0.0], atol=1e-4)
+
+
+class TestBarrierLP:
+    def test_matches_simplex_on_box(self):
+        a, b = box_constraints(0.0, 0.0, 2.0)
+        c = np.array([1.0, -1.0])
+        res = barrier_solve_lp(c, a, b)
+        assert res.ok
+        assert res.objective == pytest.approx(-4.0, abs=1e-5)
+        np.testing.assert_allclose(res.x, [-2.0, 2.0], atol=1e-4)
+
+    def test_zero_objective_returns_analytic_center(self):
+        a, b = box_constraints(1.0, -1.0, 3.0)
+        res = barrier_solve_lp(np.zeros(2), a, b)
+        assert res.ok
+        np.testing.assert_allclose(res.x, [1.0, -1.0], atol=1e-6)
+
+    def test_infeasible_propagates(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])
+        res = barrier_solve_lp(np.array([1.0]), a, b)
+        assert res.status is LPStatus.INFEASIBLE
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_bounded_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, size=(6, 2))
+        norms = np.linalg.norm(a, axis=1)
+        a = a[norms > 0.2]
+        centre = rng.uniform(-3, 3, 2)
+        b = a @ centre + rng.uniform(0.5, 2.0, size=a.shape[0])
+        box_a = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]], dtype=float)
+        box_b = np.array([10.0, 10.0, 10.0, 10.0])
+        a_all = np.vstack([a, box_a])
+        b_all = np.concatenate([b, box_b])
+        c = rng.uniform(-1, 1, 2)
+        res = barrier_solve_lp(c, a_all, b_all)
+        assert res.ok
+        assert np.all(a_all @ res.x <= b_all + 1e-6)
+        # Cross-check against our simplex.
+        from repro.optimize import solve_lp
+
+        ref = solve_lp(c, a_all, b_all)
+        assert ref.ok
+        assert res.objective == pytest.approx(ref.objective, abs=1e-4)
+
+
+class TestCentersAgainstGeometry:
+    """The LP centres must live inside the exact clipped feasible polygon."""
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_centers_inside_exact_region(self, seed):
+        rng = np.random.default_rng(seed)
+        bound = Polygon.rectangle(-10, -10, 10, 10)
+        halfspaces = []
+        target = Point(*rng.uniform(-8, 8, 2))
+        for _ in range(5):
+            other = Point(*rng.uniform(-9, 9, 2))
+            if other.distance_to(target) < 0.3:
+                continue
+            from repro.geometry import bisector_halfspace
+
+            halfspaces.append(bisector_halfspace(target, other))
+        region = intersect_halfspaces(halfspaces, bound)
+        assert region is not None  # target is always feasible
+        bound_hs = [
+            HalfSpace(1, 0, 10),
+            HalfSpace(-1, 0, 10),
+            HalfSpace(0, 1, 10),
+            HalfSpace(0, -1, 10),
+        ]
+        all_hs = halfspaces + bound_hs
+        a = np.array([[h.ax, h.ay] for h in all_hs])
+        b = np.array([h.b for h in all_hs])
+
+        cheb = chebyshev_center(a, b)
+        assert cheb.ok
+        if cheb.objective > 1e-6:
+            assert region.contains(Point(*cheb.x))
+            ana = analytic_center(a, b)
+            assert ana.ok
+            assert region.contains(Point(*ana.x))

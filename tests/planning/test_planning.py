@@ -1,0 +1,145 @@
+"""Tests for partition quality, site selection, and tour planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment import get_scenario
+from repro.geometry import Point, Polygon
+from repro.planning import (
+    candidate_sites,
+    partition_quality,
+    plan_tour,
+    select_sites,
+    Tour,
+)
+
+
+SQUARE = Polygon.rectangle(0, 0, 10, 10)
+
+
+class TestPartitionQuality:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_quality([Point(1, 1)], SQUARE)
+        with pytest.raises(ValueError):
+            partition_quality([Point(1, 1), Point(2, 2)], SQUARE, grid_spacing_m=0)
+
+    def test_two_anchors_two_cells(self):
+        q = partition_quality([Point(0, 5), Point(10, 5)], SQUARE, 0.5)
+        assert q.num_cells == 2
+        assert q.mean_error_m > 0
+        assert q.worst_cell_error_m >= q.mean_error_m
+
+    def test_more_anchors_better_quality(self):
+        corners = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        extra = corners + [Point(5, 5), Point(5, 0), Point(0, 5)]
+        q_few = partition_quality(corners, SQUARE, 0.5)
+        q_many = partition_quality(extra, SQUARE, 0.5)
+        assert q_many.num_cells > q_few.num_cells
+        assert q_many.mean_error_m < q_few.mean_error_m
+
+    def test_variance_is_slv_analogue(self):
+        corners = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        q = partition_quality(corners, SQUARE, 0.5)
+        assert q.error_variance >= 0
+
+
+class TestCandidateSites:
+    def test_avoid_obstacles(self):
+        lab = get_scenario("lab")
+        for site in candidate_sites(lab, spacing_m=1.0):
+            assert lab.plan.contains(site)
+            for o in lab.plan.obstacles:
+                assert not o.polygon.contains(site, boundary=False)
+
+    def test_spacing_validation(self):
+        with pytest.raises(ValueError):
+            candidate_sites(get_scenario("lab"), spacing_m=0)
+
+
+class TestSelectSites:
+    def test_improves_over_baseline(self):
+        lobby = get_scenario("lobby")
+        plan = select_sites(lobby, 3, grid_spacing_m=2.0)
+        assert len(plan.sites) == 3
+        assert plan.quality.mean_error_m < plan.baseline_quality.mean_error_m
+        assert plan.improvement() > 0.3  # mobility buys a lot in the lobby
+
+    def test_greedy_order_is_marginal_value(self):
+        """The first chosen site alone improves the partition."""
+        lobby = get_scenario("lobby")
+        plan = select_sites(lobby, 2, grid_spacing_m=2.0)
+        statics = [ap.position for ap in lobby.static_aps]
+        first_only = partition_quality(
+            statics + [plan.sites[0]], lobby.plan.boundary, 2.0
+        )
+        assert first_only.mean_error_m < plan.baseline_quality.mean_error_m
+
+    def test_validation(self):
+        lobby = get_scenario("lobby")
+        with pytest.raises(ValueError):
+            select_sites(lobby, 0)
+        with pytest.raises(ValueError):
+            select_sites(lobby, 5, candidates=[Point(1, 1)])
+
+    def test_sites_come_from_pool(self):
+        lobby = get_scenario("lobby")
+        pool = [Point(5, 5), Point(20, 5), Point(5, 15)]
+        plan = select_sites(lobby, 2, candidates=pool, grid_spacing_m=2.0)
+        assert all(s in pool for s in plan.sites)
+
+
+class TestTour:
+    def test_permutation_validation(self):
+        with pytest.raises(ValueError):
+            Tour((0, 0), (Point(0, 0), Point(1, 1)), closed=True)
+
+    def test_single_site(self):
+        t = plan_tour([Point(3, 3)])
+        assert t.order == (0,)
+        assert t.length_m() == 0.0
+
+    def test_start_fixed(self):
+        sites = [Point(0, 0), Point(5, 0), Point(5, 5), Point(0, 5)]
+        t = plan_tour(sites, start=2)
+        assert t.order[0] == 2
+
+    def test_start_validation(self):
+        with pytest.raises(IndexError):
+            plan_tour([Point(0, 0)], start=3)
+
+    def test_square_optimal_tour(self):
+        """On a unit square the optimal closed tour is the perimeter."""
+        sites = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        t = plan_tour(sites)
+        assert t.length_m() == pytest.approx(4.0)
+
+    def test_open_tour_shorter_or_equal(self):
+        sites = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(2, 2)]
+        closed = plan_tour(sites, closed=True)
+        open_ = plan_tour(sites, closed=False)
+        assert open_.length_m() <= closed.length_m()
+
+    def test_ordered_sites(self):
+        sites = [Point(0, 0), Point(1, 0)]
+        t = plan_tour(sites)
+        assert t.ordered_sites()[0] == Point(0, 0)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_two_opt_never_worse_than_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        sites = [Point(*rng.uniform(0, 20, 2)) for _ in range(7)]
+        t = plan_tour(sites)
+        # Compare against the raw nearest-neighbour length.
+        unvisited = set(range(1, 7))
+        order = [0]
+        while unvisited:
+            last = sites[order[-1]]
+            nxt = min(unvisited, key=lambda i: last.distance_to(sites[i]))
+            order.append(nxt)
+            unvisited.remove(nxt)
+        nn_len = Tour(tuple(order), tuple(sites), closed=True).length_m()
+        assert t.length_m() <= nn_len + 1e-9

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_locate_args(self):
+        args = build_parser().parse_args(
+            ["locate", "lab", "3.0", "4.0", "--static", "--seed", "9"]
+        )
+        assert args.scenario == "lab"
+        assert args.x == 3.0
+        assert args.static
+        assert args.seed == 9
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestScenariosCommand:
+    def test_lists_and_renders(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "lab" in out and "lobby" in out
+        assert "AP1" in out
+        assert "#" in out  # the map
+
+
+class TestLocateCommand:
+    def test_happy_path(self, capsys):
+        rc = main(["locate", "lab", "6.4", "4.2", "--packets", "5", "--no-map"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nomadic estimate" in out
+        assert "error" in out
+
+    def test_static_mode(self, capsys):
+        rc = main(
+            ["locate", "lab", "6.4", "4.2", "--packets", "5", "--static", "--no-map"]
+        )
+        assert rc == 0
+        assert "static estimate" in capsys.readouterr().out
+
+    def test_map_rendered_by_default(self, capsys):
+        main(["locate", "lab", "6.4", "4.2", "--packets", "5"])
+        out = capsys.readouterr().out
+        assert "T" in out and "E" in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["locate", "mall", "1", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_outside_venue(self, capsys):
+        assert main(["locate", "lab", "99", "99"]) == 2
+        assert "outside" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_fig3(self, capsys):
+        assert main(["experiment", "fig3", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LOS" in out and "NLOS" in out
+        assert "first-tap ratio" in out
+
+    def test_fig7(self, capsys):
+        assert main(["experiment", "fig7", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PDP accuracy" in out
+        assert "mean accuracy" in out
+
+    def test_fig9(self, capsys):
+        rc = main(
+            [
+                "experiment", "fig9", "--scenario", "lab",
+                "--repetitions", "1", "--packets", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "nomadic" in out
+
+    def test_fig10(self, capsys):
+        rc = main(
+            [
+                "experiment", "fig10", "--scenario", "lab",
+                "--repetitions", "1", "--packets", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ER=0" in out and "ER=3" in out
+
+
+class TestHeatmapCommand:
+    def test_renders(self, capsys):
+        rc = main(
+            ["heatmap", "lab", "--spacing", "3.0", "--packets", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out and "SLV" in out
+        assert "#" in out  # boundary
+
+    def test_static_flag(self, capsys):
+        rc = main(
+            ["heatmap", "lab", "--static", "--spacing", "4.0", "--packets", "3"]
+        )
+        assert rc == 0
+        assert "static deployment" in capsys.readouterr().out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["heatmap", "mall"]) == 2
+
+
+class TestRecordReplayCommands:
+    def test_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        rc = main(
+            ["record", "lab", str(path), "--packets", "5", "--seed", "4"]
+        )
+        assert rc == 0
+        assert path.exists()
+        assert "recorded" in capsys.readouterr().out
+
+        rc = main(["replay", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean" in out and "SLV" in out
+
+        rc = main(["replay", str(path), "--paper-literal"])
+        assert rc == 0
+
+    def test_replay_missing_file(self, capsys):
+        assert main(["replay", "/nonexistent/file.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_record_unknown_scenario(self, capsys):
+        assert main(["record", "mall", "/tmp/x.json"]) == 2

@@ -1,0 +1,68 @@
+"""Public-API hygiene: exports exist, are documented, and import cleanly."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.geometry",
+    "repro.optimize",
+    "repro.channel",
+    "repro.environment",
+    "repro.mobility",
+    "repro.core",
+    "repro.baselines",
+    "repro.net",
+    "repro.eval",
+    "repro.extensions",
+    "repro.tracking",
+    "repro.planning",
+    "repro.viz",
+    "repro.data",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestPublicAPI:
+    def test_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_all_exports_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_every_public_item_documented(self, module_name):
+        """Deliverable (e): doc comments on every public item."""
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+                if inspect.isclass(obj):
+                    for meth_name, meth in inspect.getmembers(
+                        obj, inspect.isfunction
+                    ):
+                        if meth_name.startswith("_"):
+                            continue
+                        if meth.__qualname__.split(".")[0] != obj.__name__:
+                            continue  # inherited from elsewhere
+                        assert meth.__doc__, (
+                            f"{module_name}.{name}.{meth_name} lacks a "
+                            "docstring"
+                        )
+
+
+class TestVersioning:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

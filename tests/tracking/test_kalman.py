@@ -1,0 +1,123 @@
+"""Tests for the Kalman tracker and the filter comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.geometry import Point
+from repro.tracking import (
+    KalmanConfig,
+    KalmanTracker,
+    NomLocTracker,
+    waypoint_trajectory,
+)
+
+
+class TestKalmanConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KalmanConfig(acceleration_noise=0)
+        with pytest.raises(ValueError):
+            KalmanConfig(measurement_sigma_m=0)
+        with pytest.raises(ValueError):
+            KalmanConfig(initial_position_sigma_m=0)
+
+
+class TestKalmanTracker:
+    def test_first_update_initializes(self):
+        kf = KalmanTracker()
+        kf.step(0.0, Point(3, 4))
+        assert kf.estimate().almost_equals(Point(3, 4))
+        assert kf.updates == 1
+
+    def test_converges_on_static_target(self):
+        # A static target calls for low manoeuvre noise; with the default
+        # CV tuning the filter deliberately keeps ~1 m of slack.
+        kf = KalmanTracker(KalmanConfig(acceleration_noise=0.05))
+        rng = np.random.default_rng(0)
+        truth = Point(5, 5)
+        for _ in range(30):
+            noisy = Point(truth.x + rng.normal(0, 1.0), truth.y + rng.normal(0, 1.0))
+            kf.step(1.0, noisy)
+        assert kf.estimate().distance_to(truth) < 0.7
+        assert kf.position_sigma_m() < 1.0
+
+    def test_velocity_estimated(self):
+        kf = KalmanTracker()
+        for k in range(15):
+            kf.step(1.0, Point(1.0 * k, 0.0))
+        vx, vy = kf.velocity()
+        assert vx == pytest.approx(1.0, abs=0.2)
+        assert vy == pytest.approx(0.0, abs=0.2)
+
+    def test_tracks_moving_target_better_than_raw(self):
+        kf = KalmanTracker()
+        rng = np.random.default_rng(1)
+        raw_err, filt_err = [], []
+        for k in range(40):
+            truth = Point(0.5 * k, 0.25 * k)
+            fix = Point(truth.x + rng.normal(0, 1.5), truth.y + rng.normal(0, 1.5))
+            est = kf.step(1.0, fix)
+            if k >= 5:
+                raw_err.append(fix.distance_to(truth))
+                filt_err.append(est.distance_to(truth))
+        assert np.mean(filt_err) < np.mean(raw_err)
+
+    def test_uncertainty_grows_on_predict(self):
+        kf = KalmanTracker()
+        kf.step(0.0, Point(0, 0))
+        kf.update(Point(0, 0))
+        sigma_before = kf.position_sigma_m()
+        kf.predict(5.0)
+        assert kf.position_sigma_m() > sigma_before
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            KalmanTracker().predict(-1.0)
+
+    def test_covariance_stays_symmetric(self):
+        kf = KalmanTracker()
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            kf.step(0.5, Point(*rng.uniform(0, 10, 2)))
+        np.testing.assert_allclose(kf.covariance, kf.covariance.T)
+
+
+class TestFilterComparison:
+    def test_kalman_as_tracker_backend(self):
+        scen = get_scenario("lab")
+        system = NomLocSystem(scen, SystemConfig(packets_per_link=8))
+        tracker = NomLocTracker(
+            system, make_filter=lambda rng: KalmanTracker()
+        )
+        traj = waypoint_trajectory(
+            [Point(1.5, 1.5), Point(9.0, 1.5), Point(9.0, 7.0)],
+            speed_mps=1.5,
+        )
+        res = tracker.track(traj, np.random.default_rng(3))
+        assert len(res.filtered) == len(traj)
+        assert res.filtered_rmse < res.raw_rmse * 1.5
+
+    def test_both_filters_comparable_on_same_fixes(self):
+        """Feed identical fix streams to PF and KF: both should filter."""
+        from repro.environment import FloorPlan
+        from repro.geometry import Polygon
+        from repro.tracking import ParticleFilterTracker
+
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 30, 30))
+        rng = np.random.default_rng(4)
+        pf = ParticleFilterTracker(plan, rng=np.random.default_rng(0))
+        kf = KalmanTracker()
+        pf_err, kf_err, raw_err = [], [], []
+        for k in range(40):
+            truth = Point(2.0 + 0.6 * k, 15.0)
+            fix = Point(truth.x + rng.normal(0, 1.5), truth.y + rng.normal(0, 1.5))
+            pf_est = pf.step(1.0, fix)
+            kf_est = kf.step(1.0, fix)
+            if k >= 8:
+                raw_err.append(fix.distance_to(truth))
+                pf_err.append(pf_est.distance_to(truth))
+                kf_err.append(kf_est.distance_to(truth))
+        assert np.mean(pf_err) < np.mean(raw_err)
+        assert np.mean(kf_err) < np.mean(raw_err)

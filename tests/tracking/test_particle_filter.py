@@ -1,0 +1,161 @@
+"""Tests for the particle filter and the end-to-end tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import FloorPlan, get_scenario
+from repro.geometry import Point, Polygon
+from repro.tracking import (
+    NomLocTracker,
+    ParticleFilterConfig,
+    ParticleFilterTracker,
+    TrackingResult,
+    Trajectory,
+    waypoint_trajectory,
+)
+
+
+@pytest.fixture
+def room():
+    return FloorPlan("room", Polygon.rectangle(0, 0, 20, 20))
+
+
+class TestParticleFilterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(num_particles=1)
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(measurement_sigma_m=0)
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(resample_fraction=0)
+        with pytest.raises(ValueError):
+            ParticleFilterConfig(outside_penalty=0)
+
+
+class TestParticleFilter:
+    def test_converges_to_static_target(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        truth = Point(7.0, 13.0)
+        rng = np.random.default_rng(1)
+        for _ in range(12):
+            fix = Point(
+                truth.x + rng.normal(0, 1.0), truth.y + rng.normal(0, 1.0)
+            )
+            pf.step(1.0, fix)
+        assert pf.estimate().distance_to(truth) < 1.0
+        assert pf.spread_m() < 3.0
+
+    def test_tracks_moving_target(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        errors = []
+        for k in range(20):
+            truth = Point(2.0 + 0.8 * k, 10.0)
+            fix = Point(
+                truth.x + rng.normal(0, 1.2), truth.y + rng.normal(0, 1.2)
+            )
+            est = pf.step(1.0, fix)
+            if k >= 5:
+                errors.append(est.distance_to(truth))
+        assert np.mean(errors) < 1.5
+
+    def test_filtering_beats_raw_fixes(self, room):
+        """The whole point: posterior mean < raw measurement error."""
+        rng = np.random.default_rng(3)
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        raw_err, filt_err = [], []
+        for k in range(30):
+            truth = Point(3.0 + 0.5 * k, 5.0 + 0.3 * k)
+            fix = Point(
+                truth.x + rng.normal(0, 1.5), truth.y + rng.normal(0, 1.5)
+            )
+            est = pf.step(1.0, fix)
+            if k >= 5:
+                raw_err.append(fix.distance_to(truth))
+                filt_err.append(est.distance_to(truth))
+        assert np.mean(filt_err) < np.mean(raw_err)
+
+    def test_estimate_stays_inside_venue(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        # Feed fixes at the corner; the estimate must remain legal.
+        for _ in range(10):
+            pf.step(1.0, Point(0.5, 0.5))
+        est = pf.estimate()
+        assert room.contains(est) or est.distance_to(Point(0.5, 0.5)) < 2.0
+
+    def test_negative_dt_rejected(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pf.predict(-1.0)
+
+    def test_zero_dt_noop(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        before = pf.states.copy()
+        pf.predict(0.0)
+        np.testing.assert_array_equal(pf.states, before)
+
+    def test_ess_drops_then_resamples(self, room):
+        pf = ParticleFilterTracker(
+            room,
+            ParticleFilterConfig(num_particles=200),
+            rng=np.random.default_rng(0),
+        )
+        pf.update(Point(10, 10))
+        # After a concentrated update followed by resampling, weights are
+        # either renormalized or uniform; ESS is meaningful either way.
+        assert 1.0 <= pf.effective_sample_size() <= 200.0
+
+    def test_reseed_on_divergence(self, room):
+        pf = ParticleFilterTracker(
+            room,
+            ParticleFilterConfig(num_particles=50, measurement_sigma_m=0.01),
+            rng=np.random.default_rng(0),
+        )
+        # A fix impossibly far from every particle zeroes the weights.
+        pf.update(Point(19.9, 19.9))
+        est = pf.estimate()
+        assert est.distance_to(Point(19.9, 19.9)) < 4.0
+
+
+class TestTrackingResult:
+    def test_alignment_validation(self):
+        t = Trajectory((0.0, 1.0), (Point(0, 0), Point(1, 0)))
+        with pytest.raises(ValueError):
+            TrackingResult(t, (Point(0, 0),), (Point(0, 0), Point(1, 0)))
+
+    def test_metrics(self):
+        t = Trajectory((0.0, 1.0), (Point(0, 0), Point(1, 0)))
+        res = TrackingResult(
+            t,
+            raw_fixes=(Point(0, 1), Point(1, 1)),
+            filtered=(Point(0, 0.5), Point(1, 0.5)),
+        )
+        assert res.raw_rmse == pytest.approx(1.0)
+        assert res.filtered_rmse == pytest.approx(0.5)
+        assert res.improvement() == pytest.approx(0.5)
+
+
+class TestNomLocTracker:
+    def test_end_to_end(self):
+        scen = get_scenario("lab")
+        system = NomLocSystem(
+            scen, SystemConfig(packets_per_link=8, trace_steps=8)
+        )
+        tracker = NomLocTracker(system)
+        traj = waypoint_trajectory(
+            [Point(1.5, 1.5), Point(9.0, 1.5), Point(9.0, 7.0)],
+            speed_mps=1.5,
+            sample_interval_s=1.0,
+        )
+        res = tracker.track(traj, np.random.default_rng(4))
+        assert len(res.raw_fixes) == len(traj)
+        assert res.raw_rmse < 5.0
+        # Filtering should not catastrophically hurt.
+        assert res.filtered_rmse < res.raw_rmse * 1.5
+
+    def test_warmup_validation(self):
+        scen = get_scenario("lab")
+        system = NomLocSystem(scen, SystemConfig(packets_per_link=5))
+        with pytest.raises(ValueError):
+            NomLocTracker(system, warmup_updates=-1)

@@ -1,0 +1,135 @@
+"""Tests for trajectory generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment import FloorPlan, Obstacle, get_scenario
+from repro.channel import METAL
+from repro.geometry import Point, Polygon, Segment
+from repro.tracking import Trajectory, random_trajectory, waypoint_trajectory
+
+
+class TestTrajectory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory((0.0, 1.0), (Point(0, 0),))
+        with pytest.raises(ValueError):
+            Trajectory((), ())
+        with pytest.raises(ValueError):
+            Trajectory((0.0, 0.0), (Point(0, 0), Point(1, 1)))
+        with pytest.raises(ValueError):
+            Trajectory((1.0, 0.5), (Point(0, 0), Point(1, 1)))
+
+    def test_measures(self):
+        t = Trajectory(
+            (0.0, 1.0, 2.0), (Point(0, 0), Point(3, 0), Point(3, 4))
+        )
+        assert t.duration_s == 2.0
+        assert t.length_m() == pytest.approx(7.0)
+        assert t.average_speed() == pytest.approx(3.5)
+        assert len(t) == 3
+
+    def test_single_sample(self):
+        t = Trajectory((0.0,), (Point(1, 1),))
+        assert t.average_speed() == 0.0
+        assert t.length_m() == 0.0
+
+    def test_iteration(self):
+        t = Trajectory((0.0, 1.0), (Point(0, 0), Point(1, 0)))
+        pairs = list(t)
+        assert pairs[0] == (0.0, Point(0, 0))
+
+
+class TestWaypointTrajectory:
+    def test_constant_speed(self):
+        t = waypoint_trajectory(
+            [Point(0, 0), Point(10, 0)], speed_mps=2.0, sample_interval_s=1.0
+        )
+        assert t.duration_s == pytest.approx(5.0)
+        # Each 1 s step covers 2 m.
+        for a, b in zip(t.positions, t.positions[1:]):
+            assert a.distance_to(b) == pytest.approx(2.0, abs=1e-9)
+
+    def test_corners_traversed(self):
+        t = waypoint_trajectory(
+            [Point(0, 0), Point(4, 0), Point(4, 4)],
+            speed_mps=1.0,
+            sample_interval_s=0.5,
+        )
+        assert t.positions[0] == Point(0, 0)
+        assert t.positions[-1].almost_equals(Point(4, 4))
+        assert t.length_m() == pytest.approx(8.0, abs=1e-6)
+
+    def test_endpoint_always_included(self):
+        t = waypoint_trajectory(
+            [Point(0, 0), Point(1, 0)], speed_mps=0.3, sample_interval_s=1.0
+        )
+        assert t.positions[-1].almost_equals(Point(1, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            waypoint_trajectory([Point(0, 0)])
+        with pytest.raises(ValueError):
+            waypoint_trajectory([Point(0, 0), Point(1, 0)], speed_mps=0)
+        with pytest.raises(ValueError):
+            waypoint_trajectory([Point(0, 0), Point(0, 0)])
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_speed_property(self, speed, interval):
+        t = waypoint_trajectory(
+            [Point(0, 0), Point(7, 0), Point(7, 5)],
+            speed_mps=speed,
+            sample_interval_s=interval,
+        )
+        # Duration is exact; the resampled polyline may cut the corner, so
+        # its measured speed is bounded above by the commanded speed.
+        assert t.duration_s == pytest.approx(12.0 / speed, rel=1e-9)
+        assert t.average_speed() <= speed + 1e-9
+        # Fine sampling recovers the commanded speed.
+        fine = waypoint_trajectory(
+            [Point(0, 0), Point(7, 0), Point(7, 5)],
+            speed_mps=speed,
+            sample_interval_s=0.05,
+        )
+        assert fine.average_speed() == pytest.approx(speed, rel=0.02)
+
+
+class TestRandomTrajectory:
+    def test_stays_inside_and_clear(self):
+        scen = get_scenario("lab")
+        rng = np.random.default_rng(0)
+        t = random_trajectory(scen.plan, rng, num_waypoints=5)
+        for p in t.positions:
+            assert scen.plan.contains(p)
+            for o in scen.plan.obstacles:
+                assert not o.polygon.contains(p, boundary=False)
+
+    def test_validation(self):
+        scen = get_scenario("lab")
+        with pytest.raises(ValueError):
+            random_trajectory(scen.plan, np.random.default_rng(0), num_waypoints=1)
+
+    def test_impossible_venue_raises(self):
+        # A venue almost fully covered by an obstacle defeats waypointing.
+        plan = FloorPlan(
+            "blocked",
+            Polygon.rectangle(0, 0, 10, 10),
+            (),
+            (Obstacle(Polygon.rectangle(0.2, 0.2, 9.8, 9.8), METAL),),
+        )
+        with pytest.raises(RuntimeError):
+            random_trajectory(
+                plan, np.random.default_rng(0), num_waypoints=4, max_attempts=20
+            )
+
+    def test_reproducible(self):
+        scen = get_scenario("lab")
+        t1 = random_trajectory(scen.plan, np.random.default_rng(5))
+        t2 = random_trajectory(scen.plan, np.random.default_rng(5))
+        assert t1.positions == t2.positions

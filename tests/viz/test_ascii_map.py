@@ -1,0 +1,114 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.environment import FloorPlan, Obstacle, get_scenario
+from repro.channel import METAL
+from repro.geometry import Point, Polygon, Segment
+from repro.viz import AsciiCanvas, render_floorplan, render_scenario
+
+
+class TestAsciiCanvas:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(5, (0, 0, 10, 10))
+
+    def test_degenerate_bbox_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(40, (0, 0, 0, 10))
+
+    def test_corner_mapping(self):
+        c = AsciiCanvas(41, (0, 0, 10, 10))
+        # Bottom-left world corner -> last row, first column.
+        assert c.to_cell(Point(0, 0)) == (c.height - 1, 0)
+        # Top-right world corner -> first row, last column.
+        assert c.to_cell(Point(10, 10)) == (0, 40)
+
+    def test_off_canvas_returns_none(self):
+        c = AsciiCanvas(41, (0, 0, 10, 10))
+        assert c.to_cell(Point(-5, 5)) is None
+        assert c.to_cell(Point(5, 15)) is None
+
+    def test_put_and_render(self):
+        c = AsciiCanvas(20, (0, 0, 10, 10))
+        c.put(Point(5, 5), "X")
+        assert "X" in c.render()
+
+    def test_put_requires_single_char(self):
+        c = AsciiCanvas(20, (0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            c.put(Point(5, 5), "XY")
+
+    def test_put_label(self):
+        c = AsciiCanvas(30, (0, 0, 10, 10))
+        c.put_label(Point(2, 5), "AP1")
+        assert "AP1" in c.render()
+
+    def test_draw_segment_continuous(self):
+        c = AsciiCanvas(30, (0, 0, 10, 10))
+        c.draw_segment(Segment(Point(0, 5), Point(10, 5)), "-")
+        row = next(r for r in c.render().splitlines() if "-" in r)
+        assert row.count("-") >= 25  # nearly the full width
+
+    def test_fill_polygon(self):
+        c = AsciiCanvas(40, (0, 0, 10, 10))
+        c.fill_polygon(Polygon.rectangle(2, 2, 8, 8), "%")
+        assert c.render().count("%") > 20
+
+
+class TestRenderFloorplan:
+    def test_structure_glyphs_present(self):
+        plan = FloorPlan(
+            "t",
+            Polygon.rectangle(0, 0, 10, 8),
+            (),
+            (Obstacle(Polygon.rectangle(4, 4, 6, 6), METAL),),
+        )
+        out = render_floorplan(plan, width=40)
+        assert "#" in out
+        assert "%" in out
+
+    def test_markers_and_region(self):
+        plan = FloorPlan("t", Polygon.rectangle(0, 0, 10, 8))
+        out = render_floorplan(
+            plan,
+            width=40,
+            markers={"T": [Point(3, 3)], "E": [Point(7, 5)]},
+            region=Polygon.rectangle(2, 2, 5, 5),
+        )
+        assert "T" in out and "E" in out and "~" in out
+
+    def test_marker_overwrites_region(self):
+        plan = FloorPlan("t", Polygon.rectangle(0, 0, 10, 8))
+        out = render_floorplan(
+            plan,
+            width=40,
+            markers={"T": [Point(3, 3)]},
+            region=Polygon.rectangle(2.5, 2.5, 3.5, 3.5),
+        )
+        assert "T" in out
+
+
+class TestRenderScenario:
+    def test_lab_shows_everything(self):
+        out = render_scenario(get_scenario("lab"), width=60)
+        for name in ("AP1", "AP2", "AP3", "AP4"):
+            assert name in out
+        assert "n" in out  # nomadic sites
+        assert "." in out  # test sites
+        assert "%" in out  # clutter
+
+    def test_lobby_l_shape(self):
+        out = render_scenario(get_scenario("lobby"), width=76)
+        lines = out.splitlines()
+        # The notch: early lines are much shorter than late ones.
+        assert len(lines[1]) < len(lines[-2])
+
+    def test_overlay(self):
+        out = render_scenario(
+            get_scenario("lab"),
+            width=60,
+            truth=Point(6.4, 4.2),
+            estimate=Point(6.0, 4.3),
+        )
+        assert "T" in out and "E" in out

@@ -1,0 +1,77 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import pytest
+
+from repro.channel import METAL
+from repro.environment import FloorPlan, Obstacle, get_scenario
+from repro.geometry import Point, Polygon
+from repro.viz import render_heatmap
+from repro.viz.heatmap import RAMP
+
+
+@pytest.fixture
+def room():
+    return FloorPlan("room", Polygon.rectangle(0, 0, 10, 10))
+
+
+class TestRenderHeatmap:
+    def test_gradient_field(self, room):
+        hm = render_heatmap(room, lambda p: p.x, grid_spacing_m=1.0, width=40)
+        assert hm.vmin == pytest.approx(0.5)  # first grid cell centre
+        assert hm.vmax == pytest.approx(9.5)
+        assert len(hm.points) == len(hm.values) == 100
+        # Low glyphs on the left rows, high glyphs on the right.
+        for line in hm.text.splitlines():
+            if "@" in line and "." in line:
+                assert line.index(".") < line.index("@")
+
+    def test_legend(self, room):
+        hm = render_heatmap(room, lambda p: p.x, width=40)
+        assert "low" in hm.legend() and "high" in hm.legend()
+
+    def test_constant_field(self, room):
+        hm = render_heatmap(room, lambda p: 2.0, width=40)
+        body = [
+            ch
+            for line in hm.text.splitlines()
+            for ch in line
+            if ch not in "# "
+        ]
+        assert body  # cells rendered
+        assert set(body) <= set(RAMP.replace(" ", "") + ".")
+
+    def test_fixed_scale(self, room):
+        hm = render_heatmap(room, lambda p: p.x, vmin=0.0, vmax=100.0, width=40)
+        # Everything is small on this scale: only low-ramp glyphs appear.
+        body = {
+            ch
+            for line in hm.text.splitlines()
+            for ch in line
+            if ch not in "# "
+        }
+        assert body <= {".", ":"}
+
+    def test_obstacles_skipped(self):
+        plan = FloorPlan(
+            "r",
+            Polygon.rectangle(0, 0, 10, 10),
+            (),
+            (Obstacle(Polygon.rectangle(3, 3, 7, 7), METAL),),
+        )
+        hm = render_heatmap(plan, lambda p: 1.0, grid_spacing_m=1.0, width=40)
+        assert all(
+            not (3 < p.x < 7 and 3 < p.y < 7) for p in hm.points
+        )
+
+    def test_validation(self, room):
+        with pytest.raises(ValueError):
+            render_heatmap(room, lambda p: 1.0, grid_spacing_m=0)
+        tiny = FloorPlan("t", Polygon.rectangle(0, 0, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            render_heatmap(tiny, lambda p: 1.0, grid_spacing_m=5.0)
+
+    def test_l_shape_respected(self):
+        lobby = get_scenario("lobby")
+        hm = render_heatmap(lobby.plan, lambda p: 1.0, grid_spacing_m=2.0, width=60)
+        for p in hm.points:
+            assert lobby.plan.contains(p)
