@@ -9,6 +9,8 @@ Usage::
     python -m repro experiment fig9 --scenario lobby
     python -m repro record lab out.json       # record a measurement campaign
     python -m repro replay out.json           # re-localize it offline
+    python -m repro batch-locate lab -n 24    # batch queries through the service
+    python -m repro serve lab --queries 50    # simulated serving run + metrics
 """
 
 from __future__ import annotations
@@ -88,7 +90,56 @@ def build_parser() -> argparse.ArgumentParser:
     heatmap.add_argument("--spacing", type=float, default=1.5)
     heatmap.add_argument("--packets", type=int, default=8)
     heatmap.add_argument("--seed", type=int, default=0)
+
+    batch = sub.add_parser(
+        "batch-locate",
+        help="run a batch of queries through the localization service",
+    )
+    _add_serving_args(batch)
+    batch.add_argument(
+        "-n", "--count", type=int, default=12, help="number of queries"
+    )
+    batch.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify service answers match the direct localizer bit-for-bit",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulated serving run: stream queries, report service metrics",
+    )
+    _add_serving_args(serve)
+    serve.add_argument(
+        "--queries", type=int, default=48, help="stream length"
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-query deadline (s)"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, help="in-flight bound"
+    )
     return parser
+
+
+def _add_serving_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``batch-locate`` and ``serve`` subcommands."""
+    parser.add_argument("scenario", help="scenario name (lab, lobby)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--packets", type=int, default=8, help="CSI packets per link"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads (0 = sequential reference path)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the topology/bisector caches",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -101,6 +152,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "record": _cmd_record,
         "replay": _cmd_replay,
         "heatmap": _cmd_heatmap,
+        "batch-locate": _cmd_batch_locate,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -318,6 +371,153 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     mean = sum(values) / len(values)
     var = sum((v - mean) ** 2 for v in values) / len(values)
     print(f"mean error {mean:.2f} m, SLV {var:.2f}")
+    return 0
+
+
+def _serving_setup(args: argparse.Namespace):
+    """Scenario + measurement system + seeded query generator, shared by
+    the ``batch-locate`` and ``serve`` commands."""
+    from .core import NomLocSystem, SystemConfig
+    from .environment import get_scenario
+
+    scenario = get_scenario(args.scenario)
+    system = NomLocSystem(
+        scenario, SystemConfig(packets_per_link=args.packets)
+    )
+
+    def queries(count: int):
+        sites = scenario.test_sites
+        for i in range(count):
+            site = sites[i % len(sites)]
+            rng = np.random.default_rng(
+                np.random.SeedSequence([args.seed, i])
+            )
+            yield site, tuple(system.gather_anchors(site, rng))
+
+    return scenario, system, queries
+
+
+def _print_metrics(snapshot: dict) -> None:
+    """Render a service metrics snapshot as aligned key/value lines."""
+    print(
+        f"  throughput {snapshot['throughput_qps']:.1f} q/s | latency "
+        f"p50 {snapshot['latency_p50_s'] * 1e3:.1f} ms, "
+        f"p95 {snapshot['latency_p95_s'] * 1e3:.1f} ms | "
+        f"completed {snapshot['completed']}, degraded "
+        f"{snapshot['degraded']}, rejected {snapshot['rejected']}"
+    )
+    topo = snapshot.get("topology_cache")
+    if topo is not None:
+        print(
+            f"  topology cache: {topo['hits']} hits / "
+            f"{topo['misses']} misses (rate {topo['hit_rate']:.0%})"
+        )
+    bis = snapshot.get("bisector_cache")
+    if bis is not None:
+        print(
+            f"  bisector cache: {bis['hits']} hits / "
+            f"{bis['misses']} misses (rate {bis['hit_rate']:.0%})"
+        )
+
+
+def _cmd_batch_locate(args: argparse.Namespace) -> int:
+    from .serving import LocalizationService, ServingConfig
+
+    try:
+        if args.count < 1:
+            raise ValueError("--count must be at least 1")
+        scenario, system, queries = _serving_setup(args)
+        config = ServingConfig(
+            max_workers=args.workers,
+            cache_topologies=not args.no_cache,
+            cache_bisectors=not args.no_cache,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    batch = list(queries(args.count))
+    with LocalizationService(
+        scenario.plan.boundary, config=config
+    ) as service:
+        responses = service.batch([anchors for _, anchors in batch])
+        snapshot = service.metrics_snapshot()
+    errors = []
+    for (truth, _), resp in zip(batch, responses):
+        errors.append(resp.error_to(truth))
+        flag = f" [degraded: {resp.reason}]" if resp.degraded else ""
+        print(
+            f"  ({truth.x:5.2f}, {truth.y:5.2f}) -> "
+            f"({resp.position.x:5.2f}, {resp.position.y:5.2f})  "
+            f"err {errors[-1]:5.2f} m  "
+            f"{resp.latency_s * 1e3:6.1f} ms{flag}"
+        )
+    print(f"{len(responses)} queries, mean error "
+          f"{sum(errors) / len(errors):.2f} m")
+    _print_metrics(snapshot)
+    if args.selftest:
+        mismatches = _serving_selftest(scenario, batch, responses)
+        if mismatches:
+            print(f"SELFTEST FAIL: {mismatches} mismatching queries",
+                  file=sys.stderr)
+            return 1
+        print("SELFTEST OK: service answers identical to direct localizer")
+    return 0
+
+
+def _serving_selftest(scenario, batch, responses) -> int:
+    """Count service answers differing from the direct localizer path."""
+    from .core import NomLocLocalizer
+
+    localizer = NomLocLocalizer(scenario.plan.boundary)
+    mismatches = 0
+    for (_, anchors), resp in zip(batch, responses):
+        direct = localizer.locate(anchors)
+        if resp.degraded or resp.position != direct.position:
+            mismatches += 1
+    return mismatches
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import LocalizationService, ServingConfig
+
+    try:
+        if args.queries < 1:
+            raise ValueError("--queries must be at least 1")
+        scenario, system, queries = _serving_setup(args)
+        config = ServingConfig(
+            max_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            timeout_s=args.timeout,
+            cache_topologies=not args.no_cache,
+            cache_bisectors=not args.no_cache,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mode = f"{args.workers} workers" if args.workers else "sequential"
+    print(
+        f"serving {args.queries} queries against {scenario.name} "
+        f"({mode}, queue capacity {config.queue_capacity})"
+    )
+    truths = []
+    errors = []
+    with LocalizationService(
+        scenario.plan.boundary, config=config
+    ) as service:
+        stream = queries(args.queries)
+
+        def requests():
+            for truth, anchors in stream:
+                truths.append(truth)
+                yield anchors
+
+        for resp in service.serve(requests()):
+            truth = truths[len(errors)]
+            errors.append(resp.error_to(truth))
+        snapshot = service.metrics_snapshot()
+    print(f"served {len(errors)} queries, mean error "
+          f"{sum(errors) / len(errors):.2f} m")
+    _print_metrics(snapshot)
     return 0
 
 

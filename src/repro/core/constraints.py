@@ -122,6 +122,7 @@ def pairwise_constraints(
     include_nomadic_pairs: bool = False,
     normalize: bool = True,
     confidence_fn=confidence_factor,
+    bisector_cache=None,
 ) -> list[WeightedConstraint]:
     """Bisector constraints for anchor pairs, oriented by PDP.
 
@@ -141,6 +142,13 @@ def pairwise_constraints(
         Which Eq. 2-3-satisfying ``f`` weights the rows (the paper's
         Eq. 4 by default; see
         :data:`repro.core.pdp.CONFIDENCE_FUNCTIONS`).
+    bisector_cache:
+        Optional mapping (``get``/``__setitem__``) memoizing the
+        normalized bisector halfspace by (near, far) position pair —
+        anchor geometries recur across serving queries while the PDPs
+        (and hence orientations/weights) change, so only the geometric
+        part is cached.  The cached value is exactly what the uncached
+        path computes, keeping results bit-identical.
     """
     out: list[WeightedConstraint] = []
     for i in range(len(anchors)):
@@ -155,9 +163,23 @@ def pairwise_constraints(
             )
             near = anchors[judgement.near_index]
             far = anchors[judgement.far_index]
-            hs = bisector_halfspace(near.position, far.position)
-            if normalize:
-                hs = hs.normalized()
+            hs = None
+            cache_key = None
+            if bisector_cache is not None:
+                cache_key = (
+                    near.position.x,
+                    near.position.y,
+                    far.position.x,
+                    far.position.y,
+                    normalize,
+                )
+                hs = bisector_cache.get(cache_key)
+            if hs is None:
+                hs = bisector_halfspace(near.position, far.position)
+                if normalize:
+                    hs = hs.normalized()
+                if bisector_cache is not None:
+                    bisector_cache[cache_key] = hs
             kind = (
                 ConstraintKind.NOMADIC
                 if (a_i.nomadic or a_j.nomadic)

@@ -16,7 +16,7 @@ Pipeline per location query:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..geometry import Point, Polygon, decompose_convex
 from .center import CenterMethod, feasible_polygon, region_center
@@ -24,12 +24,28 @@ from .constraints import (
     BOUNDARY_WEIGHT,
     Anchor,
     ConstraintSystem,
+    WeightedConstraint,
     boundary_constraints,
     pairwise_constraints,
 )
 from .relaxation import RelaxationResult, solve_relaxation
 
-__all__ = ["LocalizerConfig", "PieceSolution", "LocationEstimate", "NomLocLocalizer"]
+__all__ = [
+    "LocalizerConfig",
+    "PieceSolution",
+    "LocationEstimate",
+    "NomLocLocalizer",
+    "PieceMapper",
+]
+
+#: Strategy running ``solve_piece`` over every piece index.  The default
+#: is a plain sequential loop; a serving layer can substitute a worker
+#: pool — every strategy must preserve piece order so results stay
+#: bit-identical to the sequential path.
+PieceMapper = Callable[
+    [Callable[[int], "PieceSolution"], Sequence[int]],
+    Iterable["PieceSolution"],
+]
 
 
 @dataclass(frozen=True)
@@ -172,13 +188,25 @@ class NomLocLocalizer:
         self._bound = Polygon.rectangle(
             xmin - margin, ymin - margin, xmax + margin, ymax + margin
         )
+        # Per-piece boundary rows (virtual-AP mirrors, Eq. 9-11) depend
+        # only on the topology, never on a query's PDPs — build each once
+        # and reuse it for every subsequent locate().
+        self._boundary_rows: list[tuple[WeightedConstraint, ...] | None] = [
+            None
+        ] * len(self.pieces)
 
     # ------------------------------------------------------------------
-    def locate(self, anchors: Sequence[Anchor]) -> LocationEstimate:
-        """Estimate the object's position from anchor PDPs.
+    # Constraint assembly, factored so a serving layer can cache the
+    # topology-dependent prefix and rebuild only the PDP-dependent rows.
+    # ------------------------------------------------------------------
+    def build_shared_constraints(
+        self, anchors: Sequence[Anchor], bisector_cache=None
+    ) -> tuple[WeightedConstraint, ...]:
+        """The PDP-dependent pairwise/nomadic rows shared by every piece.
 
-        Requires at least two anchors (one bisector); realistic use has
-        four static APs plus the nomadic sites.
+        ``bisector_cache`` optionally memoizes the geometric bisectors by
+        anchor-position pair (see
+        :func:`~repro.core.constraints.pairwise_constraints`).
         """
         if len(anchors) < 2:
             raise ValueError("need at least two anchors to partition space")
@@ -186,23 +214,71 @@ class NomLocLocalizer:
             anchors,
             include_nomadic_pairs=self.config.include_nomadic_pairs,
             confidence_fn=self.config.resolve_confidence_fn(),
+            bisector_cache=bisector_cache,
         )
         if not shared:
             raise ValueError(
                 "no usable anchor pairs (all anchors coincident or filtered)"
             )
+        return tuple(shared)
 
-        solutions = [
-            self._solve_piece(idx, piece, shared)
-            for idx, piece in enumerate(self.pieces)
-        ]
+    def piece_boundary_rows(self, index: int) -> tuple[WeightedConstraint, ...]:
+        """The cached boundary rows of one convex piece."""
+        rows = self._boundary_rows[index]
+        if rows is None:
+            rows = tuple(
+                boundary_constraints(
+                    self.pieces[index], weight=self.config.boundary_weight
+                )
+            )
+            self._boundary_rows[index] = rows
+        return rows
+
+    def warm(self) -> "NomLocLocalizer":
+        """Precompute every piece's boundary rows (for cache priming)."""
+        for index in range(len(self.pieces)):
+            self.piece_boundary_rows(index)
+        return self
+
+    def assemble_piece_system(
+        self, index: int, shared: Sequence[WeightedConstraint]
+    ) -> ConstraintSystem:
+        """Full LP stack of one piece: shared rows + cached boundary rows."""
+        return ConstraintSystem(tuple(shared) + self.piece_boundary_rows(index))
+
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        anchors: Sequence[Anchor],
+        piece_mapper: PieceMapper | None = None,
+    ) -> LocationEstimate:
+        """Estimate the object's position from anchor PDPs.
+
+        Requires at least two anchors (one bisector); realistic use has
+        four static APs plus the nomadic sites.  ``piece_mapper``
+        optionally runs the independent per-piece solves through a worker
+        pool; it must preserve piece order.
+        """
+        shared = self.build_shared_constraints(anchors)
+        solver = lambda idx: self.solve_piece(idx, shared)  # noqa: E731
+        indices = range(len(self.pieces))
+        if piece_mapper is None:
+            solutions = [solver(idx) for idx in indices]
+        else:
+            solutions = list(piece_mapper(solver, indices))
+        return self.estimate_from_solutions(solutions)
+
+    def estimate_from_solutions(
+        self, solutions: Sequence[PieceSolution]
+    ) -> LocationEstimate:
+        """Merge per-piece solutions into the final estimate."""
         best_cost = min(s.cost for s in solutions)
         winners = [
             s
             for s in solutions
             if s.cost <= best_cost + self.config.cost_merge_tolerance
         ]
-        merged_position = self._project_into_area(_merge_centers(winners))
+        merged_position = self.project_into_area(_merge_centers(winners))
         winner = winners[0]
         return LocationEstimate(
             position=merged_position,
@@ -212,7 +288,7 @@ class NomLocLocalizer:
             num_constraints=len(winner.relaxation.system),
         )
 
-    def _project_into_area(self, p: Point) -> Point:
+    def project_into_area(self, p: Point) -> Point:
         """Guarantee in-venue estimates.
 
         Slightly relaxed boundary rows (the degeneracy fallback) can put a
@@ -235,18 +311,19 @@ class NomLocLocalizer:
         return best_edge.a + d * t
 
     # ------------------------------------------------------------------
-    def _solve_piece(
+    def solve_piece(
         self,
         index: int,
-        piece: Polygon,
-        shared: Sequence,
+        shared: Sequence[WeightedConstraint],
     ) -> PieceSolution:
-        system = ConstraintSystem(
-            tuple(shared)
-            + tuple(
-                boundary_constraints(piece, weight=self.config.boundary_weight)
-            )
-        )
+        """Solve one convex piece's relaxation LP and centre its region.
+
+        Pieces are independent of each other, so a serving layer may call
+        this concurrently for different indices (and different queries):
+        it only reads immutable state after the first boundary-row build.
+        """
+        piece = self.pieces[index]
+        system = self.assemble_piece_system(index, shared)
         relaxation = solve_relaxation(system)
         # Centre over the rows the relaxation kept: the minimally relaxed
         # full stack is typically degenerate (conflicting rows just touch),

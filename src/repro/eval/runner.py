@@ -9,14 +9,20 @@ independent randomness and averages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
 from ..geometry import Point
 from .metrics import ErrorCDF, ErrorStats
 
-__all__ = ["Localizer", "SiteResult", "CampaignResult", "run_campaign"]
+__all__ = [
+    "Localizer",
+    "SiteResult",
+    "CampaignResult",
+    "run_campaign",
+    "run_campaign_via_service",
+]
 
 
 class Localizer(Protocol):
@@ -87,4 +93,46 @@ def run_campaign(
             )
             errors.append(float(localizer.localization_error(site, rng)))
         results.append(SiteResult(site, tuple(errors)))
+    return CampaignResult(name, tuple(results))
+
+
+def run_campaign_via_service(
+    service,
+    gather: Callable[[Point, np.random.Generator], Sequence],
+    sites: Sequence[Point],
+    repetitions: int = 3,
+    seed: int = 0,
+    name: str = "campaign",
+) -> CampaignResult:
+    """Run a campaign through a :class:`~repro.serving.LocalizationService`.
+
+    Measurement stays client-side (``gather(site, rng) -> anchors``, e.g.
+    :meth:`repro.core.NomLocSystem.gather_anchors`) while every solve is
+    batched through ``service`` — the deployment split of a real NomLoc
+    backend.  Per-(site, repetition) randomness matches
+    :func:`run_campaign` exactly, so a service wrapping the same
+    localizer config reproduces the direct campaign's errors
+    bit-for-bit (modulo flagged degraded answers).
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    if not sites:
+        raise ValueError("need at least one test site")
+    queries: list[tuple[int, Point]] = []
+    anchor_sets = []
+    for site_idx, site in enumerate(sites):
+        for rep in range(repetitions):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, site_idx, rep])
+            )
+            queries.append((site_idx, site))
+            anchor_sets.append(tuple(gather(site, rng)))
+    responses = service.batch(anchor_sets)
+    per_site_errors: dict[int, list[float]] = {i: [] for i in range(len(sites))}
+    for (site_idx, site), response in zip(queries, responses):
+        per_site_errors[site_idx].append(float(response.error_to(site)))
+    results = [
+        SiteResult(site, tuple(per_site_errors[site_idx]))
+        for site_idx, site in enumerate(sites)
+    ]
     return CampaignResult(name, tuple(results))

@@ -170,35 +170,36 @@ def segments_intersect(s1: Segment, s2: Segment) -> bool:
 def segment_intersection_point(s1: Segment, s2: Segment) -> Point | None:
     """Intersection point of two segments, or ``None``.
 
-    Collinear-overlap cases return the midpoint of the overlap region so
-    callers always get a representative point when an intersection exists.
+    Whether an intersection *exists* is decided solely by
+    :func:`segments_intersect`, so the predicate and this constructor can
+    never disagree — this function only picks a representative point once
+    the predicate says yes.  Collinear-overlap cases return the midpoint
+    of the overlap region; near-degenerate crossings clamp the line-line
+    parameter onto the segment so the returned point stays on ``s1``.
     """
+    if not segments_intersect(s1, s2):
+        return None
     p = s1.a
     r = s1.b - s1.a
     q = s2.a
     s = s2.b - s2.a
     denom = r.x * s.y - r.y * s.x
     qp = q - p
-    if abs(denom) <= EPS:
-        # Parallel.  Overlap only when also collinear.
-        if abs(qp.x * r.y - qp.y * r.x) > EPS:
-            return None
-        if not segments_intersect(s1, s2):
-            return None
-        # Project the four endpoints onto r and take the overlap midpoint.
-        rr = dot(r, r)
-        if rr <= EPS:  # s1 degenerate
-            return p if s2.contains_point(p) else None
-        t0 = dot(qp, r) / rr
-        t1 = dot(s2.b - p, r) / rr
-        lo, hi = max(0.0, min(t0, t1)), min(1.0, max(t0, t1))
-        tm = (lo + hi) / 2.0
-        return p + r * tm
-    t = (qp.x * s.y - qp.y * s.x) / denom
-    u = (qp.x * r.y - qp.y * r.x) / denom
-    if -EPS <= t <= 1 + EPS and -EPS <= u <= 1 + EPS:
-        return p + r * t
-    return None
+    if abs(denom) > EPS:
+        # Proper crossing: line-line parameter, clamped onto s1 (the
+        # predicate already certified the segments share a point, so any
+        # out-of-range excess is pure floating-point noise).
+        t = (qp.x * s.y - qp.y * s.x) / denom
+        return p + r * max(0.0, min(1.0, t))
+    # (Near-)parallel but intersecting: collinear overlap or an endpoint
+    # touch.  Project s2's endpoints onto r and take the overlap midpoint.
+    rr = dot(r, r)
+    if rr <= EPS:  # s1 degenerate: its point is the intersection
+        return p
+    t0 = dot(qp, r) / rr
+    t1 = dot(s2.b - p, r) / rr
+    lo, hi = max(0.0, min(t0, t1)), min(1.0, max(t0, t1))
+    return p + r * ((lo + hi) / 2.0)
 
 
 def distance_point_to_segment(p: Point, seg: Segment) -> float:

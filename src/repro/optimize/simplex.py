@@ -146,10 +146,10 @@ def _run_pivots(
         if iterations >= budget:
             return LPStatus.ITERATION_LIMIT, iterations
         # Bland's rule: first improving column.
-        obj = tableau[m, :limit]
-        entering = next((j for j in range(limit) if obj[j] < -_TOL), None)
-        if entering is None:
+        improving = np.flatnonzero(tableau[m, :limit] < -_TOL)
+        if improving.size == 0:
             return LPStatus.OPTIMAL, iterations
+        entering = int(improving[0])
         col = tableau[:m, entering]
         ratios = np.full(m, np.inf)
         positive = col > _TOL
@@ -158,21 +158,27 @@ def _run_pivots(
             return LPStatus.UNBOUNDED, iterations
         best = ratios.min()
         # Bland's rule on ties: leave the row whose basic variable has the
-        # smallest index.
-        candidates = [i for i in range(m) if ratios[i] <= best + _TOL]
-        leaving = min(candidates, key=lambda i: basis[i])
+        # smallest index (argmin returns the first minimum, matching the
+        # candidate scan order).
+        candidates = np.flatnonzero(ratios <= best + _TOL)
+        leaving = int(candidates[np.argmin([basis[i] for i in candidates])])
         _pivot(tableau, leaving, entering)
         basis[leaving] = entering
         iterations += 1
 
 
 def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
-    """Gaussian pivot on ``tableau[row, col]`` in place."""
+    """Gaussian pivot on ``tableau[row, col]`` in place.
+
+    Vectorized over rows; each updated element sees the exact operation
+    sequence (one multiply, one subtract) of the natural per-row loop,
+    so solutions are bit-identical to the scalar formulation — only the
+    Python-level loop overhead is gone.
+    """
     pivot_val = tableau[row, col]
     tableau[row, :] /= pivot_val
-    m = tableau.shape[0]
-    for r in range(m):
-        if r != row and abs(tableau[r, col]) > 0:
-            factor = tableau[r, col]
-            if np.isfinite(factor):
-                tableau[r, :] -= factor * tableau[row, :]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    update = (factors != 0) & np.isfinite(factors)
+    if update.any():
+        tableau[update, :] -= factors[update, None] * tableau[row, :]

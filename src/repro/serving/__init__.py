@@ -1,0 +1,38 @@
+"""Serving layer: batched, cached, concurrent localization queries.
+
+The production-facing face of the reproduction (see DESIGN.md, "Serving
+architecture"): a :class:`LocalizationService` that answers anchor-set
+queries from a long-lived process, reusing the topology-dependent
+constraint prefix across queries, running independent queries on a
+worker pool, shedding load through a bounded admission queue, and
+degrading gracefully to the weighted-centroid baseline when the LP
+fails or a deadline expires.
+"""
+
+from .cache import BisectorCache, CacheStats, LocalizerCache, topology_key
+from .metrics import LatencyReservoir, ServiceMetrics, percentile
+from .pool import WorkerPool
+from .queueing import AdmissionQueue, QueueFullError
+from .service import (
+    LocalizationRequest,
+    LocalizationResponse,
+    LocalizationService,
+    ServingConfig,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BisectorCache",
+    "CacheStats",
+    "LatencyReservoir",
+    "LocalizationRequest",
+    "LocalizationResponse",
+    "LocalizationService",
+    "LocalizerCache",
+    "percentile",
+    "QueueFullError",
+    "ServiceMetrics",
+    "ServingConfig",
+    "topology_key",
+    "WorkerPool",
+]

@@ -1,0 +1,170 @@
+"""Service-side observability for the localization service.
+
+A deliberately dependency-free metrics core: thread-safe counters, a
+bounded latency reservoir with percentile queries, and a plain-dict
+``snapshot()`` any exporter (logs, JSON endpoint, test assertion) can
+consume.  Nothing here knows about the localizer — the service feeds it
+events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["LatencyReservoir", "ServiceMetrics", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100]).
+
+    Matches ``numpy.percentile``'s default method, implemented locally so
+    snapshots stay cheap and lock-free of numpy allocations.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile rank must be in [0, 100]")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of an empty reservoir is undefined")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class LatencyReservoir:
+    """Bounded reservoir of recent per-query latencies (seconds).
+
+    Keeps the most recent ``capacity`` observations — a sliding window,
+    not a random sample, which is the right bias for a serving dashboard
+    ("how slow are we *now*").
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self._window: deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def observe(self, latency_s: float) -> None:
+        """Record one query latency."""
+        self._window.append(float(latency_s))
+        self._count += 1
+        self._total += float(latency_s)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not just the window)."""
+        return self._count
+
+    def mean(self) -> float:
+        """Mean latency over *all* observations."""
+        return self._total / self._count if self._count else 0.0
+
+    def quantiles(self, ranks=(50.0, 95.0, 99.0)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` over the current window (empty → zeros)."""
+        if not self._window:
+            return {f"p{rank:g}": 0.0 for rank in ranks}
+        snapshot = list(self._window)
+        return {f"p{rank:g}": percentile(snapshot, rank) for rank in ranks}
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir for one service instance.
+
+    Event vocabulary (all called by :class:`~repro.serving.service.\
+LocalizationService`):
+
+    * :meth:`record_admitted` / :meth:`record_rejected` — admission;
+    * :meth:`record_completed` — query finished (possibly degraded);
+    * :meth:`record_cache` — topology-cache hit/miss per query.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._latencies = LatencyReservoir(latency_window)
+        self._started = time.perf_counter()
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.degraded = 0
+        self.timeouts = 0
+        self.lp_failures = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def record_admitted(self) -> None:
+        """One request passed admission control."""
+        with self._lock:
+            self.admitted += 1
+
+    def record_rejected(self) -> None:
+        """One request bounced off the full queue (backpressure)."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_cache(self, hit: bool) -> None:
+        """One topology-cache lookup outcome."""
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_completed(
+        self,
+        latency_s: float,
+        degraded: bool = False,
+        timed_out: bool = False,
+        lp_failed: bool = False,
+    ) -> None:
+        """One query finished (normally or via the degraded path)."""
+        with self._lock:
+            self.completed += 1
+            self._latencies.observe(latency_s)
+            if degraded:
+                self.degraded += 1
+            if timed_out:
+                self.timeouts += 1
+            if lp_failed:
+                self.lp_failures += 1
+
+    def snapshot(self, queue_depth: int = 0) -> dict:
+        """Point-in-time view of the service as a plain dict.
+
+        ``queue_depth`` is passed in by the service because the queue,
+        not the metrics object, owns that state.
+        """
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            lookups = self.cache_hits + self.cache_misses
+            snap = {
+                "uptime_s": elapsed,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "degraded": self.degraded,
+                "timeouts": self.timeouts,
+                "lp_failures": self.lp_failures,
+                "queue_depth": queue_depth,
+                "throughput_qps": self.completed / elapsed if elapsed > 0 else 0.0,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                "latency_mean_s": self._latencies.mean(),
+            }
+            snap.update(
+                {
+                    f"latency_{k}_s": v
+                    for k, v in self._latencies.quantiles().items()
+                }
+            )
+            return snap

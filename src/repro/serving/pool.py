@@ -1,0 +1,96 @@
+"""Worker pool for concurrent localization solves.
+
+A thin, order-preserving wrapper over ``ThreadPoolExecutor`` with an
+inline sequential mode (``max_workers=0``) so every serving code path has
+exactly one shape: ``submit`` → ``Future``.  Sequential mode executes at
+submit time and returns an already-resolved future, which keeps results
+bit-identical and makes the pooled/sequential equivalence trivially
+testable.
+
+Threads (not processes) are the right grain here: the per-piece LP
+solves are numpy-heavy, queries are independent, and anchors/constraint
+rows are immutable dataclasses that would be expensive to pickle.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["WorkerPool"]
+
+T = TypeVar("T")
+
+
+def _resolved(fn: Callable[..., T], *args, **kwargs) -> "Future[T]":
+    """Run ``fn`` now and wrap the outcome in a completed future."""
+    future: Future = Future()
+    try:
+        future.set_result(fn(*args, **kwargs))
+    except BaseException as exc:  # noqa: BLE001 — future carries it
+        future.set_exception(exc)
+    return future
+
+
+class WorkerPool:
+    """Bounded thread pool with a sequential fallback.
+
+    Parameters
+    ----------
+    max_workers:
+        ``0`` runs everything inline on the caller's thread (the
+        sequential fallback — bit-identical reference behaviour);
+        ``None`` picks ``os.cpu_count()``; any positive integer sizes the
+        pool explicitly.
+    """
+
+    def __init__(self, max_workers: int | None = 0) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        self.max_workers = max_workers
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-serve"
+            )
+            if max_workers > 0
+            else None
+        )
+
+    @property
+    def concurrent(self) -> bool:
+        """True when submissions actually run on worker threads."""
+        return self._executor is not None
+
+    def submit(self, fn: Callable[..., T], *args, **kwargs) -> "Future[T]":
+        """Schedule ``fn(*args, **kwargs)``; inline when sequential."""
+        if self._executor is None:
+            return _resolved(fn, *args, **kwargs)
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def map_ordered(
+        self, fn: Callable[[T], object], items: Sequence[T] | Iterable[T]
+    ) -> list:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        The per-item ordering guarantee is what lets the localizer's
+        piece solves run through a pool without perturbing the
+        area-weighted merge (which is order-sensitive in ties).
+        """
+        futures = [self.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent; no-op when sequential)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: shut the pool down."""
+        self.shutdown()

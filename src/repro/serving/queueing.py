@@ -1,0 +1,73 @@
+"""Bounded admission control for the localization service.
+
+The service accepts a request only while fewer than ``capacity`` queries
+are in flight (queued or executing).  A full queue *rejects* rather than
+buffers unboundedly — callers see :class:`QueueFullError` immediately and
+can shed load upstream, which is the behaviour a heavily loaded
+localization backend needs (a late position fix is worthless).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["QueueFullError", "AdmissionQueue"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised when a request is submitted to a service at capacity."""
+
+
+class AdmissionQueue:
+    """Counting gate over the service's in-flight request slots.
+
+    Not a data queue — requests themselves travel through the worker
+    pool; this object only meters how many may be in flight at once and
+    exposes the current depth for metrics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._depth = 0
+        self._cond = threading.Condition()
+
+    @property
+    def depth(self) -> int:
+        """Number of requests currently holding a slot."""
+        with self._cond:
+            return self._depth
+
+    def try_acquire(self) -> None:
+        """Take a slot or raise :class:`QueueFullError` immediately."""
+        with self._cond:
+            if self._depth >= self.capacity:
+                raise QueueFullError(
+                    f"request queue full ({self.capacity} in flight)"
+                )
+            self._depth += 1
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Take a slot, blocking until one frees up.
+
+        Raises :class:`QueueFullError` when ``timeout`` (seconds) elapses
+        first; ``None`` waits indefinitely.
+        """
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._depth < self.capacity, timeout
+            ):
+                raise QueueFullError(
+                    f"request queue full ({self.capacity} in flight) "
+                    f"after {timeout}s"
+                )
+            self._depth += 1
+
+    def release(self) -> None:
+        """Return a slot (called by the service when a query finishes)."""
+        with self._cond:
+            if self._depth <= 0:
+                raise RuntimeError("release without matching acquire")
+            self._depth -= 1
+            self._cond.notify()

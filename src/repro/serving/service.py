@@ -1,0 +1,454 @@
+"""`LocalizationService`: the batched, cached, concurrent serving façade.
+
+Wraps :class:`~repro.core.NomLocLocalizer` the way a production NomLoc
+backend would be deployed — a long-lived process answering a stream of
+anchor-set queries — instead of the one-shot CLI path that rebuilds the
+whole constraint system per call:
+
+* the topology-dependent constraint prefix (convex decomposition,
+  boundary/virtual-AP rows) comes from an LRU
+  :class:`~repro.serving.cache.LocalizerCache`, so only the
+  PDP-dependent pairwise rows are rebuilt per query;
+* independent queries run concurrently on a
+  :class:`~repro.serving.pool.WorkerPool` (sequential fallback:
+  ``max_workers=0`` — results are bit-identical either way);
+* a bounded :class:`~repro.serving.queueing.AdmissionQueue` sheds load
+  instead of buffering it, a cooperative per-query deadline bounds tail
+  latency, and LP failures or timeouts degrade gracefully to the
+  PDP-weighted-centroid baseline with the degraded path flagged in the
+  response;
+* :class:`~repro.serving.metrics.ServiceMetrics` tracks latency
+  percentiles, throughput, cache hit rates, queue depth and fallbacks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..core import Anchor, LocalizerConfig, LocationEstimate, NomLocLocalizer
+from ..geometry import Point, Polygon
+from .cache import BisectorCache, LocalizerCache
+from .metrics import ServiceMetrics
+from .pool import WorkerPool
+from .queueing import AdmissionQueue, QueueFullError
+
+__all__ = [
+    "ServingConfig",
+    "LocalizationRequest",
+    "LocalizationResponse",
+    "LocalizationService",
+]
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: a query's cooperative deadline expired mid-solve."""
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Operational knobs of a :class:`LocalizationService`.
+
+    Attributes
+    ----------
+    max_workers:
+        Query-level concurrency; ``0`` is the sequential reference path.
+    queue_capacity:
+        In-flight request bound; non-blocking submissions beyond it are
+        rejected with :class:`~repro.serving.queueing.QueueFullError`.
+    timeout_s:
+        Default per-query deadline (seconds), checked cooperatively
+        between piece solves; ``None`` disables it.  On expiry the query
+        degrades to the weighted-centroid fallback.
+    degrade_on_failure:
+        Answer LP failures/timeouts with the flagged fallback estimate
+        instead of propagating the exception.
+    cache_topologies / max_cached_topologies:
+        Reuse warmed localizers (decomposition + boundary rows) per
+        (area, config) topology, LRU-bounded.
+    cache_bisectors / max_cached_bisectors:
+        Memoize normalized bisector halfspaces by anchor-position pair.
+    parallel_pieces:
+        Also solve a query's convex pieces concurrently when the query
+        is handled on the caller's thread (``locate``); batch/stream
+        paths keep pieces sequential inside each worker to avoid pool
+        self-starvation.
+    latency_window:
+        Size of the sliding latency reservoir behind the percentiles.
+    """
+
+    max_workers: int = 0
+    queue_capacity: int = 64
+    timeout_s: float | None = None
+    degrade_on_failure: bool = True
+    cache_topologies: bool = True
+    max_cached_topologies: int = 8
+    cache_bisectors: bool = True
+    max_cached_bisectors: int = 4096
+    parallel_pieces: bool = False
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive or None")
+
+
+@dataclass(frozen=True)
+class LocalizationRequest:
+    """One serving query: an anchor set, optionally its own venue.
+
+    Attributes
+    ----------
+    anchors:
+        The measured anchor set (positions + PDPs), as produced by
+        :meth:`repro.core.NomLocSystem.gather_anchors` or a recorded
+        dataset.
+    query_id:
+        Caller-chosen correlation id echoed in the response.
+    area:
+        Venue override for multi-tenant serving; ``None`` uses the
+        service default.
+    timeout_s:
+        Per-request deadline override (``None`` inherits the service's).
+    """
+
+    anchors: tuple[Anchor, ...]
+    query_id: str = ""
+    area: Polygon | None = None
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "anchors", tuple(self.anchors))
+        if not self.anchors:
+            raise ValueError("a localization request needs at least one anchor")
+
+
+@dataclass(frozen=True)
+class LocalizationResponse:
+    """Outcome of one serving query.
+
+    ``position`` is always present; ``estimate`` carries the full SP
+    diagnostics and is ``None`` exactly when the query ``degraded`` to
+    the weighted-centroid fallback (``reason`` says why: ``"timeout"``
+    or ``"lp-failure"``).
+    """
+
+    query_id: str
+    position: Point
+    estimate: LocationEstimate | None
+    degraded: bool = False
+    reason: str = ""
+    cache_hit: bool = False
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the full SP pipeline answered (not the fallback)."""
+        return not self.degraded
+
+    def error_to(self, truth: Point) -> float:
+        """Euclidean error of the served position against ground truth."""
+        return self.position.distance_to(truth)
+
+
+class LocalizationService:
+    """Long-lived serving façade over the NomLoc SP pipeline.
+
+    Parameters
+    ----------
+    area:
+        Default venue polygon for requests that don't carry their own.
+    localizer_config:
+        SP knobs shared by every served query.
+    config:
+        Operational :class:`ServingConfig`.
+
+    Bit-exactness contract: for any request, the served ``position`` and
+    ``estimate`` equal what a fresh
+    ``NomLocLocalizer(area, localizer_config).locate(anchors)`` returns —
+    caching and pooling only reorder/ reuse deterministic work, they
+    never change it.  The degraded fallback is the only exception and is
+    always flagged.
+    """
+
+    def __init__(
+        self,
+        area: Polygon,
+        localizer_config: LocalizerConfig | None = None,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self.area = area
+        self.localizer_config = localizer_config or LocalizerConfig()
+        self.config = config or ServingConfig()
+        self.metrics = ServiceMetrics(self.config.latency_window)
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.pool = WorkerPool(self.config.max_workers)
+        self.topology_cache = (
+            LocalizerCache(self.config.max_cached_topologies)
+            if self.config.cache_topologies
+            else None
+        )
+        self.bisector_cache = (
+            BisectorCache(self.config.max_cached_bisectors)
+            if self.config.cache_bisectors
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self.pool.shutdown()
+
+    def __enter__(self) -> "LocalizationService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the service."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Query paths
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        anchors: Sequence[Anchor],
+        query_id: str = "",
+        area: Polygon | None = None,
+        timeout_s: float | None = None,
+    ) -> LocalizationResponse:
+        """Serve one query synchronously on the caller's thread.
+
+        This path may additionally parallelize the per-piece solves when
+        :attr:`ServingConfig.parallel_pieces` is set.
+        """
+        request = LocalizationRequest(
+            tuple(anchors), query_id=query_id, area=area, timeout_s=timeout_s
+        )
+        return self._handle(request, allow_piece_pool=True)
+
+    def submit(self, request: LocalizationRequest | Sequence[Anchor]):
+        """Enqueue one query without blocking; returns its future.
+
+        Raises
+        ------
+        QueueFullError
+            When the service already has ``queue_capacity`` requests in
+            flight — the caller should shed or retry later
+            (backpressure).
+        """
+        request = self._coerce(request)
+        try:
+            self.queue.try_acquire()
+        except QueueFullError:
+            self.metrics.record_rejected()
+            raise
+        self.metrics.record_admitted()
+        return self.pool.submit(self._handle_and_release, request)
+
+    def batch(
+        self, requests: Iterable[LocalizationRequest | Sequence[Anchor]]
+    ) -> list[LocalizationResponse]:
+        """Serve a batch, blocking for admission; responses in input order.
+
+        Unlike :meth:`submit`, a full queue here *waits* for a slot
+        instead of rejecting — a batch caller wants all answers.
+        """
+        futures = []
+        for request in requests:
+            request = self._coerce(request)
+            self.queue.acquire()
+            self.metrics.record_admitted()
+            futures.append(self.pool.submit(self._handle_and_release, request))
+        return [f.result() for f in futures]
+
+    def serve(
+        self,
+        requests: Iterable[LocalizationRequest | Sequence[Anchor]],
+        window: int | None = None,
+    ) -> Iterator[LocalizationResponse]:
+        """Stream responses for a request stream, preserving order.
+
+        Keeps at most ``window`` queries in flight (default:
+        ``2 * max_workers``, min 1), yielding each response as soon as
+        its turn completes — the shape of a server's ingest loop without
+        the sockets.
+        """
+        if window is None:
+            window = max(1, 2 * self.pool.max_workers)
+        pending: list = []
+        for request in requests:
+            request = self._coerce(request)
+            self.queue.acquire()
+            self.metrics.record_admitted()
+            pending.append(self.pool.submit(self._handle_and_release, request))
+            while len(pending) >= window:
+                yield pending.pop(0).result()
+        while pending:
+            yield pending.pop(0).result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Plain-dict service state: latency, throughput, caches, queue."""
+        snap = self.metrics.snapshot(queue_depth=self.queue.depth)
+        if self.topology_cache is not None:
+            stats = self.topology_cache.stats()
+            snap["topology_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "hit_rate": stats.hit_rate,
+            }
+        if self.bisector_cache is not None:
+            stats = self.bisector_cache.stats()
+            snap["bisector_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "hit_rate": stats.hit_rate,
+            }
+        return snap
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _coerce(
+        self, request: LocalizationRequest | Sequence[Anchor]
+    ) -> LocalizationRequest:
+        """Accept bare anchor sequences anywhere a request is expected."""
+        if isinstance(request, LocalizationRequest):
+            return request
+        return LocalizationRequest(tuple(request))
+
+    def _localizer_for(self, area: Polygon) -> tuple[NomLocLocalizer, bool]:
+        """``(localizer, cache_hit)`` for one venue topology."""
+        if self.topology_cache is not None:
+            return self.topology_cache.get(area, self.localizer_config)
+        return NomLocLocalizer(area, self.localizer_config).warm(), False
+
+    def _handle_and_release(
+        self, request: LocalizationRequest
+    ) -> LocalizationResponse:
+        """Worker entry point: handle, then free the admission slot."""
+        try:
+            return self._handle(request, allow_piece_pool=False)
+        finally:
+            self.queue.release()
+
+    def _handle(
+        self, request: LocalizationRequest, allow_piece_pool: bool
+    ) -> LocalizationResponse:
+        """Run one query through cache + solver, degrading on failure."""
+        started = time.perf_counter()
+        area = request.area if request.area is not None else self.area
+        localizer, cache_hit = self._localizer_for(area)
+        self.metrics.record_cache(cache_hit)
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.config.timeout_s
+        )
+        deadline = started + timeout if timeout is not None else None
+        timed_out = lp_failed = False
+        estimate: LocationEstimate | None = None
+        reason = ""
+        try:
+            estimate = self._solve(
+                localizer, request.anchors, deadline, allow_piece_pool
+            )
+        except _DeadlineExceeded:
+            if not self.config.degrade_on_failure:
+                raise TimeoutError(
+                    f"query {request.query_id!r} exceeded {timeout}s"
+                ) from None
+            timed_out = True
+            reason = "timeout"
+        except (RuntimeError, ArithmeticError):
+            # The relaxation LP "should not" fail (it is always feasible)
+            # but solver pathologies happen under load; a flagged coarse
+            # answer beats a 500.
+            if not self.config.degrade_on_failure:
+                raise
+            lp_failed = True
+            reason = "lp-failure"
+        if estimate is not None:
+            position = estimate.position
+            degraded = False
+        else:
+            position = self._fallback_position(localizer, request.anchors)
+            degraded = True
+        latency = time.perf_counter() - started
+        self.metrics.record_completed(
+            latency, degraded=degraded, timed_out=timed_out, lp_failed=lp_failed
+        )
+        return LocalizationResponse(
+            query_id=request.query_id,
+            position=position,
+            estimate=estimate,
+            degraded=degraded,
+            reason=reason,
+            cache_hit=cache_hit,
+            latency_s=latency,
+        )
+
+    def _solve(
+        self,
+        localizer: NomLocLocalizer,
+        anchors: Sequence[Anchor],
+        deadline: float | None,
+        allow_piece_pool: bool,
+    ) -> LocationEstimate:
+        """The full SP pipeline with a cooperative between-piece deadline."""
+        shared = localizer.build_shared_constraints(
+            anchors, bisector_cache=self.bisector_cache
+        )
+
+        def solve_one(index: int):
+            if deadline is not None and time.perf_counter() > deadline:
+                raise _DeadlineExceeded
+            return localizer.solve_piece(index, shared)
+
+        indices = range(len(localizer.pieces))
+        if (
+            allow_piece_pool
+            and self.config.parallel_pieces
+            and self.pool.concurrent
+        ):
+            solutions = self.pool.map_ordered(solve_one, indices)
+        else:
+            solutions = [solve_one(idx) for idx in indices]
+        if deadline is not None and time.perf_counter() > deadline:
+            raise _DeadlineExceeded
+        return localizer.estimate_from_solutions(solutions)
+
+    def _fallback_position(
+        self, localizer: NomLocLocalizer, anchors: Sequence[Anchor]
+    ) -> Point:
+        """Graceful degradation: PDP-weighted centroid of the anchors.
+
+        The same estimator as the
+        :class:`~repro.baselines.WeightedCentroidLocalizer` baseline
+        (exponent 1), computed from the already-measured anchor PDPs and
+        projected into the venue — coarse, but calibration-free and
+        O(anchors).
+        """
+        total = sum(a.pdp for a in anchors)
+        if total <= 0:  # PDPs are validated positive; belt and braces
+            total = float(len(anchors))
+            sx = sum(a.position.x for a in anchors) / total
+            sy = sum(a.position.y for a in anchors) / total
+        else:
+            sx = sum(a.pdp * a.position.x for a in anchors) / total
+            sy = sum(a.pdp * a.position.y for a in anchors) / total
+        return localizer.project_into_area(Point(sx, sy))

@@ -1,0 +1,82 @@
+"""Tests for the service metrics core."""
+
+import numpy as np
+import pytest
+
+from repro.serving import LatencyReservoir, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    @pytest.mark.parametrize("q", [0, 25, 50, 75, 90, 95, 100])
+    def test_matches_numpy(self, q):
+        rng = np.random.default_rng(3)
+        values = list(rng.uniform(0, 10, 37))
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q))
+        )
+
+    def test_single_value(self):
+        assert percentile([4.2], 95) == 4.2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rank_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyReservoir:
+    def test_window_is_bounded_but_count_is_not(self):
+        r = LatencyReservoir(capacity=4)
+        for i in range(10):
+            r.observe(float(i))
+        assert len(r) == 4
+        assert r.count == 10
+
+    def test_mean_over_all_observations(self):
+        r = LatencyReservoir(capacity=2)
+        for v in (1.0, 2.0, 3.0, 6.0):
+            r.observe(v)
+        assert r.mean() == pytest.approx(3.0)
+
+    def test_quantiles_empty_are_zero(self):
+        assert LatencyReservoir().quantiles() == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(0)
+
+
+class TestServiceMetrics:
+    def test_counters_and_snapshot(self):
+        m = ServiceMetrics()
+        m.record_admitted()
+        m.record_admitted()
+        m.record_rejected()
+        m.record_cache(hit=True)
+        m.record_cache(hit=False)
+        m.record_completed(0.010)
+        m.record_completed(0.030, degraded=True, timed_out=True)
+        snap = m.snapshot(queue_depth=5)
+        assert snap["admitted"] == 2
+        assert snap["rejected"] == 1
+        assert snap["completed"] == 2
+        assert snap["degraded"] == 1
+        assert snap["timeouts"] == 1
+        assert snap["lp_failures"] == 0
+        assert snap["queue_depth"] == 5
+        assert snap["cache_hit_rate"] == pytest.approx(0.5)
+        assert snap["latency_mean_s"] == pytest.approx(0.020)
+        assert snap["latency_p50_s"] == pytest.approx(0.020)
+        assert snap["throughput_qps"] > 0
+
+    def test_snapshot_is_plain_dict(self):
+        snap = ServiceMetrics().snapshot()
+        assert isinstance(snap, dict)
+        assert all(isinstance(v, (int, float)) for v in snap.values())

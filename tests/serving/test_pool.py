@@ -1,0 +1,58 @@
+"""Tests for the worker pool and its sequential fallback."""
+
+import threading
+
+import pytest
+
+from repro.serving import WorkerPool
+
+
+class TestSequentialFallback:
+    def test_not_concurrent(self):
+        with WorkerPool(0) as pool:
+            assert not pool.concurrent
+
+    def test_runs_inline_on_caller_thread(self):
+        with WorkerPool(0) as pool:
+            tid = pool.submit(threading.get_ident).result()
+        assert tid == threading.get_ident()
+
+    def test_exception_carried_by_future(self):
+        def boom():
+            raise ValueError("boom")
+
+        with WorkerPool(0) as pool:
+            future = pool.submit(boom)
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+
+class TestConcurrentPool:
+    def test_runs_on_worker_threads(self):
+        with WorkerPool(2) as pool:
+            assert pool.concurrent
+            tid = pool.submit(threading.get_ident).result()
+        assert tid != threading.get_ident()
+
+    def test_map_ordered_preserves_order(self):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def tagged(i):
+            barrier.wait()  # force genuine concurrency
+            return i * i
+
+        with WorkerPool(4) as pool:
+            assert pool.map_ordered(tagged, range(4)) == [0, 1, 4, 9]
+
+    def test_map_ordered_matches_sequential(self):
+        items = list(range(17))
+        with WorkerPool(0) as seq, WorkerPool(3) as conc:
+            assert seq.map_ordered(hex, items) == conc.map_ordered(hex, items)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+
+    def test_none_picks_cpu_count(self):
+        with WorkerPool(None) as pool:
+            assert pool.max_workers >= 1

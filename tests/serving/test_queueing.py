@@ -1,0 +1,54 @@
+"""Tests for the bounded admission queue."""
+
+import threading
+
+import pytest
+
+from repro.serving import AdmissionQueue, QueueFullError
+
+
+class TestAdmissionQueue:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_try_acquire_fills_then_rejects(self):
+        q = AdmissionQueue(2)
+        q.try_acquire()
+        q.try_acquire()
+        assert q.depth == 2
+        with pytest.raises(QueueFullError):
+            q.try_acquire()
+
+    def test_release_frees_a_slot(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        q.release()
+        q.try_acquire()  # does not raise
+        assert q.depth == 1
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionQueue(1).release()
+
+    def test_blocking_acquire_times_out(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        with pytest.raises(QueueFullError):
+            q.acquire(timeout=0.01)
+
+    def test_blocking_acquire_wakes_on_release(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        acquired = threading.Event()
+
+        def waiter():
+            q.acquire(timeout=5)
+            acquired.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        q.release()
+        t.join(timeout=5)
+        assert acquired.is_set()
+        assert q.depth == 1

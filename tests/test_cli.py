@@ -143,3 +143,52 @@ class TestRecordReplayCommands:
 
     def test_record_unknown_scenario(self, capsys):
         assert main(["record", "mall", "/tmp/x.json"]) == 2
+
+
+class TestBatchLocateCommand:
+    def test_happy_path_with_selftest(self, capsys):
+        rc = main(
+            ["batch-locate", "lab", "-n", "4", "--packets", "3", "--selftest"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+        assert "topology cache" in out
+        assert "SELFTEST OK" in out
+
+    def test_pooled_and_uncached(self, capsys):
+        rc = main(
+            [
+                "batch-locate", "lobby", "-n", "3", "--packets", "3",
+                "--workers", "2", "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "topology cache" not in out  # caches disabled
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["batch-locate", "mall"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_simulated_serving_run(self, capsys):
+        rc = main(
+            ["serve", "lab", "--queries", "5", "--packets", "3",
+             "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving 5 queries" in out
+        assert "served 5 queries" in out
+        assert "p95" in out
+
+    def test_sequential_default(self, capsys):
+        rc = main(["serve", "lab", "--queries", "3", "--packets", "3"])
+        assert rc == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["serve", "mall"]) == 2

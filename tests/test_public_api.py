@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.net",
     "repro.eval",
+    "repro.serving",
     "repro.extensions",
     "repro.tracking",
     "repro.planning",
