@@ -5,7 +5,6 @@ later (reflected) energy remains, so the NLOS profile's leading amplitude
 is far below the LOS profile's.
 """
 
-import numpy as np
 
 from repro.eval import fig3_delay_profiles, format_delay_profile
 

@@ -5,7 +5,6 @@ concentrate at sites nearly equidistant from AP pairs, and the sparser
 Lobby deployment outperforms the cluttered Lab.
 """
 
-import numpy as np
 
 from repro.eval import fig7_pdp_accuracy, format_table
 

@@ -13,7 +13,6 @@ from repro.channel import CSISynthesizer, LinkSimulator, delay_profile, trace_pa
 from repro.core import (
     Anchor,
     ConstraintSystem,
-    NomLocLocalizer,
     NomLocSystem,
     SystemConfig,
     boundary_constraints,

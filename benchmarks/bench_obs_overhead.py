@@ -1,0 +1,133 @@
+"""OBS — tracing overhead guard: instrumentation must stay ~free.
+
+Two quality gates over the :mod:`repro.obs` instrumentation switch,
+enforced in CI's benchmark smoke job:
+
+* **disabled cost** — with no tracer installed, ``span()`` returns a
+  shared no-op; a call must stay deeply sub-microsecond so always-on
+  instrumentation in the hot path is acceptable;
+* **enabled overhead** — with tracing on, the serving hot path
+  (pre-gathered anchors through ``LocalizationService.batch``) must run
+  within ``MAX_ENABLED_OVERHEAD`` of the untraced time, and answer
+  bit-identically.
+
+Timings are best-of-``ROUNDS``: scheduler noise produces slow outliers,
+never fast ones, so the minimum is the honest figure.
+"""
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.eval import format_table
+from repro.serving import LocalizationService
+
+from conftest import run_once
+
+QUERIES = 24
+PACKETS = 6
+ROUNDS = 3
+#: Tracing-enabled slowdown budget on the serving hot path (10%).
+MAX_ENABLED_OVERHEAD = 0.10
+#: Per-call budget for the disabled ``span()`` no-op path, in seconds.
+MAX_DISABLED_SPAN_S = 2e-6
+DISABLED_CALLS = 200_000
+
+
+def _gather_queries(scenario_name="lab"):
+    scenario = get_scenario(scenario_name)
+    system = NomLocSystem(scenario, SystemConfig(packets_per_link=PACKETS))
+    sets = []
+    for i in range(QUERIES):
+        site = scenario.test_sites[i % len(scenario.test_sites)]
+        rng = np.random.default_rng(np.random.SeedSequence([11, i]))
+        sets.append(tuple(system.gather_anchors(site, rng)))
+    return scenario, sets
+
+
+def _time_batch(service, anchor_sets):
+    elapsed = float("inf")
+    responses = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        responses = service.batch(anchor_sets)
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return elapsed, responses
+
+
+def _disabled_span_cost():
+    """Mean seconds per ``span()``+``add_counter()`` call while disabled."""
+    assert not obs.is_enabled()
+    started = time.perf_counter()
+    for _ in range(DISABLED_CALLS):
+        with obs.span("bench.noop"):
+            obs.add_counter("bench.counter")
+    return (time.perf_counter() - started) / DISABLED_CALLS
+
+
+def _enabled_vs_disabled():
+    scenario, anchor_sets = _gather_queries()
+    obs.disable()
+    with LocalizationService(scenario.plan.boundary) as service:
+        service.batch(anchor_sets[:2])  # warm topology/bisector caches
+        off_s, off_responses = _time_batch(service, anchor_sets)
+        tracer = obs.enable()
+        try:
+            on_s, on_responses = _time_batch(service, anchor_sets)
+        finally:
+            obs.disable()
+    return {
+        "off_s": off_s,
+        "on_s": on_s,
+        "off_positions": [r.position for r in off_responses],
+        "on_positions": [r.position for r in on_responses],
+        "spans": len(tracer.finished()),
+    }
+
+
+def _overhead_suite():
+    return {
+        "noop_span_s": _disabled_span_cost(),
+        **_enabled_vs_disabled(),
+    }
+
+
+def test_tracing_overhead(benchmark, save_result):
+    r = run_once(benchmark, _overhead_suite)
+
+    # Gate 1: the disabled path is a shared no-op — sub-microsecond.
+    assert r["noop_span_s"] < MAX_DISABLED_SPAN_S, (
+        f"disabled span() costs {r['noop_span_s'] * 1e9:.0f} ns/call "
+        f"(budget {MAX_DISABLED_SPAN_S * 1e9:.0f} ns)"
+    )
+
+    # Gate 2: tracing never changes answers — bit-identical positions.
+    assert r["on_positions"] == r["off_positions"], (
+        "tracing-enabled serving diverged from the untraced run"
+    )
+
+    # Gate 3: the serving hot path absorbs tracing within budget.
+    overhead = r["on_s"] / r["off_s"] - 1.0
+    assert overhead <= MAX_ENABLED_OVERHEAD, (
+        f"tracing-enabled batch {overhead:.1%} slower than untraced "
+        f"(budget {MAX_ENABLED_OVERHEAD:.0%}): "
+        f"{r['on_s'] * 1e3:.1f} ms vs {r['off_s'] * 1e3:.1f} ms"
+    )
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["noop span cost (ns/call)", round(r["noop_span_s"] * 1e9, 1)],
+            ["untraced batch (ms)", round(r["off_s"] * 1e3, 2)],
+            ["traced batch (ms)", round(r["on_s"] * 1e3, 2)],
+            ["overhead", f"{overhead:+.1%}"],
+            ["spans captured", r["spans"]],
+            ["bit-identical", "yes"],
+        ],
+    )
+    save_result("OBS", table)
+    print()
+    print(table)

@@ -10,7 +10,6 @@ location fix.
 Usage:  python examples/live_system.py
 """
 
-import numpy as np
 
 from repro.environment import get_scenario
 from repro.net import NetworkConfig, NomadicAPNode, NomLocNetwork

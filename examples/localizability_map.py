@@ -30,7 +30,10 @@ def main() -> None:
         def sample(p):
             errs = [
                 system.localization_error(
-                    p, np.random.default_rng(hash((round(p.x, 2), round(p.y, 2), r)) % 2**32)
+                    p,
+                    np.random.default_rng(
+                        hash((round(p.x, 2), round(p.y, 2), r)) % 2**32
+                    ),
                 )
                 for r in range(2)
             ]

@@ -10,7 +10,6 @@ Usage:  python examples/plan_patrol_route.py
 
 from dataclasses import replace
 
-import numpy as np
 
 from repro.core import NomLocSystem
 from repro.environment import APSpec, get_scenario

@@ -13,7 +13,6 @@ mean error exceeds an alarm-resolution threshold).
 Usage:  python examples/security_patrol.py
 """
 
-import numpy as np
 
 from repro.core import NomLocSystem, SystemConfig
 from repro.environment import get_scenario

@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..channel import CSIMeasurement, delay_profile
+from ..channel import CSIMeasurement
 from ..core.pdp import estimate_first_tap, estimate_pdp, estimate_rss
 
 __all__ = [

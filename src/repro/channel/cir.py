@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import span
 from .csi import CSIMeasurement
 
 __all__ = ["DelayProfile", "csi_to_cir", "delay_profile"]
@@ -84,7 +85,8 @@ def csi_to_cir(measurement: CSIMeasurement) -> np.ndarray:
 
 def delay_profile(measurement: CSIMeasurement) -> DelayProfile:
     """Power delay profile (Fig. 3 of the paper) of one CSI snapshot."""
-    cfg = measurement.config
-    taps = csi_to_cir(measurement)
-    delays = np.arange(cfg.n_fft) * cfg.tap_resolution_s
-    return DelayProfile(delays, np.abs(taps))
+    with span("cir.delay_profile", taps=measurement.config.n_fft):
+        cfg = measurement.config
+        taps = csi_to_cir(measurement)
+        delays = np.arange(cfg.n_fft) * cfg.tap_resolution_s
+        return DelayProfile(delays, np.abs(taps))

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import span
 from .fading import FadingModel
 from .multipath import PathComponent
 from .noise import NoiseModel
@@ -77,7 +78,10 @@ class OFDMConfig:
 
     def subcarrier_frequencies_hz(self) -> np.ndarray:
         """Baseband offsets of the active subcarriers."""
-        return np.array(self.active_subcarriers, dtype=float) * self.subcarrier_spacing_hz
+        return (
+            np.array(self.active_subcarriers, dtype=float)
+            * self.subcarrier_spacing_hz
+        )
 
 
 @dataclass(frozen=True)
@@ -225,6 +229,8 @@ class CSISynthesizer:
         """Independent CSI snapshots for ``num_packets`` packets."""
         if num_packets < 0:
             raise ValueError("num_packets must be non-negative")
-        return [
-            self.synthesize(paths, rng, with_fading) for _ in range(num_packets)
-        ]
+        with span("csi.synthesize", packets=num_packets, paths=len(paths)):
+            return [
+                self.synthesize(paths, rng, with_fading)
+                for _ in range(num_packets)
+            ]

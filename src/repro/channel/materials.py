@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Material", "CONCRETE", "BRICK", "DRYWALL", "GLASS", "WOOD", "METAL", "HUMAN_BODY", "MATERIALS"]
+__all__ = [
+    "Material",
+    "CONCRETE",
+    "BRICK",
+    "DRYWALL",
+    "GLASS",
+    "WOOD",
+    "METAL",
+    "HUMAN_BODY",
+    "MATERIALS",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,18 +45,39 @@ class Material:
     scatter_loss_db: float
 
     def __post_init__(self) -> None:
-        for field_name in ("penetration_loss_db", "reflection_loss_db", "scatter_loss_db"):
+        for field_name in (
+            "penetration_loss_db",
+            "reflection_loss_db",
+            "scatter_loss_db",
+        ):
             if getattr(self, field_name) < 0:
                 raise ValueError(f"{field_name} must be non-negative")
 
 
-CONCRETE = Material("concrete", penetration_loss_db=12.0, reflection_loss_db=4.0, scatter_loss_db=14.0)
-BRICK = Material("brick", penetration_loss_db=8.0, reflection_loss_db=5.0, scatter_loss_db=15.0)
-DRYWALL = Material("drywall", penetration_loss_db=3.0, reflection_loss_db=8.0, scatter_loss_db=18.0)
-GLASS = Material("glass", penetration_loss_db=2.0, reflection_loss_db=9.0, scatter_loss_db=20.0)
-WOOD = Material("wood", penetration_loss_db=4.0, reflection_loss_db=9.0, scatter_loss_db=18.0)
-METAL = Material("metal", penetration_loss_db=26.0, reflection_loss_db=1.0, scatter_loss_db=8.0)
-HUMAN_BODY = Material("human_body", penetration_loss_db=6.5, reflection_loss_db=10.0, scatter_loss_db=16.0)
+CONCRETE = Material(
+    "concrete", penetration_loss_db=12.0, reflection_loss_db=4.0, scatter_loss_db=14.0
+)
+BRICK = Material(
+    "brick", penetration_loss_db=8.0, reflection_loss_db=5.0, scatter_loss_db=15.0
+)
+DRYWALL = Material(
+    "drywall", penetration_loss_db=3.0, reflection_loss_db=8.0, scatter_loss_db=18.0
+)
+GLASS = Material(
+    "glass", penetration_loss_db=2.0, reflection_loss_db=9.0, scatter_loss_db=20.0
+)
+WOOD = Material(
+    "wood", penetration_loss_db=4.0, reflection_loss_db=9.0, scatter_loss_db=18.0
+)
+METAL = Material(
+    "metal", penetration_loss_db=26.0, reflection_loss_db=1.0, scatter_loss_db=8.0
+)
+HUMAN_BODY = Material(
+    "human_body",
+    penetration_loss_db=6.5,
+    reflection_loss_db=10.0,
+    scatter_loss_db=16.0,
+)
 
 MATERIALS: dict[str, Material] = {
     m.name: m

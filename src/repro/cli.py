@@ -11,6 +11,8 @@ Usage::
     python -m repro replay out.json           # re-localize it offline
     python -m repro batch-locate lab -n 24    # batch queries through the service
     python -m repro serve lab --queries 50    # simulated serving run + metrics
+    python -m repro profile lab -n 6          # per-stage latency breakdown
+    python -m repro profile lab --trace-out traces.jsonl
 """
 
 from __future__ import annotations
@@ -119,6 +121,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-capacity", type=int, default=64, help="in-flight bound"
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace end-to-end queries and print a per-stage latency table",
+    )
+    profile.add_argument("scenario", help="scenario name (lab, lobby)")
+    profile.add_argument(
+        "-n", "--count", type=int, default=6, help="number of queries"
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--packets", type=int, default=8, help="CSI packets per link"
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads (0 = sequential reference path)",
+    )
+    profile.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="also write the raw spans as JSONL",
+    )
     return parser
 
 
@@ -140,6 +167,11 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the topology/bisector caches",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing; metrics include per-stage aggregates",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -154,6 +186,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "heatmap": _cmd_heatmap,
         "batch-locate": _cmd_batch_locate,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 
@@ -406,6 +439,11 @@ def _print_metrics(snapshot: dict) -> None:
         f"completed {snapshot['completed']}, degraded "
         f"{snapshot['degraded']}, rejected {snapshot['rejected']}"
     )
+    print(
+        f"  queue wait p50 {snapshot['queue_wait_p50_s'] * 1e3:.2f} ms, "
+        f"p95 {snapshot['queue_wait_p95_s'] * 1e3:.2f} ms "
+        f"(mean {snapshot['queue_wait_mean_s'] * 1e3:.2f} ms)"
+    )
     topo = snapshot.get("topology_cache")
     if topo is not None:
         print(
@@ -418,6 +456,22 @@ def _print_metrics(snapshot: dict) -> None:
             f"  bisector cache: {bis['hits']} hits / "
             f"{bis['misses']} misses (rate {bis['hit_rate']:.0%})"
         )
+    spans = snapshot.get("spans")
+    if spans:
+        from .obs import format_stage_table
+
+        print("  stage breakdown:")
+        for line in format_stage_table(spans).splitlines():
+            print(f"    {line}")
+
+
+def _trace_tracer(args: argparse.Namespace):
+    """Install a fresh tracer when ``--trace`` was given (else no-op)."""
+    if not getattr(args, "trace", False):
+        return None
+    from . import obs
+
+    return obs.enable()
 
 
 def _cmd_batch_locate(args: argparse.Namespace) -> int:
@@ -435,12 +489,22 @@ def _cmd_batch_locate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _trace_tracer(args)
     batch = list(queries(args.count))
-    with LocalizationService(
-        scenario.plan.boundary, config=config
-    ) as service:
+    # Metrics are flushed in ``finally``: a SIGINT (KeyboardInterrupt)
+    # mid-batch still reports whatever the service completed, instead of
+    # discarding the run's observability with the traceback.
+    responses = []
+    interrupted = False
+    service = LocalizationService(scenario.plan.boundary, config=config)
+    try:
         responses = service.batch([anchors for _, anchors in batch])
+    except KeyboardInterrupt:
+        interrupted = True
+        print("interrupted; flushing service metrics", file=sys.stderr)
+    finally:
         snapshot = service.metrics_snapshot()
+        service.close()
     errors = []
     for (truth, _), resp in zip(batch, responses):
         errors.append(resp.error_to(truth))
@@ -451,9 +515,12 @@ def _cmd_batch_locate(args: argparse.Namespace) -> int:
             f"err {errors[-1]:5.2f} m  "
             f"{resp.latency_s * 1e3:6.1f} ms{flag}"
         )
-    print(f"{len(responses)} queries, mean error "
-          f"{sum(errors) / len(errors):.2f} m")
+    if errors:
+        print(f"{len(responses)} queries, mean error "
+              f"{sum(errors) / len(errors):.2f} m")
     _print_metrics(snapshot)
+    if interrupted:
+        return 130
     if args.selftest:
         mismatches = _serving_selftest(scenario, batch, responses)
         if mismatches:
@@ -494,6 +561,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _trace_tracer(args)
     mode = f"{args.workers} workers" if args.workers else "sequential"
     print(
         f"serving {args.queries} queries against {scenario.name} "
@@ -501,9 +569,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     truths = []
     errors = []
-    with LocalizationService(
-        scenario.plan.boundary, config=config
-    ) as service:
+    interrupted = False
+    service = LocalizationService(scenario.plan.boundary, config=config)
+    try:
         stream = queries(args.queries)
 
         def requests():
@@ -514,10 +582,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for resp in service.serve(requests()):
             truth = truths[len(errors)]
             errors.append(resp.error_to(truth))
+    except KeyboardInterrupt:
+        # SIGINT mid-stream: stop ingesting, but still flush and report
+        # the metrics of everything served so far.
+        interrupted = True
+        print("interrupted; flushing service metrics", file=sys.stderr)
+    finally:
         snapshot = service.metrics_snapshot()
-    print(f"served {len(errors)} queries, mean error "
-          f"{sum(errors) / len(errors):.2f} m")
+        service.close()
+    if errors:
+        print(f"served {len(errors)} queries, mean error "
+              f"{sum(errors) / len(errors):.2f} m")
     _print_metrics(snapshot)
+    return 130 if interrupted else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import dump_jsonl, format_stage_table, profile_scenario
+
+    try:
+        if args.count < 1:
+            raise ValueError("--count must be at least 1")
+        result = profile_scenario(
+            args.scenario,
+            queries=args.count,
+            packets=args.packets,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"profiled {len(result.errors_m)} queries over {args.scenario} "
+        f"({args.packets} packets/link, seed {args.seed}): mean error "
+        f"{sum(result.errors_m) / len(result.errors_m):.2f} m"
+    )
+    print()
+    print(format_stage_table(result.stages()))
+    print()
+    # The stage table above already covers the "spans" aggregate.
+    metrics = {k: v for k, v in result.metrics.items() if k != "spans"}
+    _print_metrics(metrics)
+    if args.trace_out:
+        written = dump_jsonl(result.spans, args.trace_out)
+        print(f"wrote {written} spans -> {args.trace_out}")
     return 0
 
 

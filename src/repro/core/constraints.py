@@ -25,7 +25,14 @@ from typing import Sequence
 
 import numpy as np
 
-from ..geometry import HalfSpace, Point, Polygon, bisector_halfspace, boundary_halfspaces
+from ..geometry import (
+    HalfSpace,
+    Point,
+    Polygon,
+    bisector_halfspace,
+    boundary_halfspaces,
+)
+from ..obs import span
 from .pdp import confidence_factor, judge_proximity
 
 __all__ = [
@@ -150,50 +157,52 @@ def pairwise_constraints(
         part is cached.  The cached value is exactly what the uncached
         path computes, keeping results bit-identical.
     """
-    out: list[WeightedConstraint] = []
-    for i in range(len(anchors)):
-        for j in range(i + 1, len(anchors)):
-            a_i, a_j = anchors[i], anchors[j]
-            if a_i.nomadic and a_j.nomadic and not include_nomadic_pairs:
-                continue
-            if a_i.position.almost_equals(a_j.position):
-                continue  # coincident anchors give no information
-            judgement = judge_proximity(
-                [a.pdp for a in anchors], i, j, confidence_fn
-            )
-            near = anchors[judgement.near_index]
-            far = anchors[judgement.far_index]
-            hs = None
-            cache_key = None
-            if bisector_cache is not None:
-                cache_key = (
-                    near.position.x,
-                    near.position.y,
-                    far.position.x,
-                    far.position.y,
-                    normalize,
+    with span("constraints.pairwise", anchors=len(anchors)) as sp:
+        out: list[WeightedConstraint] = []
+        for i in range(len(anchors)):
+            for j in range(i + 1, len(anchors)):
+                a_i, a_j = anchors[i], anchors[j]
+                if a_i.nomadic and a_j.nomadic and not include_nomadic_pairs:
+                    continue
+                if a_i.position.almost_equals(a_j.position):
+                    continue  # coincident anchors give no information
+                judgement = judge_proximity(
+                    [a.pdp for a in anchors], i, j, confidence_fn
                 )
-                hs = bisector_cache.get(cache_key)
-            if hs is None:
-                hs = bisector_halfspace(near.position, far.position)
-                if normalize:
-                    hs = hs.normalized()
+                near = anchors[judgement.near_index]
+                far = anchors[judgement.far_index]
+                hs = None
+                cache_key = None
                 if bisector_cache is not None:
-                    bisector_cache[cache_key] = hs
-            kind = (
-                ConstraintKind.NOMADIC
-                if (a_i.nomadic or a_j.nomadic)
-                else ConstraintKind.PAIRWISE
-            )
-            out.append(
-                WeightedConstraint(
-                    hs,
-                    judgement.confidence,
-                    kind,
-                    label=f"{near.name}<{far.name}",
+                    cache_key = (
+                        near.position.x,
+                        near.position.y,
+                        far.position.x,
+                        far.position.y,
+                        normalize,
+                    )
+                    hs = bisector_cache.get(cache_key)
+                if hs is None:
+                    hs = bisector_halfspace(near.position, far.position)
+                    if normalize:
+                        hs = hs.normalized()
+                    if bisector_cache is not None:
+                        bisector_cache[cache_key] = hs
+                kind = (
+                    ConstraintKind.NOMADIC
+                    if (a_i.nomadic or a_j.nomadic)
+                    else ConstraintKind.PAIRWISE
                 )
-            )
-    return out
+                out.append(
+                    WeightedConstraint(
+                        hs,
+                        judgement.confidence,
+                        kind,
+                        label=f"{near.name}<{far.name}",
+                    )
+                )
+        sp.incr("rows", len(out))
+        return out
 
 
 def boundary_constraints(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..geometry import Point, Polygon, decompose_convex
+from ..obs import span
 from .center import CenterMethod, feasible_polygon, region_center
 from .constraints import (
     BOUNDARY_WEIGHT,
@@ -210,17 +211,19 @@ class NomLocLocalizer:
         """
         if len(anchors) < 2:
             raise ValueError("need at least two anchors to partition space")
-        shared = pairwise_constraints(
-            anchors,
-            include_nomadic_pairs=self.config.include_nomadic_pairs,
-            confidence_fn=self.config.resolve_confidence_fn(),
-            bisector_cache=bisector_cache,
-        )
-        if not shared:
-            raise ValueError(
-                "no usable anchor pairs (all anchors coincident or filtered)"
+        with span("constraints.build_shared", anchors=len(anchors)) as sp:
+            shared = pairwise_constraints(
+                anchors,
+                include_nomadic_pairs=self.config.include_nomadic_pairs,
+                confidence_fn=self.config.resolve_confidence_fn(),
+                bisector_cache=bisector_cache,
             )
-        return tuple(shared)
+            if not shared:
+                raise ValueError(
+                    "no usable anchor pairs (all anchors coincident or filtered)"
+                )
+            sp.incr("rows", len(shared))
+            return tuple(shared)
 
     def piece_boundary_rows(self, index: int) -> tuple[WeightedConstraint, ...]:
         """The cached boundary rows of one convex piece."""
@@ -272,21 +275,23 @@ class NomLocLocalizer:
         self, solutions: Sequence[PieceSolution]
     ) -> LocationEstimate:
         """Merge per-piece solutions into the final estimate."""
-        best_cost = min(s.cost for s in solutions)
-        winners = [
-            s
-            for s in solutions
-            if s.cost <= best_cost + self.config.cost_merge_tolerance
-        ]
-        merged_position = self.project_into_area(_merge_centers(winners))
-        winner = winners[0]
-        return LocationEstimate(
-            position=merged_position,
-            relaxation_cost=best_cost,
-            region=winner.region,
-            pieces=tuple(solutions),
-            num_constraints=len(winner.relaxation.system),
-        )
+        with span("merge", pieces=len(solutions)) as sp:
+            best_cost = min(s.cost for s in solutions)
+            winners = [
+                s
+                for s in solutions
+                if s.cost <= best_cost + self.config.cost_merge_tolerance
+            ]
+            sp.incr("winners", len(winners))
+            merged_position = self.project_into_area(_merge_centers(winners))
+            winner = winners[0]
+            return LocationEstimate(
+                position=merged_position,
+                relaxation_cost=best_cost,
+                region=winner.region,
+                pieces=tuple(solutions),
+                num_constraints=len(winner.relaxation.system),
+            )
 
     def project_into_area(self, p: Point) -> Point:
         """Guarantee in-venue estimates.
@@ -322,37 +327,40 @@ class NomLocLocalizer:
         this concurrently for different indices (and different queries):
         it only reads immutable state after the first boundary-row build.
         """
-        piece = self.pieces[index]
-        system = self.assemble_piece_system(index, shared)
-        relaxation = solve_relaxation(system)
-        # Centre over the rows the relaxation kept: the minimally relaxed
-        # full stack is typically degenerate (conflicting rows just touch),
-        # while the satisfied sub-system usually has proper interior.  If
-        # even the satisfied rows are degenerate (e.g. opposing ties pin a
-        # line), inflate them slightly to recover a thin but centreable
-        # region rather than falling back to an arbitrary LP vertex.
-        epsilon = 0.05  # metres (rows are unit-normalized)
-        candidate_sets = [
-            relaxation.satisfied_halfspaces(),
-            [h.relaxed(epsilon) for h in relaxation.satisfied_halfspaces()],
-            relaxation.relaxed_halfspaces(),
-            [h.relaxed(epsilon) for h in relaxation.relaxed_halfspaces()],
-        ]
-        halfspaces = candidate_sets[0]
-        region = None
-        for candidate in candidate_sets:
-            region = feasible_polygon(candidate, self._bound)
-            if region is not None:
-                halfspaces = candidate
-                break
-        center = region_center(
-            halfspaces,
-            self._bound,
-            self.config.center_method,
-            fallback=relaxation.feasible_point,
-        )
-        assert center is not None  # fallback point guarantees an estimate
-        return PieceSolution(index, piece, relaxation, region, center)
+        with span("lp.solve", piece=index) as sp:
+            piece = self.pieces[index]
+            system = self.assemble_piece_system(index, shared)
+            sp.incr("rows", len(system))
+            relaxation = solve_relaxation(system)
+            # Centre over the rows the relaxation kept: the minimally
+            # relaxed full stack is typically degenerate (conflicting rows
+            # just touch), while the satisfied sub-system usually has
+            # proper interior.  If even the satisfied rows are degenerate
+            # (e.g. opposing ties pin a line), inflate them slightly to
+            # recover a thin but centreable region rather than falling
+            # back to an arbitrary LP vertex.
+            epsilon = 0.05  # metres (rows are unit-normalized)
+            candidate_sets = [
+                relaxation.satisfied_halfspaces(),
+                [h.relaxed(epsilon) for h in relaxation.satisfied_halfspaces()],
+                relaxation.relaxed_halfspaces(),
+                [h.relaxed(epsilon) for h in relaxation.relaxed_halfspaces()],
+            ]
+            halfspaces = candidate_sets[0]
+            region = None
+            for candidate in candidate_sets:
+                region = feasible_polygon(candidate, self._bound)
+                if region is not None:
+                    halfspaces = candidate
+                    break
+            center = region_center(
+                halfspaces,
+                self._bound,
+                self.config.center_method,
+                fallback=relaxation.feasible_point,
+            )
+            assert center is not None  # fallback guarantees an estimate
+            return PieceSolution(index, piece, relaxation, region, center)
 
 
 def _merge_centers(winners: Sequence[PieceSolution]) -> Point:

@@ -144,7 +144,9 @@ class Scenario:
         )
 
 
-def _rack(x: float, y: float, w: float, h: float, material: Material, name: str) -> Obstacle:
+def _rack(
+    x: float, y: float, w: float, h: float, material: Material, name: str
+) -> Obstacle:
     return Obstacle(Polygon.rectangle(x, y, x + w, y + h), material, name)
 
 
@@ -208,7 +210,12 @@ def build_lobby() -> Scenario:
             "AP1",
             Point(1.5, 1.5),
             nomadic=True,
-            sites=(Point(1.5, 1.5), Point(10.0, 5.0), Point(4.0, 11.5), Point(8.0, 17.0)),
+            sites=(
+                Point(1.5, 1.5),
+                Point(10.0, 5.0),
+                Point(4.0, 11.5),
+                Point(8.0, 17.0),
+            ),
         ),
         APSpec("AP2", Point(23.5, 1.5)),
         APSpec("AP3", Point(23.0, 8.5)),

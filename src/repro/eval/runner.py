@@ -14,6 +14,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from ..geometry import Point
+from ..obs import span
 from .metrics import ErrorCDF, ErrorStats
 
 __all__ = [
@@ -84,16 +85,26 @@ def run_campaign(
         raise ValueError("repetitions must be at least 1")
     if not sites:
         raise ValueError("need at least one test site")
-    results = []
-    for site_idx, site in enumerate(sites):
-        errors = []
-        for rep in range(repetitions):
-            rng = np.random.default_rng(
-                np.random.SeedSequence([seed, site_idx, rep])
-            )
-            errors.append(float(localizer.localization_error(site, rng)))
-        results.append(SiteResult(site, tuple(errors)))
-    return CampaignResult(name, tuple(results))
+    with span(
+        "eval.campaign",
+        campaign=name,
+        sites=len(sites),
+        repetitions=repetitions,
+    ) as sp:
+        results = []
+        for site_idx, site in enumerate(sites):
+            with span("eval.site", site=site_idx):
+                errors = []
+                for rep in range(repetitions):
+                    rng = np.random.default_rng(
+                        np.random.SeedSequence([seed, site_idx, rep])
+                    )
+                    errors.append(
+                        float(localizer.localization_error(site, rng))
+                    )
+            results.append(SiteResult(site, tuple(errors)))
+            sp.incr("queries", repetitions)
+        return CampaignResult(name, tuple(results))
 
 
 def run_campaign_via_service(
@@ -120,14 +131,21 @@ def run_campaign_via_service(
         raise ValueError("need at least one test site")
     queries: list[tuple[int, Point]] = []
     anchor_sets = []
-    for site_idx, site in enumerate(sites):
-        for rep in range(repetitions):
-            rng = np.random.default_rng(
-                np.random.SeedSequence([seed, site_idx, rep])
-            )
-            queries.append((site_idx, site))
-            anchor_sets.append(tuple(gather(site, rng)))
-    responses = service.batch(anchor_sets)
+    with span(
+        "eval.campaign",
+        campaign=name,
+        sites=len(sites),
+        repetitions=repetitions,
+    ):
+        with span("eval.measure", queries=len(sites) * repetitions):
+            for site_idx, site in enumerate(sites):
+                for rep in range(repetitions):
+                    rng = np.random.default_rng(
+                        np.random.SeedSequence([seed, site_idx, rep])
+                    )
+                    queries.append((site_idx, site))
+                    anchor_sets.append(tuple(gather(site, rng)))
+        responses = service.batch(anchor_sets)
     per_site_errors: dict[int, list[float]] = {i: [] for i in range(len(sites))}
     for (site_idx, site), response in zip(queries, responses):
         per_site_errors[site_idx].append(float(response.error_to(site)))

@@ -78,7 +78,9 @@ def triangulate(polygon: Polygon) -> list[tuple[Point, Point, Point]]:
     while len(verts) > 3:
         guard += 1
         if guard > 10000:
-            raise RuntimeError("ear clipping failed to converge; polygon may self-intersect")
+            raise RuntimeError(
+                "ear clipping failed to converge; polygon may self-intersect"
+            )
         n = len(verts)
         clipped = False
         for i in range(n):

@@ -8,7 +8,7 @@ Vertices are stored counter-clockwise; constructors normalize orientation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -15,7 +15,7 @@ all timing goes through the :class:`~repro.net.simulator.EventSimulator`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

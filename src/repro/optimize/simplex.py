@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import add_counter
 from .types import LPResult, LPStatus
 
 __all__ = ["simplex_standard_form"]
@@ -119,6 +120,9 @@ def simplex_standard_form(
         tableau, basis, n, max_iterations - iters1, allowed_cols=n
     )
     iterations = iters1 + iters2
+    # Volume counter for the enclosing obs span (lp.solve): pivots are the
+    # simplex's unit of work, the per-stage analogue of queries served.
+    add_counter("simplex.pivots", iterations)
     if status is not LPStatus.OPTIMAL:
         return LPResult(status, iterations=iterations, message="phase 2 failed")
 

@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..environment import Scenario
-from ..geometry import Point, Polygon
+from ..geometry import Point
 from .cells import PartitionQuality, partition_quality
 
 __all__ = ["SitePlan", "candidate_sites", "select_sites"]

@@ -84,6 +84,7 @@ class ServiceMetrics:
 LocalizationService`):
 
     * :meth:`record_admitted` / :meth:`record_rejected` — admission;
+    * :meth:`record_queue_wait` — admission-to-worker-pickup delay;
     * :meth:`record_completed` — query finished (possibly degraded);
     * :meth:`record_cache` — topology-cache hit/miss per query.
     """
@@ -91,6 +92,7 @@ LocalizationService`):
     def __init__(self, latency_window: int = 2048) -> None:
         self._lock = threading.Lock()
         self._latencies = LatencyReservoir(latency_window)
+        self._queue_waits = LatencyReservoir(latency_window)
         self._started = time.perf_counter()
         self.admitted = 0
         self.rejected = 0
@@ -110,6 +112,17 @@ LocalizationService`):
         """One request bounced off the full queue (backpressure)."""
         with self._lock:
             self.rejected += 1
+
+    def record_queue_wait(self, wait_s: float) -> None:
+        """Time one request spent between admission and worker pickup.
+
+        Only the pooled paths (``submit``/``batch``/``serve``) report
+        this; a synchronous ``locate`` never waits.  Splitting queue wait
+        from compute is what distinguishes "the solver got slower" from
+        "the pool is saturated" — the two remedies are different.
+        """
+        with self._lock:
+            self._queue_waits.observe(wait_s)
 
     def record_cache(self, hit: bool) -> None:
         """One topology-cache lookup outcome."""
@@ -165,6 +178,15 @@ LocalizationService`):
                 {
                     f"latency_{k}_s": v
                     for k, v in self._latencies.quantiles().items()
+                }
+            )
+            snap["queue_wait_mean_s"] = self._queue_waits.mean()
+            snap.update(
+                {
+                    f"queue_wait_{k}_s": v
+                    for k, v in self._queue_waits.quantiles(
+                        (50.0, 95.0)
+                    ).items()
                 }
             )
             return snap

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Sequence
 
 from ..core import Anchor, LocalizerConfig, LocationEstimate, NomLocLocalizer
 from ..geometry import Point, Polygon
+from ..obs import aggregate, get_tracer, span
 from .cache import BisectorCache, LocalizerCache
 from .metrics import ServiceMetrics
 from .pool import WorkerPool
@@ -251,7 +252,9 @@ class LocalizationService:
             self.metrics.record_rejected()
             raise
         self.metrics.record_admitted()
-        return self.pool.submit(self._handle_and_release, request)
+        return self.pool.submit(
+            self._handle_and_release, request, time.perf_counter()
+        )
 
     def batch(
         self, requests: Iterable[LocalizationRequest | Sequence[Anchor]]
@@ -266,7 +269,11 @@ class LocalizationService:
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
-            futures.append(self.pool.submit(self._handle_and_release, request))
+            futures.append(
+                self.pool.submit(
+                    self._handle_and_release, request, time.perf_counter()
+                )
+            )
         return [f.result() for f in futures]
 
     def serve(
@@ -288,7 +295,11 @@ class LocalizationService:
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
-            pending.append(self.pool.submit(self._handle_and_release, request))
+            pending.append(
+                self.pool.submit(
+                    self._handle_and_release, request, time.perf_counter()
+                )
+            )
             while len(pending) >= window:
                 yield pending.pop(0).result()
         while pending:
@@ -298,8 +309,18 @@ class LocalizationService:
     # Introspection
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:
-        """Plain-dict service state: latency, throughput, caches, queue."""
+        """Plain-dict service state: latency, throughput, caches, queue.
+
+        When tracing is enabled (:func:`repro.obs.enable` /
+        :func:`repro.obs.capture`), the snapshot additionally carries a
+        ``"spans"`` key with the per-stage latency aggregates of every
+        span finished so far — the serving metrics and the pipeline
+        stage breakdown read as one observable state.
+        """
         snap = self.metrics.snapshot(queue_depth=self.queue.depth)
+        tracer = get_tracer()
+        if tracer is not None:
+            snap["spans"] = aggregate(tracer.finished())
         if self.topology_cache is not None:
             stats = self.topology_cache.stats()
             snap["topology_cache"] = {
@@ -338,69 +359,101 @@ class LocalizationService:
         return NomLocLocalizer(area, self.localizer_config).warm(), False
 
     def _handle_and_release(
-        self, request: LocalizationRequest
+        self,
+        request: LocalizationRequest,
+        admitted_at: float | None = None,
     ) -> LocalizationResponse:
-        """Worker entry point: handle, then free the admission slot."""
+        """Worker entry point: handle, then free the admission slot.
+
+        ``admitted_at`` is the admission timestamp the submitting thread
+        captured; the gap to now is the request's queue wait — the load
+        component of its latency, reported separately from compute.
+        """
+        queue_wait_s = (
+            time.perf_counter() - admitted_at if admitted_at is not None else 0.0
+        )
+        self.metrics.record_queue_wait(queue_wait_s)
         try:
-            return self._handle(request, allow_piece_pool=False)
+            return self._handle(
+                request, allow_piece_pool=False, queue_wait_s=queue_wait_s
+            )
         finally:
             self.queue.release()
 
     def _handle(
-        self, request: LocalizationRequest, allow_piece_pool: bool
+        self,
+        request: LocalizationRequest,
+        allow_piece_pool: bool,
+        queue_wait_s: float = 0.0,
     ) -> LocalizationResponse:
         """Run one query through cache + solver, degrading on failure."""
-        started = time.perf_counter()
-        area = request.area if request.area is not None else self.area
-        localizer, cache_hit = self._localizer_for(area)
-        self.metrics.record_cache(cache_hit)
-        timeout = (
-            request.timeout_s
-            if request.timeout_s is not None
-            else self.config.timeout_s
-        )
-        deadline = started + timeout if timeout is not None else None
-        timed_out = lp_failed = False
-        estimate: LocationEstimate | None = None
-        reason = ""
-        try:
-            estimate = self._solve(
-                localizer, request.anchors, deadline, allow_piece_pool
-            )
-        except _DeadlineExceeded:
-            if not self.config.degrade_on_failure:
-                raise TimeoutError(
-                    f"query {request.query_id!r} exceeded {timeout}s"
-                ) from None
-            timed_out = True
-            reason = "timeout"
-        except (RuntimeError, ArithmeticError):
-            # The relaxation LP "should not" fail (it is always feasible)
-            # but solver pathologies happen under load; a flagged coarse
-            # answer beats a 500.
-            if not self.config.degrade_on_failure:
-                raise
-            lp_failed = True
-            reason = "lp-failure"
-        if estimate is not None:
-            position = estimate.position
-            degraded = False
-        else:
-            position = self._fallback_position(localizer, request.anchors)
-            degraded = True
-        latency = time.perf_counter() - started
-        self.metrics.record_completed(
-            latency, degraded=degraded, timed_out=timed_out, lp_failed=lp_failed
-        )
-        return LocalizationResponse(
+        with span(
+            "serve.query",
             query_id=request.query_id,
-            position=position,
-            estimate=estimate,
-            degraded=degraded,
-            reason=reason,
-            cache_hit=cache_hit,
-            latency_s=latency,
-        )
+            anchors=len(request.anchors),
+        ) as sp:
+            started = time.perf_counter()
+            area = request.area if request.area is not None else self.area
+            localizer, cache_hit = self._localizer_for(area)
+            self.metrics.record_cache(cache_hit)
+            timeout = (
+                request.timeout_s
+                if request.timeout_s is not None
+                else self.config.timeout_s
+            )
+            deadline = started + timeout if timeout is not None else None
+            timed_out = lp_failed = False
+            estimate: LocationEstimate | None = None
+            reason = ""
+            try:
+                estimate = self._solve(
+                    localizer, request.anchors, deadline, allow_piece_pool
+                )
+            except _DeadlineExceeded:
+                if not self.config.degrade_on_failure:
+                    raise TimeoutError(
+                        f"query {request.query_id!r} exceeded {timeout}s"
+                    ) from None
+                timed_out = True
+                reason = "timeout"
+            except (RuntimeError, ArithmeticError):
+                # The relaxation LP "should not" fail (it is always
+                # feasible) but solver pathologies happen under load; a
+                # flagged coarse answer beats a 500.
+                if not self.config.degrade_on_failure:
+                    raise
+                lp_failed = True
+                reason = "lp-failure"
+            if estimate is not None:
+                position = estimate.position
+                degraded = False
+            else:
+                position = self._fallback_position(localizer, request.anchors)
+                degraded = True
+            latency = time.perf_counter() - started
+            self.metrics.record_completed(
+                latency,
+                degraded=degraded,
+                timed_out=timed_out,
+                lp_failed=lp_failed,
+            )
+            # The queue-wait vs compute split: ``queue_wait_s`` is load
+            # (time spent admitted but unpicked), ``compute_s`` is work.
+            sp.set(
+                queue_wait_s=queue_wait_s,
+                compute_s=latency,
+                cache_hit=cache_hit,
+                degraded=degraded,
+            )
+            return LocalizationResponse(
+                query_id=request.query_id,
+                position=position,
+                estimate=estimate,
+                degraded=degraded,
+                reason=reason,
+                cache_hit=cache_hit,
+                latency_s=latency,
+            )
 
     def _solve(
         self,

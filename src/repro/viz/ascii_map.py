@@ -58,7 +58,10 @@ class AsciiCanvas:
     def to_cell(self, p: Point) -> tuple[int, int] | None:
         """World point to ``(row, col)``, or ``None`` if off-canvas."""
         xmin, ymin, xmax, ymax = self.plan_bbox
-        if not (xmin - 1e-9 <= p.x <= xmax + 1e-9 and ymin - 1e-9 <= p.y <= ymax + 1e-9):
+        if not (
+            xmin - 1e-9 <= p.x <= xmax + 1e-9
+            and ymin - 1e-9 <= p.y <= ymax + 1e-9
+        ):
             return None
         col = int(round((p.x - xmin) / self._cell))
         # Rows grow downward; world y grows upward.

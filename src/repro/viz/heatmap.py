@@ -9,7 +9,7 @@ venue grid and shade each cell by magnitude.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -16,8 +16,7 @@ from repro.channel import (
     OFDMConfig,
 )
 from repro.core import estimate_pdp, estimate_rss
-from repro.environment import FloorPlan, Obstacle, get_scenario
-from repro.channel import METAL
+from repro.environment import FloorPlan, get_scenario
 from repro.geometry import Point, Polygon
 
 

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.baselines import SequenceLocalizer, kendall_tau, rank_sequence
 from repro.core import SystemConfig
 from repro.environment import get_scenario
-from repro.geometry import Point
 
 
 class TestRankSequence:

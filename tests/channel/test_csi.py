@@ -14,7 +14,6 @@ from repro.channel import (
     OFDMConfig,
     PathComponent,
     PathKind,
-    PropagationModel,
     csi_to_cir,
     delay_profile,
     rician_gain,
@@ -22,7 +21,9 @@ from repro.channel import (
 )
 
 
-def component(length_m=5.0, excess_db=0.0, kind=PathKind.DIRECT, blocked=False, bounces=0):
+def component(
+    length_m=5.0, excess_db=0.0, kind=PathKind.DIRECT, blocked=False, bounces=0
+):
     return PathComponent(
         kind=kind,
         length_m=length_m,
@@ -75,7 +76,10 @@ class TestCSISynthesis:
         """Multipath must make |H(f)| vary across subcarriers."""
         synth = CSISynthesizer(noise=None)
         rng = np.random.default_rng(0)
-        paths = [component(5.0), component(20.0, excess_db=3.0, kind=PathKind.REFLECTED, bounces=1)]
+        paths = [
+            component(5.0),
+            component(20.0, excess_db=3.0, kind=PathKind.REFLECTED, bounces=1),
+        ]
         m = synth.synthesize(paths, rng, with_fading=False)
         mags = np.abs(m.csi)
         assert mags.std() / mags.mean() > 0.05

@@ -7,7 +7,6 @@ from repro.channel import (
     CSISynthesizer,
     LinkSimulator,
     NoiseModel,
-    PropagationModel,
 )
 from repro.core import estimate_pdp, estimate_pdp_median
 from repro.environment import FloorPlan

@@ -1,6 +1,5 @@
 """Tests for the alternative confidence functions (Eq. 2-3 family)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

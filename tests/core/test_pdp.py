@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.channel import CSISynthesizer, LinkSimulator, PropagationModel
+from repro.channel import LinkSimulator
 from repro.core import (
     confidence_factor,
     estimate_pdp,

@@ -135,9 +135,22 @@ class TestRelaxationProperties:
             ax, ay = rng.uniform(-1, 1, 2)
             if abs(ax) + abs(ay) < 0.1:
                 ax = 1.0
-            rows.append(wc(ax, ay, float(rng.uniform(-3, 3)), float(rng.uniform(0.1, 5)), f"r{k}"))
+            rows.append(
+                wc(
+                    ax,
+                    ay,
+                    float(rng.uniform(-3, 3)),
+                    float(rng.uniform(0.1, 5)),
+                    f"r{k}",
+                )
+            )
         # Bound the problem so the LP stays bounded.
-        rows += [wc(1, 0, 50, 100.0), wc(-1, 0, 50, 100.0), wc(0, 1, 50, 100.0), wc(0, -1, 50, 100.0)]
+        rows += [
+            wc(1, 0, 50, 100.0),
+            wc(-1, 0, 50, 100.0),
+            wc(0, 1, 50, 100.0),
+            wc(0, -1, 50, 100.0),
+        ]
         system = ConstraintSystem(tuple(rows))
         result = solve_relaxation(system)
         a, b, _ = system.matrices()

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import LocalizerConfig, NomLocSystem, SystemConfig
 from repro.environment import get_scenario
-from repro.geometry import Point
 from repro.mobility import PositionErrorModel, StaticPattern, SweepPattern
 
 
@@ -44,8 +43,14 @@ class TestSystemConfig:
             device_offsets_db={"AP2": 10.0},
         )
         site = lab.test_sites[0]
-        a_nom = {a.name: a.pdp for a in nominal.gather_anchors(site, np.random.default_rng(3))}
-        a_hot = {a.name: a.pdp for a in hot.gather_anchors(site, np.random.default_rng(3))}
+        a_nom = {
+            a.name: a.pdp
+            for a in nominal.gather_anchors(site, np.random.default_rng(3))
+        }
+        a_hot = {
+            a.name: a.pdp
+            for a in hot.gather_anchors(site, np.random.default_rng(3))
+        }
         assert a_hot["AP2"] == pytest.approx(10.0 * a_nom["AP2"])
         assert a_hot["AP3"] == pytest.approx(a_nom["AP3"])
 
@@ -57,8 +62,14 @@ class TestSystemConfig:
         )
         base = NomLocSystem(lab, SystemConfig(packets_per_link=5))
         site = lab.test_sites[0]
-        hot = {a.name: a.pdp for a in system.gather_anchors(site, np.random.default_rng(4))}
-        nom = {a.name: a.pdp for a in base.gather_anchors(site, np.random.default_rng(4))}
+        hot = {
+            a.name: a.pdp
+            for a in system.gather_anchors(site, np.random.default_rng(4))
+        }
+        nom = {
+            a.name: a.pdp
+            for a in base.gather_anchors(site, np.random.default_rng(4))
+        }
         gain = 10 ** 0.6
         for name in hot:
             if name.startswith("AP1@"):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.channel import CSISynthesizer, LinkSimulator, OFDMConfig
+from repro.channel import LinkSimulator, OFDMConfig
 from repro.data import load_csi_batch, save_csi_batch
 from repro.environment import FloorPlan
 from repro.geometry import Point, Polygon

@@ -18,7 +18,9 @@ class TestAPSpec:
     def test_all_sites(self):
         static = APSpec("A", Point(1, 2))
         assert static.all_sites() == (Point(1, 2),)
-        nomadic = APSpec("B", Point(0, 0), nomadic=True, sites=(Point(0, 0), Point(1, 1)))
+        nomadic = APSpec(
+            "B", Point(0, 0), nomadic=True, sites=(Point(0, 0), Point(1, 1))
+        )
         assert len(nomadic.all_sites()) == 2
 
 

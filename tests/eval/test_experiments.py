@@ -4,7 +4,6 @@ These check plumbing and the paper's qualitative shape at reduced sizes;
 the benchmark harness runs the full-size versions.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import (
@@ -37,7 +36,6 @@ class TestFig3:
         )
 
     def test_links_really_are_los_nlos(self):
-        from repro.core import NomLocSystem
         from repro.environment import get_scenario
 
         result = fig3_delay_profiles(TINY, packets=5)

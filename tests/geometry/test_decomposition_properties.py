@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import Point, Polygon, decompose_convex
+from repro.geometry import Polygon, decompose_convex
 
 
 @st.composite

@@ -1,6 +1,5 @@
 """Unit tests for geometric primitives."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -83,7 +83,9 @@ class TestWalk:
 class TestStationary:
     def test_uniform_chain(self):
         m = MarkovMobilityModel(sites(4))
-        np.testing.assert_allclose(m.stationary_distribution(), np.full(4, 0.25), atol=1e-9)
+        np.testing.assert_allclose(
+            m.stationary_distribution(), np.full(4, 0.25), atol=1e-9
+        )
 
     def test_biased_chain(self):
         p = np.array([[0.9, 0.1], [0.5, 0.5]])

@@ -14,7 +14,8 @@ from repro.mobility import (
 )
 
 
-RNG = lambda: np.random.default_rng(0)
+def RNG():
+    return np.random.default_rng(0)
 
 
 class TestPatrol:

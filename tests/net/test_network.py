@@ -75,7 +75,9 @@ class TestDataPath:
 
     def test_nomadic_ap_moves_and_tags_sites(self):
         plan, sim, link, server, config, rng = tiny_setup()
-        config = NetworkConfig(ping_interval_s=1e-3, batch_size=5, dwell_time_s=0.02, packet_loss=0.0)
+        config = NetworkConfig(
+            ping_interval_s=1e-3, batch_size=5, dwell_time_s=0.02, packet_loss=0.0
+        )
         mobility = MarkovMobilityModel(
             (Point(1, 1), Point(5, 1), Point(9, 1), Point(5, 9))
         )

@@ -1,0 +1,136 @@
+"""Span/Tracer core: nesting, attributes, counters, thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_single_span_is_root(self):
+        tracer = Tracer()
+        with tracer.start("outer") as sp:
+            assert tracer.current() is sp
+        assert tracer.current() is None
+        (finished,) = tracer.finished()
+        assert finished.name == "outer"
+        assert finished.parent_id is None
+        assert finished.duration_s >= 0.0
+
+    def test_nested_spans_parent_correctly(self):
+        tracer = Tracer()
+        with tracer.start("a") as a:
+            with tracer.start("b") as b:
+                with tracer.start("c") as c:
+                    assert tracer.current() is c
+                assert tracer.current() is b
+            assert tracer.current() is a
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["a"].parent_id is None
+        assert by_name["b"].parent_id == by_name["a"].span_id
+        assert by_name["c"].parent_id == by_name["b"].span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.start("parent") as parent:
+            with tracer.start("first"):
+                pass
+            with tracer.start("second"):
+                pass
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["first"].parent_id == parent.span_id
+        assert by_name["second"].parent_id == parent.span_id
+        assert by_name["first"].span_id != by_name["second"].span_id
+
+    def test_finished_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.start("outer"):
+            with tracer.start("inner"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.start("failing"):
+                raise ValueError("boom")
+        assert tracer.current() is None
+        (finished,) = tracer.finished()
+        assert finished.attributes["error"] == "ValueError"
+
+    def test_reset_drops_finished(self):
+        tracer = Tracer()
+        with tracer.start("x"):
+            pass
+        assert len(tracer) == 1
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestSpanData:
+    def test_attributes_at_start_and_via_set(self):
+        tracer = Tracer()
+        with tracer.start("s", piece=3) as sp:
+            sp.set(rows=21, degraded=False)
+        (finished,) = tracer.finished()
+        assert finished.attributes == {
+            "piece": 3,
+            "rows": 21,
+            "degraded": False,
+        }
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        with tracer.start("s") as sp:
+            sp.incr("pivots", 10)
+            sp.incr("pivots", 5)
+            sp.incr("rows")
+        (finished,) = tracer.finished()
+        assert finished.counters == {"pivots": 15.0, "rows": 1.0}
+
+    def test_to_from_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.start("s", piece=1) as sp:
+            sp.incr("pivots", 7)
+        (finished,) = tracer.finished()
+        rebuilt = Span.from_dict(finished.to_dict())
+        assert rebuilt.to_dict() == finished.to_dict()
+
+
+class TestThreadIsolation:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen_parent = {}
+
+        def worker(key):
+            with tracer.start(f"root-{key}"):
+                seen_parent[key] = tracer.current().parent_id
+
+        with tracer.start("main-root"):
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Worker roots must NOT parent under the main thread's active span.
+        assert all(parent is None for parent in seen_parent.values())
+
+    def test_concurrent_span_ids_unique(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(200):
+                with tracer.start("w"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.finished()
+        assert len(spans) == 8 * 200
+        assert len({s.span_id for s in spans}) == len(spans)

@@ -80,3 +80,20 @@ class TestServiceMetrics:
         snap = ServiceMetrics().snapshot()
         assert isinstance(snap, dict)
         assert all(isinstance(v, (int, float)) for v in snap.values())
+
+
+class TestQueueWait:
+    def test_queue_wait_split_in_snapshot(self):
+        m = ServiceMetrics()
+        m.record_queue_wait(0.010)
+        m.record_queue_wait(0.030)
+        snap = m.snapshot()
+        assert snap["queue_wait_mean_s"] == pytest.approx(0.020)
+        assert snap["queue_wait_p50_s"] == pytest.approx(0.020)
+        assert snap["queue_wait_p95_s"] == pytest.approx(0.029)
+
+    def test_queue_wait_defaults_to_zero(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["queue_wait_mean_s"] == 0.0
+        assert snap["queue_wait_p50_s"] == 0.0
+        assert snap["queue_wait_p95_s"] == 0.0

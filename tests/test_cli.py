@@ -192,3 +192,70 @@ class TestServeCommand:
 
     def test_unknown_scenario(self, capsys):
         assert main(["serve", "mall"]) == 2
+
+
+class TestProfileCommand:
+    def test_stage_breakdown_covers_pipeline(self, capsys):
+        rc = main(["profile", "lab", "-n", "2", "--packets", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiled 2 queries" in out
+        for stage in ("csi", "cir", "constraints", "lp.solve", "merge"):
+            assert stage in out, f"stage {stage} missing from breakdown"
+        assert "simplex.pivots" in out  # pivot counter surfaced
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "traces.jsonl"
+        rc = main(
+            ["profile", "lab", "-n", "1", "--packets", "3",
+             "--trace-out", str(path)]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        spans = load_jsonl(path)
+        assert spans and {s.name for s in spans} >= {"lp.solve", "merge"}
+
+    def test_bad_count(self, capsys):
+        assert main(["profile", "lab", "-n", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["profile", "mall"]) == 2
+
+    def test_leaves_tracing_disabled(self):
+        from repro import obs
+
+        assert main(["profile", "lab", "-n", "1", "--packets", "3"]) == 0
+        assert not obs.is_enabled()
+
+
+class TestServingTraceFlag:
+    def test_serve_trace_reports_stage_breakdown(self, capsys):
+        from repro import obs
+
+        try:
+            rc = main(
+                ["serve", "lab", "--queries", "2", "--packets", "3",
+                 "--trace"]
+            )
+        finally:
+            obs.disable()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown" in out
+        assert "serve.query" in out
+
+    def test_batch_locate_trace_reports_stage_breakdown(self, capsys):
+        from repro import obs
+
+        try:
+            rc = main(
+                ["batch-locate", "lab", "-n", "2", "--packets", "3",
+                 "--trace"]
+            )
+        finally:
+            obs.disable()
+        assert rc == 0
+        assert "stage breakdown" in capsys.readouterr().out

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.environment import FloorPlan, Obstacle, get_scenario
 from repro.channel import METAL
-from repro.geometry import Point, Polygon, Segment
+from repro.geometry import Point, Polygon
 from repro.tracking import Trajectory, random_trajectory, waypoint_trajectory
 
 

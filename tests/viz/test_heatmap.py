@@ -4,7 +4,7 @@ import pytest
 
 from repro.channel import METAL
 from repro.environment import FloorPlan, Obstacle, get_scenario
-from repro.geometry import Point, Polygon
+from repro.geometry import Polygon
 from repro.viz import render_heatmap
 from repro.viz.heatmap import RAMP
 
