@@ -95,7 +95,7 @@ def _overhead_suite():
     }
 
 
-def test_tracing_overhead(benchmark, save_result):
+def test_tracing_overhead(benchmark, save_result, save_json):
     r = run_once(benchmark, _overhead_suite)
 
     # Gate 1: the disabled path is a shared no-op — sub-microsecond.
@@ -129,5 +129,16 @@ def test_tracing_overhead(benchmark, save_result):
         ],
     )
     save_result("OBS", table)
+    save_json(
+        "obs_overhead",
+        {
+            "noop_span_ns": r["noop_span_s"] * 1e9,
+            "untraced_batch_s": r["off_s"],
+            "traced_batch_s": r["on_s"],
+            "overhead": overhead,
+            "spans_captured": r["spans"],
+            "bit_identical": True,
+        },
+    )
     print()
     print(table)

@@ -83,7 +83,7 @@ def _serving_comparison():
     return results
 
 
-def test_serving_throughput(benchmark, save_result):
+def test_serving_throughput(benchmark, save_result, save_json):
     results = run_once(benchmark, _serving_comparison)
 
     rows = []
@@ -121,5 +121,20 @@ def test_serving_throughput(benchmark, save_result):
         ["scenario", "mode", "qps", "p50(ms)", "p95(ms)", "speedup"], rows
     )
     save_result("SERVE", table)
+    save_json(
+        "serving_throughput",
+        {
+            scenario_name: {
+                mode: {
+                    "qps": r["qps"],
+                    "p50_ms": r["p50_ms"],
+                    "p95_ms": r["p95_ms"],
+                    "degraded": r["degraded"],
+                }
+                for mode, r in by_mode.items()
+            }
+            for scenario_name, by_mode in results.items()
+        },
+    )
     print()
     print(table)

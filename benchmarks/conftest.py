@@ -8,7 +8,10 @@ rendered rows/series under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import time
 
 import pytest
 
@@ -28,6 +31,39 @@ def save_result(results_dir):
     def _save(experiment_id: str, text: str) -> None:
         path = results_dir / f"{experiment_id}.txt"
         path.write_text(text + "\n")
+
+    return _save
+
+
+def write_bench_json(
+    results_dir: pathlib.Path, bench_id: str, payload: dict
+) -> pathlib.Path:
+    """Write one benchmark's machine-readable ledger entry.
+
+    Produces ``results/BENCH_<id>.json`` with the benchmark's metrics under
+    ``"results"`` plus enough environment context (python, platform,
+    timestamp) to compare entries across runs — the JSON twin of the
+    human-readable ``results/<id>.txt`` tables.
+    """
+    path = results_dir / f"BENCH_{bench_id}.json"
+    record = {
+        "bench_id": bench_id,
+        "unix_time_s": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "results": payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def save_json(results_dir):
+    """Persist one benchmark's metrics as results/BENCH_<id>.json."""
+
+    def _save(bench_id: str, payload: dict) -> pathlib.Path:
+        return write_bench_json(results_dir, bench_id, payload)
 
     return _save
 

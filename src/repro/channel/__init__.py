@@ -7,7 +7,14 @@ for power-delay-profile extraction.
 """
 
 from .antenna import OMNI, AntennaPattern
-from .cir import DelayProfile, csi_to_cir, delay_profile
+from .cir import (
+    DelayProfile,
+    csi_to_cir,
+    csi_to_cir_batch,
+    delay_profile,
+    delay_profile_batch,
+    tap_powers_batch,
+)
 from .csi import INTEL5300_SUBCARRIERS, CSIMeasurement, CSISynthesizer, OFDMConfig
 from .fading import FadingModel, rician_gain
 from .link import LinkSimulator
@@ -67,6 +74,9 @@ __all__ = [
     "INTEL5300_SUBCARRIERS",
     "DelayProfile",
     "csi_to_cir",
+    "csi_to_cir_batch",
     "delay_profile",
+    "delay_profile_batch",
+    "tap_powers_batch",
     "LinkSimulator",
 ]

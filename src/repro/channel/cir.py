@@ -10,13 +10,21 @@ NLOS penetration crushes it relative to the LOS case.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..obs import span
 from .csi import CSIMeasurement
 
-__all__ = ["DelayProfile", "csi_to_cir", "delay_profile"]
+__all__ = [
+    "DelayProfile",
+    "csi_to_cir",
+    "csi_to_cir_batch",
+    "delay_profile",
+    "delay_profile_batch",
+    "tap_powers_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -90,3 +98,76 @@ def delay_profile(measurement: CSIMeasurement) -> DelayProfile:
         taps = csi_to_cir(measurement)
         delays = np.arange(cfg.n_fft) * cfg.tap_resolution_s
         return DelayProfile(delays, np.abs(taps))
+
+
+# ----------------------------------------------------------------------
+# Batched extraction: one stacked IFFT for a whole packet batch.  Every
+# function below is bit-identical to mapping its scalar counterpart over
+# the batch (NumPy's pocketfft computes 2-D row transforms with the same
+# 1-D kernel) — enforced in ``tests/channel`` and the hotpath benchmark.
+# ----------------------------------------------------------------------
+
+def _stack_batch(
+    measurements: Iterable[CSIMeasurement],
+) -> tuple[list[CSIMeasurement], np.ndarray]:
+    """Validate a batch shares one OFDM config and stack its CSI rows."""
+    ms = list(measurements)
+    if not ms:
+        raise ValueError("need at least one CSI measurement")
+    cfg = ms[0].config
+    for m in ms[1:]:
+        if m.config != cfg:
+            raise ValueError(
+                "all measurements in a batch must share one OFDM config"
+            )
+    return ms, np.stack([m.csi for m in ms])
+
+
+def csi_to_cir_batch(
+    measurements: Sequence[CSIMeasurement],
+) -> np.ndarray:
+    """Stacked IFFT: one ``(packets, n_fft)`` matrix of complex taps.
+
+    Row ``i`` equals ``csi_to_cir(measurements[i])`` bit-for-bit; the
+    batch pays one 2-D IFFT instead of ``packets`` 1-D ones.  All
+    measurements must share one OFDM config.
+    """
+    ms, matrix = _stack_batch(measurements)
+    cfg = ms[0].config
+    grid = np.zeros((len(ms), cfg.n_fft), dtype=complex)
+    cols = [idx % cfg.n_fft for idx in cfg.active_subcarriers]
+    grid[:, cols] = matrix
+    return np.fft.ifft(grid, axis=1) * (
+        cfg.n_fft / len(cfg.active_subcarriers)
+    )
+
+
+def tap_powers_batch(
+    measurements: Sequence[CSIMeasurement],
+) -> np.ndarray:
+    """Per-tap powers ``|h[n]|^2`` of a batch, as a ``(packets, n_fft)``
+    matrix — the input of the batched PDP estimators."""
+    ms = list(measurements)
+    if not ms:
+        raise ValueError("need at least one CSI measurement")
+    # Same span name as the scalar extractor, so per-stage profiles keep
+    # covering CIR extraction regardless of which path served it.
+    with span("cir.delay_profile", taps=ms[0].config.n_fft, batch=len(ms)):
+        return np.abs(csi_to_cir_batch(ms)) ** 2
+
+
+def delay_profile_batch(
+    measurements: Sequence[CSIMeasurement],
+) -> list[DelayProfile]:
+    """Power delay profiles of a whole packet batch via one stacked IFFT.
+
+    Element ``i`` equals ``delay_profile(measurements[i])`` bit-for-bit.
+    """
+    ms = list(measurements)
+    if not ms:
+        return []
+    cfg = ms[0].config
+    with span("cir.delay_profile", taps=cfg.n_fft, batch=len(ms)):
+        amplitudes = np.abs(csi_to_cir_batch(ms))
+        delays = np.arange(cfg.n_fft) * cfg.tap_resolution_s
+        return [DelayProfile(delays, row) for row in amplitudes]

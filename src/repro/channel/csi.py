@@ -13,7 +13,9 @@ path delay, and ``n_i`` receiver noise.  The layout mirrors a 20 MHz
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -126,20 +128,34 @@ class CSIMeasurement:
 
     def subsample_intel5300(self) -> "CSIMeasurement":
         """Restrict to the 30 subcarriers the Intel 5300 driver exports."""
-        index_of = {sc: i for i, sc in enumerate(self.config.active_subcarriers)}
-        try:
-            picks = [index_of[sc] for sc in INTEL5300_SUBCARRIERS]
-        except KeyError as exc:
-            raise ValueError(
-                f"subcarrier {exc.args[0]} not present in this measurement"
-            ) from None
-        sub_cfg = OFDMConfig(
-            n_fft=self.config.n_fft,
-            bandwidth_hz=self.config.bandwidth_hz,
-            carrier_hz=self.config.carrier_hz,
-            active_subcarriers=INTEL5300_SUBCARRIERS,
-        )
-        return CSIMeasurement(self.csi[picks], sub_cfg)
+        picks, sub_cfg = _intel5300_subsampling(self.config)
+        return CSIMeasurement(self.csi[list(picks)], sub_cfg)
+
+
+@lru_cache(maxsize=None)
+def _intel5300_subsampling(
+    config: OFDMConfig,
+) -> tuple[tuple[int, ...], OFDMConfig]:
+    """``(pick indices, subsampled config)`` for one OFDM layout.
+
+    Subsampling happens once per packet on the measurement fast path, so
+    the index lookup is cached per (hashable, frozen) config instead of
+    rebuilding an ``{subcarrier: index}`` dict on every call.
+    """
+    index_of = {sc: i for i, sc in enumerate(config.active_subcarriers)}
+    try:
+        picks = tuple(index_of[sc] for sc in INTEL5300_SUBCARRIERS)
+    except KeyError as exc:
+        raise ValueError(
+            f"subcarrier {exc.args[0]} not present in this measurement"
+        ) from None
+    sub_cfg = OFDMConfig(
+        n_fft=config.n_fft,
+        bandwidth_hz=config.bandwidth_hz,
+        carrier_hz=config.carrier_hz,
+        active_subcarriers=INTEL5300_SUBCARRIERS,
+    )
+    return picks, sub_cfg
 
 
 @dataclass(frozen=True)
@@ -226,11 +242,135 @@ class CSISynthesizer:
         rng: np.random.Generator,
         with_fading: bool = True,
     ) -> list[CSIMeasurement]:
-        """Independent CSI snapshots for ``num_packets`` packets."""
+        """Independent CSI snapshots for ``num_packets`` packets.
+
+        Vectorized over the whole ``(packets, paths, subcarriers)`` batch:
+        the per-path phase ramps are computed once instead of per packet,
+        and fading/noise/RSSI math runs as matrix operations.  The RNG is
+        consumed in exactly the per-packet call order of the scalar
+        :meth:`synthesize` loop (fading draws, then noise, then RSSI
+        jitter, packet by packet), so the outputs are bit-identical to
+        :meth:`synthesize_batch_scalar` — enforced by
+        ``benchmarks/bench_hotpath.py`` and ``tests/channel``.
+        """
         if num_packets < 0:
             raise ValueError("num_packets must be non-negative")
         with span("csi.synthesize", packets=num_packets, paths=len(paths)):
-            return [
-                self.synthesize(paths, rng, with_fading)
-                for _ in range(num_packets)
-            ]
+            if num_packets == 0:
+                return []
+            if not paths:
+                raise ValueError("need at least one path component")
+            return self._synthesize_batch_vectorized(
+                paths, num_packets, rng, with_fading
+            )
+
+    def synthesize_batch_scalar(
+        self,
+        paths: Sequence[PathComponent],
+        num_packets: int,
+        rng: np.random.Generator,
+        with_fading: bool = True,
+    ) -> list[CSIMeasurement]:
+        """Reference per-packet loop the vectorized batch must reproduce.
+
+        Kept as the ground truth for the bit-exactness guards; not used on
+        the hot path.
+        """
+        if num_packets < 0:
+            raise ValueError("num_packets must be non-negative")
+        return [
+            self.synthesize(paths, rng, with_fading)
+            for _ in range(num_packets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _synthesize_batch_vectorized(
+        self,
+        paths: Sequence[PathComponent],
+        num_packets: int,
+        rng: np.random.Generator,
+        with_fading: bool,
+    ) -> list[CSIMeasurement]:
+        """One NumPy pass over the packet batch.
+
+        RNG draw-order contract (must match the scalar loop exactly): for
+        each packet, (1) two standard normals per path — real then
+        imaginary fading component, in path order, drawn as one
+        ``standard_normal(2 * paths)`` array, which consumes the PCG64
+        stream identically to the scalar calls; (2) the noise model's
+        draws; (3) one RSSI jitter normal.  Only the draws stay in the
+        per-packet loop — all arithmetic on them is batched.
+        """
+        freqs = self.ofdm.carrier_hz + self.ofdm.subcarrier_frequencies_hz()
+        num_sc = len(freqs)
+        num_paths = len(paths)
+        amplitudes = [self.path_amplitude(c) for c in paths]
+        if with_fading:
+            k_factors = [self.fading.k_for(c) for c in paths]
+            specular = np.array(
+                [math.sqrt(k / (k + 1.0)) for k in k_factors]
+            )
+            sigma = np.array(
+                [math.sqrt(1.0 / (2.0 * (k + 1.0))) for k in k_factors]
+            )
+            gains = np.empty((num_packets, num_paths), dtype=complex)
+        else:
+            gains = None
+        noise_rows = (
+            np.empty((num_packets, num_sc), dtype=complex)
+            if self.noise is not None
+            else None
+        )
+        jitters = (
+            np.empty(num_packets) if self.rssi_jitter_db > 0 else None
+        )
+        for p in range(num_packets):
+            if gains is not None:
+                draws = rng.standard_normal(2 * num_paths)
+                gains.real[p] = specular + sigma * draws[0::2]
+                gains.imag[p] = sigma * draws[1::2]
+            if noise_rows is not None:
+                noise_rows[p] = self.noise.sample_subcarrier_noise(
+                    num_sc, rng
+                )
+            if jitters is not None:
+                jitters[p] = rng.normal(0.0, self.rssi_jitter_db)
+
+        csi = np.zeros((num_packets, num_sc), dtype=complex)
+        for idx, component in enumerate(paths):
+            phase = np.exp(-2j * np.pi * freqs * component.delay_s)
+            if gains is not None:
+                coeff = amplitudes[idx] * gains[:, idx]
+                csi += coeff[:, np.newaxis] * phase
+            else:
+                csi += amplitudes[idx] * phase
+        if noise_rows is not None:
+            csi += noise_rows
+        rssi = self._report_rssi_batch(csi, jitters)
+        return [
+            CSIMeasurement(csi[p], self.ofdm, rssi[p])
+            for p in range(num_packets)
+        ]
+
+    def _report_rssi_batch(
+        self, csi: np.ndarray, jitters: np.ndarray | None
+    ) -> list[float]:
+        """Vectorized :meth:`_report_rssi` over a ``(packets, sc)`` batch.
+
+        ``np.round`` matches the scalar path's ``round`` (both
+        round-half-even), and per-row sums reduce in the same order as
+        the scalar 1-D sums, so reported values are bit-identical.
+        """
+        power_mw = np.sum(np.abs(csi) ** 2, axis=1)
+        power_mw = np.maximum(power_mw, 1e-30)
+        dbm = 10.0 * np.log10(power_mw)
+        if jitters is not None:
+            dbm = dbm + jitters
+        if self.rssi_quantization_db > 0:
+            dbm = (
+                np.round(dbm / self.rssi_quantization_db)
+                * self.rssi_quantization_db
+            )
+        return [float(v) for v in dbm]

@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--packets", type=int, default=15, help="CSI packets per link"
     )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="campaign worker processes (0 = sequential; results are "
+        "bit-identical for any worker count)",
+    )
 
     record = sub.add_parser("record", help="record a measurement campaign")
     record.add_argument("scenario")
@@ -278,6 +285,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         packets_per_link=args.packets,
         seed=args.seed,
+        workers=args.workers,
     )
     if args.name == "fig3":
         result = fig3_delay_profiles(config)

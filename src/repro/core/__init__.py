@@ -24,7 +24,9 @@ from .pdp import (
     confidence_factor_power,
     confidence_factor_rational,
     estimate_first_tap,
+    estimate_first_tap_batch,
     estimate_pdp,
+    estimate_pdp_batch,
     estimate_pdp_median,
     estimate_rss,
     judge_proximity,
@@ -40,9 +42,11 @@ __all__ = [
     "CONFIDENCE_FUNCTIONS",
     "proximity_confidence",
     "estimate_pdp",
+    "estimate_pdp_batch",
     "estimate_pdp_median",
     "estimate_rss",
     "estimate_first_tap",
+    "estimate_first_tap_batch",
     "PROXIMITY_METRICS",
     "ProximityJudgement",
     "judge_proximity",

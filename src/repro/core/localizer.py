@@ -275,6 +275,11 @@ class NomLocLocalizer:
         self, solutions: Sequence[PieceSolution]
     ) -> LocationEstimate:
         """Merge per-piece solutions into the final estimate."""
+        if not solutions:
+            raise ValueError(
+                "estimate_from_solutions needs at least one piece solution; "
+                "localize at least one topology piece before merging"
+            )
         with span("merge", pieces=len(solutions)) as sp:
             best_cost = min(s.cost for s in solutions)
             winners = [
@@ -359,7 +364,14 @@ class NomLocLocalizer:
                 self.config.center_method,
                 fallback=relaxation.feasible_point,
             )
-            assert center is not None  # fallback guarantees an estimate
+            if center is None:
+                # The LP relaxation's feasible point doubles as the center
+                # fallback, so this is unreachable for any solvable piece —
+                # raise (not assert) so the guard survives ``python -O``.
+                raise RuntimeError(
+                    f"no center estimate for piece {index}: region_center "
+                    "returned None despite the relaxation fallback"
+                )
             return PieceSolution(index, piece, relaxation, region, center)
 
 

@@ -38,7 +38,7 @@ from ..mobility import (
 from ..mobility.traces import TraceStep
 from .constraints import Anchor
 from .localizer import LocalizerConfig, LocationEstimate, NomLocLocalizer
-from .pdp import PROXIMITY_METRICS, estimate_pdp
+from .pdp import PROXIMITY_METRICS, estimate_pdp_batch
 
 __all__ = ["SystemConfig", "NomLocSystem", "measure_link_pdp"]
 
@@ -98,12 +98,14 @@ def measure_link_pdp(
     rx: Point,
     packets: int,
     rng: np.random.Generator,
-    estimator=estimate_pdp,
+    estimator=estimate_pdp_batch,
 ) -> float:
     """Estimate a link's strength from a batch of simulated packets.
 
-    ``estimator`` defaults to the paper's PDP (max CIR tap power); any
-    member of :data:`repro.core.pdp.PROXIMITY_METRICS` works.
+    ``estimator`` defaults to the paper's PDP (max CIR tap power, the
+    vectorized stacked-IFFT implementation — bit-identical to the scalar
+    :func:`~repro.core.pdp.estimate_pdp` reference); any member of
+    :data:`repro.core.pdp.PROXIMITY_METRICS` works.
     """
     batch = sim.measure_batch(tx, rx, packets, rng)
     return estimator(batch)

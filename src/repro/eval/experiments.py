@@ -79,12 +79,16 @@ class ExperimentConfig:
 
     Defaults are sized so the full benchmark harness finishes in minutes;
     crank ``repetitions`` and ``packets_per_link`` up for smoother curves.
+    ``workers`` fans each campaign's sites out over a process pool
+    (``0`` = sequential); results are bit-identical either way because
+    every query's RNG is keyed only by (seed, site, repetition).
     """
 
     repetitions: int = 3
     packets_per_link: int = 15
     trace_steps: int = 12
     seed: int = 0
+    workers: int = 0
 
     def system_config(self, **overrides) -> SystemConfig:
         """A :class:`SystemConfig` sized by this experiment config."""
@@ -253,6 +257,7 @@ def fig8_slv(
             config.repetitions,
             config.seed,
             f"{name}-nomadic",
+            workers=config.workers,
         )
         sta_res = run_campaign(
             static,
@@ -260,6 +265,7 @@ def fig8_slv(
             config.repetitions,
             config.seed,
             f"{name}-static",
+            workers=config.workers,
         )
         slv_out[name] = {
             "static": sta_res.stats.slv,
@@ -290,10 +296,18 @@ def fig9_error_cdf(
     nomadic = NomLocSystem(scenario, config.system_config())
     static = NomLocSystem(scenario, config.system_config(use_nomadic=False))
     nom = run_campaign(
-        nomadic, scenario.test_sites, config.repetitions, config.seed
+        nomadic,
+        scenario.test_sites,
+        config.repetitions,
+        config.seed,
+        workers=config.workers,
     )
     sta = run_campaign(
-        static, scenario.test_sites, config.repetitions, config.seed
+        static,
+        scenario.test_sites,
+        config.repetitions,
+        config.seed,
+        workers=config.workers,
     )
     return Fig9Result(scenario_name, sta.cdf, nom.cdf)
 
@@ -331,7 +345,11 @@ def fig10_position_error(
             scenario, config.system_config().with_error_range(er)
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         cdfs[float(er)] = result.cdf
     return Fig10Result(scenario_name, cdfs)
@@ -354,7 +372,11 @@ def ablation_center_methods(
             LocalizerConfig(center_method=method),
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[method.value] = result.stats
     return out
@@ -402,7 +424,11 @@ def ablation_site_count(
                 config.system_config(trace_steps=max(config.trace_steps, 4 * count)),
             )
         result = run_campaign(
-            system, base.test_sites, config.repetitions, config.seed
+            system,
+            base.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[count] = result.stats
     return out
@@ -426,7 +452,11 @@ def ablation_proximity_metric(
             scenario, config.system_config(proximity_metric=name)
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[name] = result.stats
     return out
@@ -461,7 +491,11 @@ def ablation_bandwidth(
             scenario, config.system_config(), synthesizer=synthesizer
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[float(bw)] = result.stats
     return out
@@ -510,7 +544,11 @@ def ablation_interference(
     out = {}
     for label, system in conditions.items():
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[label] = result.stats
     return out
@@ -559,7 +597,11 @@ def ablation_antennas(
             scenario, config.system_config(), antennas=antennas
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[label] = result.stats
     return out
@@ -610,6 +652,7 @@ def ablation_device_heterogeneity(
                     scenario.test_sites,
                     config.repetitions,
                     config.seed,
+                    workers=config.workers,
                 )
                 per_label_errors[label].extend(result.per_site_means())
         out[float(sigma)] = {
@@ -638,7 +681,11 @@ def ablation_confidence_functions(
             LocalizerConfig(confidence_fn=name),
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[name] = result.stats
     return out
@@ -666,7 +713,11 @@ def ablation_shadowing(
             shadowing=ShadowingModel(sigma_db=sigma, seed=config.seed),
         )
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[float(sigma)] = result.stats
     return out
@@ -688,7 +739,11 @@ def ablation_nomadic_pairs(
                 LocalizerConfig(include_nomadic_pairs=flag),
             )
             result = run_campaign(
-                system, scenario.test_sites, config.repetitions, config.seed
+                system,
+                scenario.test_sites,
+                config.repetitions,
+                config.seed,
+                workers=config.workers,
             )
             out[name][label] = result.stats
     return out
@@ -709,7 +764,11 @@ def ext_multi_nomadic(
         scenario = lobby_with_nomadic_count(base, count)
         system = NomLocSystem(scenario, config.system_config())
         result = run_campaign(
-            system, scenario.test_sites, config.repetitions, config.seed
+            system,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[count] = result.stats
     return out
@@ -732,7 +791,11 @@ def ext_mobility_patterns(
         system = NomLocSystem(scenario, config.system_config())
         localizer = PatternBoundLocalizer(system, pattern)
         result = run_campaign(
-            localizer, scenario.test_sites, config.repetitions, config.seed
+            localizer,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[label] = result.stats
     return out
@@ -764,7 +827,11 @@ def baseline_comparison(
     out = {}
     for name, localizer in localizers.items():
         result = run_campaign(
-            localizer, scenario.test_sites, config.repetitions, config.seed
+            localizer,
+            scenario.test_sites,
+            config.repetitions,
+            config.seed,
+            workers=config.workers,
         )
         out[name] = result.stats
     return out

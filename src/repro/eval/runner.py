@@ -8,13 +8,15 @@ independent randomness and averages.
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
 from ..geometry import Point
-from ..obs import span
+from ..obs import capture, get_tracer, is_enabled, span
 from .metrics import ErrorCDF, ErrorStats
 
 __all__ = [
@@ -68,42 +70,131 @@ class CampaignResult:
         return ErrorCDF.from_errors(self.per_site_means())
 
 
+def _site_errors(
+    localizer: Localizer,
+    site_idx: int,
+    site: Point,
+    repetitions: int,
+    seed: int,
+) -> list[float]:
+    """One site's error vector, under an ``eval.site`` span.
+
+    Randomness is derived from ``SeedSequence([seed, site_idx, rep])``
+    alone — never from process or thread identity — which is what makes
+    the parallel campaign path bit-identical to the sequential one.
+    """
+    with span("eval.site", site=site_idx):
+        errors = []
+        for rep in range(repetitions):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, site_idx, rep])
+            )
+            errors.append(float(localizer.localization_error(site, rng)))
+    return errors
+
+
+def _site_task(payload) -> tuple[list[float], list[dict]]:
+    """Worker-process entry point: one site's errors plus its spans.
+
+    The worker traces into its own private tracer (when the parent was
+    tracing) and ships the finished spans back as ``to_dict`` records for
+    the parent to :meth:`~repro.obs.Tracer.adopt` — worker span ids are
+    process-local and meaningless to the parent.
+    """
+    localizer, site_idx, site, repetitions, seed, traced = payload
+    if not traced:
+        return _site_errors(localizer, site_idx, site, repetitions, seed), []
+    with capture() as tracer:
+        errors = _site_errors(localizer, site_idx, site, repetitions, seed)
+    return errors, [s.to_dict() for s in tracer.finished()]
+
+
+def _run_sites_parallel(
+    localizer: Localizer,
+    sites: Sequence[Point],
+    repetitions: int,
+    seed: int,
+    workers: int,
+    campaign_span,
+) -> list[SiteResult]:
+    """Fan sites out over a process pool; merge results in site order.
+
+    Uses the ``fork`` start method where available (cheap, inherits the
+    parent's imports) and falls back to the platform default elsewhere —
+    either way ``localizer`` must be picklable.  Each worker's span batch
+    is adopted separately: worker tracers all number spans from 1, so
+    mixing two batches in one adopt call would cross their parent links.
+    """
+    traced = is_enabled()
+    payloads = [
+        (localizer, site_idx, site, repetitions, seed, traced)
+        for site_idx, site in enumerate(sites)
+    ]
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        mp_context = None
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(sites)), mp_context=mp_context
+    ) as pool:
+        outcomes = list(pool.map(_site_task, payloads))
+    tracer = get_tracer()
+    parent_id = getattr(campaign_span, "span_id", None)
+    results = []
+    for site, (errors, records) in zip(sites, outcomes):
+        if tracer is not None and records:
+            tracer.adopt(records, parent_id=parent_id)
+        results.append(SiteResult(site, tuple(errors)))
+    return results
+
+
 def run_campaign(
     localizer: Localizer,
     sites: Sequence[Point],
     repetitions: int = 3,
     seed: int = 0,
     name: str = "campaign",
+    workers: int | None = None,
 ) -> CampaignResult:
     """Measure ``localizer`` over every site, ``repetitions`` times each.
 
     Randomness is derived deterministically from ``seed`` per (site,
     repetition), so campaigns are reproducible and two localizers run with
     the same seed see identically seeded queries.
+
+    ``workers`` (``None``/``0`` = sequential) distributes whole sites
+    over a process pool.  Sites are mutually independent and each query's
+    RNG is keyed only by ``(seed, site, repetition)``, so the parallel
+    result is bit-identical to the sequential one for any worker count;
+    ``localizer`` must be picklable.  Worker-side spans are merged back
+    into the parent tracer under the campaign span.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
     if not sites:
         raise ValueError("need at least one test site")
+    if workers is not None and workers < 0:
+        raise ValueError("workers must be non-negative")
     with span(
         "eval.campaign",
         campaign=name,
         sites=len(sites),
         repetitions=repetitions,
+        workers=workers or 0,
     ) as sp:
-        results = []
-        for site_idx, site in enumerate(sites):
-            with span("eval.site", site=site_idx):
-                errors = []
-                for rep in range(repetitions):
-                    rng = np.random.default_rng(
-                        np.random.SeedSequence([seed, site_idx, rep])
-                    )
-                    errors.append(
-                        float(localizer.localization_error(site, rng))
-                    )
-            results.append(SiteResult(site, tuple(errors)))
-            sp.incr("queries", repetitions)
+        if workers:
+            results = _run_sites_parallel(
+                localizer, sites, repetitions, seed, workers, sp
+            )
+            sp.incr("queries", repetitions * len(sites))
+        else:
+            results = []
+            for site_idx, site in enumerate(sites):
+                errors = _site_errors(
+                    localizer, site_idx, site, repetitions, seed
+                )
+                results.append(SiteResult(site, tuple(errors)))
+                sp.incr("queries", repetitions)
         return CampaignResult(name, tuple(results))
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from typing import Iterable
 
 __all__ = ["Span", "Tracer"]
 
@@ -181,6 +182,38 @@ class Tracer:
             stack.remove(span)
         with self._lock:
             self._finished.append(span)
+
+    # -- cross-process merging ------------------------------------------
+    def adopt(
+        self,
+        records: Iterable[dict],
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Merge spans recorded by another process into this tracer.
+
+        ``records`` are :meth:`Span.to_dict` dicts from one *single*
+        foreign tracer — every worker tracer numbers its spans from 1, so
+        batches from different workers collide and must be adopted one
+        batch at a time.  Each span receives a fresh id from this
+        tracer's counter; intra-batch parent links are remapped to the
+        new ids, and the batch's roots are re-parented under
+        ``parent_id`` (``None`` leaves them roots).  Completion order
+        within the batch is preserved.
+        """
+        spans = [Span.from_dict(r) for r in records]
+        with self._lock:
+            id_map = {sp.span_id: next(self._ids) for sp in spans}
+            for sp in spans:
+                # Children finish (and therefore serialize) before their
+                # parents, so the full id map must exist before any link
+                # is rewritten — hence the two passes.
+                if sp.parent_id in id_map:
+                    sp.parent_id = id_map[sp.parent_id]
+                else:
+                    sp.parent_id = parent_id
+                sp.span_id = id_map[sp.span_id]
+            self._finished.extend(spans)
+        return spans
 
     # -- inspection -----------------------------------------------------
     def finished(self) -> tuple[Span, ...]:

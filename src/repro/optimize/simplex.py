@@ -89,7 +89,10 @@ def simplex_standard_form(
             message=f"phase-1 objective {-tableau[m, -1]:.3e} > 0",
         )
 
-    # Drive any artificial variables out of the basis.
+    # Drive any artificial variables out of the basis.  Membership tests
+    # run once per (row, column) pair, so keep a set view of the basis in
+    # step with the list instead of scanning it per candidate column.
+    in_basis = set(basis)
     for row, var in enumerate(basis):
         if var < n:
             continue
@@ -97,7 +100,7 @@ def simplex_standard_form(
             (
                 j
                 for j in range(n)
-                if abs(tableau[row, j]) > _TOL and j not in basis
+                if abs(tableau[row, j]) > _TOL and j not in in_basis
             ),
             None,
         )
@@ -106,6 +109,8 @@ def simplex_standard_form(
             # which is harmless as long as its column is never re-entered.
             continue
         _pivot(tableau, row, pivot_col)
+        in_basis.discard(basis[row])
+        in_basis.add(pivot_col)
         basis[row] = pivot_col
 
     # Phase II: install the real objective expressed in the current basis.

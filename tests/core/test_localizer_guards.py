@@ -1,0 +1,24 @@
+"""Explicit error guards on the localizer's merge path."""
+
+import pytest
+
+from repro.core import NomLocLocalizer
+from repro.environment import get_scenario
+
+
+@pytest.fixture
+def localizer():
+    return NomLocLocalizer(get_scenario("lab").plan.boundary)
+
+
+class TestEstimateFromSolutionsGuard:
+    def test_empty_solutions_raise_value_error(self, localizer):
+        with pytest.raises(ValueError, match="at least one piece solution"):
+            localizer.estimate_from_solutions([])
+
+    def test_empty_solutions_error_survives_tracing(self, localizer):
+        from repro import obs
+
+        with obs.capture():
+            with pytest.raises(ValueError):
+                localizer.estimate_from_solutions([])

@@ -1,0 +1,141 @@
+"""Batched PDP estimators vs their scalar references.
+
+The batched estimators back the anchor-building fast path and the
+``PROXIMITY_METRICS`` registry, so they must reproduce the scalar loops
+bit-for-bit — including on batches that cannot be stacked (mixed OFDM
+configs), where they fall back to the reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    SPEED_OF_LIGHT,
+    CSISynthesizer,
+    OFDMConfig,
+    PathComponent,
+    PathKind,
+)
+from repro.core.pdp import (
+    estimate_first_tap,
+    estimate_first_tap_batch,
+    estimate_pdp,
+    estimate_pdp_batch,
+    estimate_pdp_median,
+)
+
+
+def _paths():
+    lengths = (7.0, 11.5, 16.0)
+    kinds = (PathKind.DIRECT, PathKind.REFLECTED, PathKind.SCATTERED)
+    return tuple(
+        PathComponent(
+            kind,
+            length,
+            length / SPEED_OF_LIGHT,
+            2.0 * i,
+            bounces=0 if kind is PathKind.DIRECT else 1,
+        )
+        for i, (kind, length) in enumerate(zip(kinds, lengths))
+    )
+
+
+def _measurements(packets=20, seed=9, **synth_overrides):
+    synth = CSISynthesizer(**synth_overrides)
+    return synth.synthesize_batch(
+        _paths(), packets, np.random.default_rng(seed)
+    )
+
+
+class TestBatchEstimatorsBitExact:
+    def test_pdp(self):
+        ms = _measurements()
+        assert estimate_pdp_batch(ms) == estimate_pdp(ms)
+
+    def test_first_tap(self):
+        ms = _measurements()
+        assert estimate_first_tap_batch(ms) == estimate_first_tap(ms)
+
+    def test_pdp_median(self):
+        from repro.channel import delay_profile
+
+        ms = _measurements(packets=21)
+        reference = float(
+            np.median([delay_profile(m).max_power() for m in ms])
+        )
+        assert estimate_pdp_median(ms) == reference
+
+    def test_single_measurement(self):
+        ms = _measurements(packets=1)
+        assert estimate_pdp_batch(ms) == estimate_pdp(ms)
+
+    def test_accepts_generators(self):
+        ms = _measurements()
+        assert estimate_pdp_batch(iter(ms)) == estimate_pdp(ms)
+
+
+def _mixed_batch(packets=3):
+    narrow = _measurements(packets=packets)
+    wide = _measurements(
+        packets=packets, ofdm=OFDMConfig(bandwidth_hz=40e6)
+    )
+    return narrow + wide
+
+
+class TestMixedConfigFallback:
+    def test_pdp_falls_back_to_scalar(self):
+        ms = _mixed_batch()
+        assert estimate_pdp_batch(ms) == estimate_pdp(ms)
+
+    def test_first_tap_falls_back_to_scalar(self):
+        ms = _mixed_batch()
+        assert estimate_first_tap_batch(ms) == estimate_first_tap(ms)
+
+    def test_median_falls_back_to_scalar(self):
+        from repro.channel import delay_profile
+
+        ms = _mixed_batch()
+        reference = float(
+            np.median([delay_profile(m).max_power() for m in ms])
+        )
+        assert estimate_pdp_median(ms) == reference
+
+
+class TestBatchEstimatorEmptyGuards:
+    @pytest.mark.parametrize(
+        "estimator",
+        [estimate_pdp_batch, estimate_first_tap_batch, estimate_pdp_median],
+    )
+    def test_empty_batch_rejected(self, estimator):
+        with pytest.raises(ValueError, match="at least one CSI measurement"):
+            estimator([])
+
+
+class TestBatchExtraction:
+    def test_cir_batch_rows_match_scalar(self):
+        from repro.channel import csi_to_cir, csi_to_cir_batch
+
+        ms = _measurements(packets=6)
+        batch = csi_to_cir_batch(ms)
+        for row, m in zip(batch, ms):
+            assert np.array_equal(row, csi_to_cir(m))
+
+    def test_delay_profile_batch_matches_scalar(self):
+        from repro.channel import delay_profile, delay_profile_batch
+
+        ms = _measurements(packets=6)
+        for batched, m in zip(delay_profile_batch(ms), ms):
+            scalar = delay_profile(m)
+            assert np.array_equal(batched.delays_s, scalar.delays_s)
+            assert np.array_equal(batched.amplitudes, scalar.amplitudes)
+
+    def test_delay_profile_batch_empty_is_empty(self):
+        from repro.channel import delay_profile_batch
+
+        assert delay_profile_batch([]) == []
+
+    def test_mixed_config_batch_rejected(self):
+        from repro.channel import csi_to_cir_batch
+
+        with pytest.raises(ValueError, match="share one OFDM config"):
+            csi_to_cir_batch(_mixed_batch(packets=2))

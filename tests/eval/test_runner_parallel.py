@@ -1,0 +1,114 @@
+"""Process-parallel ``run_campaign`` vs the sequential reference.
+
+The contract: any ``workers`` value produces bit-identical results,
+because per-query randomness is keyed only by (seed, site, repetition) —
+never by which process ran the site — and worker-side spans merge back
+into the parent tracer under the campaign span.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.eval import run_campaign
+from repro.geometry import Point
+
+SITES = (Point(1.0, 2.0), Point(3.5, 1.0), Point(2.0, 4.0))
+
+
+class ArithmeticLocalizer:
+    """Deterministic, picklable stand-in: error depends on site + RNG only.
+
+    Module-level on purpose — worker processes must be able to unpickle it.
+    """
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        base = object_position.x + 10.0 * object_position.y
+        return float(abs(rng.normal(base, 1.0)) + rng.uniform())
+
+
+class TestParallelBitExactness:
+    @pytest.mark.parametrize("workers", [1, 2, len(SITES) + 5])
+    def test_matches_sequential(self, workers):
+        localizer = ArithmeticLocalizer()
+        sequential = run_campaign(localizer, SITES, repetitions=3, seed=11)
+        parallel = run_campaign(
+            localizer, SITES, repetitions=3, seed=11, workers=workers
+        )
+        assert parallel == sequential
+
+    def test_zero_workers_is_sequential(self):
+        localizer = ArithmeticLocalizer()
+        assert run_campaign(
+            localizer, SITES, repetitions=2, seed=4, workers=0
+        ) == run_campaign(localizer, SITES, repetitions=2, seed=4)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_campaign(
+                ArithmeticLocalizer(), SITES, repetitions=1, workers=-1
+            )
+
+    def test_real_system_matches_sequential(self):
+        scenario = get_scenario("lab")
+        system = NomLocSystem(
+            scenario, SystemConfig(packets_per_link=4, trace_steps=4)
+        )
+        sites = scenario.test_sites[:2]
+        sequential = run_campaign(system, sites, repetitions=1, seed=6)
+        parallel = run_campaign(
+            system, sites, repetitions=1, seed=6, workers=2
+        )
+        assert parallel == sequential
+
+
+class TestParallelSpanMerging:
+    def test_worker_spans_adopted_under_campaign(self):
+        with obs.capture() as tracer:
+            run_campaign(
+                ArithmeticLocalizer(),
+                SITES,
+                repetitions=2,
+                seed=1,
+                workers=2,
+                name="merge-test",
+            )
+        spans = tracer.finished()
+        campaigns = [s for s in spans if s.name == "eval.campaign"]
+        assert len(campaigns) == 1
+        campaign = campaigns[0]
+        assert campaign.attributes["campaign"] == "merge-test"
+        assert campaign.counters["queries"] == 2 * len(SITES)
+
+        site_spans = [s for s in spans if s.name == "eval.site"]
+        assert len(site_spans) == len(SITES)
+        assert {s.attributes["site"] for s in site_spans} == set(
+            range(len(SITES))
+        )
+        # Adopted spans hang off the campaign span with re-issued ids.
+        assert all(s.parent_id == campaign.span_id for s in site_spans)
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+
+    def test_parallel_without_tracing_records_nothing(self):
+        obs.disable()
+        result = run_campaign(
+            ArithmeticLocalizer(), SITES, repetitions=1, seed=2, workers=2
+        )
+        assert not obs.is_enabled()
+        assert len(result.sites) == len(SITES)
+
+    def test_sequential_and_parallel_site_span_shape_match(self):
+        with obs.capture() as seq_tracer:
+            run_campaign(ArithmeticLocalizer(), SITES, repetitions=1, seed=8)
+        with obs.capture() as par_tracer:
+            run_campaign(
+                ArithmeticLocalizer(), SITES, repetitions=1, seed=8, workers=3
+            )
+        seq_names = sorted(s.name for s in seq_tracer.finished())
+        par_names = sorted(s.name for s in par_tracer.finished())
+        assert seq_names == par_names

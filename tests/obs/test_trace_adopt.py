@@ -1,0 +1,69 @@
+"""``Tracer.adopt``: merging worker-process span batches into a parent."""
+
+from repro.obs import Tracer
+
+
+def _worker_records(label: str):
+    """Simulate one worker: a root span with one nested child."""
+    tracer = Tracer()
+    with tracer.start("worker.root", label=label) as root:
+        root.incr("work", 2.0)
+        with tracer.start("worker.child", label=label):
+            pass
+    return [s.to_dict() for s in tracer.finished()]
+
+
+class TestAdopt:
+    def test_reissues_ids_and_remaps_parents(self):
+        parent = Tracer()
+        with parent.start("campaign") as campaign:
+            adopted = parent.adopt(
+                _worker_records("a"), parent_id=campaign.span_id
+            )
+        by_name = {s.name: s for s in adopted}
+        root, child = by_name["worker.root"], by_name["worker.child"]
+        assert root.parent_id == campaign.span_id
+        assert child.parent_id == root.span_id
+        assert root.span_id != child.span_id
+
+    def test_colliding_worker_batches_stay_distinct(self):
+        # Both workers number their spans from 1; adopting one batch at a
+        # time must still yield globally unique ids and intact links.
+        parent = Tracer()
+        first = parent.adopt(_worker_records("a"))
+        second = parent.adopt(_worker_records("b"))
+        ids = [s.span_id for s in first + second]
+        assert len(ids) == len(set(ids))
+        for batch in (first, second):
+            root = next(s for s in batch if s.name == "worker.root")
+            child = next(s for s in batch if s.name == "worker.child")
+            assert child.parent_id == root.span_id
+
+    def test_roots_stay_roots_without_parent(self):
+        parent = Tracer()
+        adopted = parent.adopt(_worker_records("a"))
+        root = next(s for s in adopted if s.name == "worker.root")
+        assert root.parent_id is None
+
+    def test_preserves_payload_and_order(self):
+        parent = Tracer()
+        records = _worker_records("payload")
+        adopted = parent.adopt(records)
+        assert [s.name for s in adopted] == [r["name"] for r in records]
+        root = next(s for s in adopted if s.name == "worker.root")
+        assert root.attributes["label"] == "payload"
+        assert root.counters["work"] == 2.0
+        assert root.duration_s >= 0.0
+
+    def test_adopted_spans_land_in_finished(self):
+        parent = Tracer()
+        parent.adopt(_worker_records("a"))
+        assert [s.name for s in parent.finished()] == [
+            "worker.child",
+            "worker.root",
+        ]
+
+    def test_empty_batch_is_noop(self):
+        parent = Tracer()
+        assert parent.adopt([]) == []
+        assert len(parent) == 0
