@@ -12,7 +12,8 @@ The most common entry points are re-exported here::
 Subpackages: :mod:`repro.geometry`, :mod:`repro.optimize`,
 :mod:`repro.channel`, :mod:`repro.environment`, :mod:`repro.mobility`,
 :mod:`repro.core`, :mod:`repro.baselines`, :mod:`repro.net`,
-:mod:`repro.eval`, :mod:`repro.serving`, :mod:`repro.extensions`.
+:mod:`repro.eval`, :mod:`repro.serving`, :mod:`repro.cluster`,
+:mod:`repro.extensions`.
 """
 
 from .core import (

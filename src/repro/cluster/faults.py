@@ -1,0 +1,203 @@
+"""Injectable fault plans: the cluster's chaos-engineering harness.
+
+A :class:`FaultPlan` scripts failures against specific replicas over a
+deterministic clock — the cluster's *global query counter*, not wall
+time — so a fault drill is exactly reproducible: "replica (0, 1) crashes
+after query 40 and stays down" behaves identically on every run.  Four
+fault kinds cover the failure modes a nomadic-AP deployment actually
+sees:
+
+* ``CRASH`` — the replica raises :class:`ReplicaCrashed` on queries and
+  fails heartbeats (process death, network partition);
+* ``LATENCY`` — the replica sleeps before answering (GC pause, overload);
+* ``QUEUE_FULL`` — the replica sheds with
+  :class:`~repro.serving.queueing.QueueFullError` (admission storm);
+* ``STALE_TOPOLOGY`` — the replica stops receiving topology bumps (a
+  nomadic AP moved but this replica missed the update), so its answers
+  must be *flagged* stale rather than silently served.
+
+Tests and ``benchmarks/bench_cluster.py`` build plans; production code
+runs with the empty plan, whose per-query cost is one tuple check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..serving.queueing import QueueFullError
+
+__all__ = ["ReplicaCrashed", "FaultKind", "Fault", "FaultPlan", "FaultInjector"]
+
+
+class ReplicaCrashed(RuntimeError):
+    """Raised by a crash-faulted replica in place of an answer."""
+
+
+class FaultKind(Enum):
+    """The injectable failure modes."""
+
+    CRASH = "crash"
+    LATENCY = "latency"
+    QUEUE_FULL = "queue-full"
+    STALE_TOPOLOGY = "stale-topology"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault against one replica.
+
+    Active while ``after_query <= global query index < until_query``
+    (``until_query=None`` means forever).
+    """
+
+    kind: FaultKind
+    shard: int
+    replica: int
+    after_query: int = 0
+    until_query: int | None = None
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.after_query < 0:
+            raise ValueError("after_query must be non-negative")
+        if self.until_query is not None and self.until_query <= self.after_query:
+            raise ValueError("until_query must exceed after_query")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    def active(self, shard: int, replica: int, query_index: int) -> bool:
+        """True when this fault applies to (shard, replica) right now."""
+        if (shard, replica) != (self.shard, self.replica):
+            return False
+        if query_index < self.after_query:
+            return False
+        return self.until_query is None or query_index < self.until_query
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable script of faults; empty by default.
+
+    The constructors read like the drill they describe::
+
+        plan = FaultPlan.crash(shard=0, replica=1, after=40)
+        plan = plan.plus(FaultPlan.latency_spike(0, 0, latency_s=0.2))
+    """
+
+    faults: tuple[Fault, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def crash(
+        cls, shard: int, replica: int, after: int = 0, until: int | None = None
+    ) -> "FaultPlan":
+        """A replica that dies (queries raise, heartbeats fail)."""
+        return cls((Fault(FaultKind.CRASH, shard, replica, after, until),))
+
+    @classmethod
+    def latency_spike(
+        cls,
+        shard: int,
+        replica: int,
+        latency_s: float,
+        after: int = 0,
+        until: int | None = None,
+    ) -> "FaultPlan":
+        """A replica that answers, slowly."""
+        return cls(
+            (
+                Fault(
+                    FaultKind.LATENCY,
+                    shard,
+                    replica,
+                    after,
+                    until,
+                    latency_s=latency_s,
+                ),
+            )
+        )
+
+    @classmethod
+    def queue_full_storm(
+        cls, shard: int, replica: int, after: int = 0, until: int | None = None
+    ) -> "FaultPlan":
+        """A replica shedding every submission with QueueFullError."""
+        return cls((Fault(FaultKind.QUEUE_FULL, shard, replica, after, until),))
+
+    @classmethod
+    def stale_topology(
+        cls, shard: int, replica: int, after: int = 0, until: int | None = None
+    ) -> "FaultPlan":
+        """A replica cut off from topology updates (answers go stale)."""
+        return cls(
+            (Fault(FaultKind.STALE_TOPOLOGY, shard, replica, after, until),)
+        )
+
+    def plus(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans."""
+        return FaultPlan(self.faults + other.faults)
+
+    def active_kinds(
+        self, shard: int, replica: int, query_index: int
+    ) -> set[FaultKind]:
+        """Kinds currently active against (shard, replica)."""
+        return {
+            f.kind
+            for f in self.faults
+            if f.active(shard, replica, query_index)
+        }
+
+    def active_faults(
+        self, shard: int, replica: int, query_index: int
+    ) -> list[Fault]:
+        """Faults currently active against (shard, replica)."""
+        return [f for f in self.faults if f.active(shard, replica, query_index)]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at the cluster's replica touchpoints.
+
+    The cluster consults the injector at two points: per query
+    (:meth:`on_query`, which may raise or sleep) and per heartbeat
+    (:meth:`on_heartbeat`).  Stale-topology faults never raise — they
+    only make :meth:`stale_active` true, which suppresses topology sync
+    for that replica and flags its answers.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+
+    def on_query(self, shard: int, replica: int, query_index: int) -> None:
+        """Fault hook before a replica serves a query."""
+        for fault in self.plan.active_faults(shard, replica, query_index):
+            if fault.kind is FaultKind.CRASH:
+                raise ReplicaCrashed(
+                    f"replica ({shard}, {replica}) crashed "
+                    f"(injected at query {query_index})"
+                )
+            if fault.kind is FaultKind.QUEUE_FULL:
+                raise QueueFullError(
+                    f"replica ({shard}, {replica}) shedding "
+                    f"(injected queue-full storm)"
+                )
+            if fault.kind is FaultKind.LATENCY and fault.latency_s > 0:
+                time.sleep(fault.latency_s)
+
+    def on_heartbeat(self, shard: int, replica: int, query_index: int) -> None:
+        """Fault hook before a replica answers a heartbeat probe."""
+        kinds = self.plan.active_kinds(shard, replica, query_index)
+        if FaultKind.CRASH in kinds:
+            raise ReplicaCrashed(
+                f"replica ({shard}, {replica}) not responding to heartbeat"
+            )
+
+    def stale_active(self, shard: int, replica: int, query_index: int) -> bool:
+        """True while (shard, replica) is cut off from topology updates."""
+        return FaultKind.STALE_TOPOLOGY in self.plan.active_kinds(
+            shard, replica, query_index
+        )

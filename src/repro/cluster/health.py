@@ -1,0 +1,168 @@
+"""Replica health tracking: heartbeats, state machine, failover input.
+
+Each replica walks a four-state machine driven by two evidence streams —
+*passive* (query successes/failures observed by the router) and *active*
+(heartbeat probes):
+
+.. code-block:: text
+
+    HEALTHY --failure x suspect_after--> SUSPECT
+    SUSPECT --failure x dead_after-----> DEAD
+    SUSPECT --success------------------> HEALTHY
+    DEAD    --successful probe---------> REJOINING
+    REJOINING --success x rejoin_after-> HEALTHY
+    REJOINING --failure----------------> DEAD
+
+The asymmetry is deliberate: a replica dies quickly (failures are cheap
+to observe and expensive to retry against) but rejoins slowly (a flapping
+replica must prove ``rejoin_after`` consecutive successes before it takes
+primary traffic again).  DEAD replicas are excluded from routing;
+SUSPECT and REJOINING ones serve only when nothing healthier is left.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Callable, Hashable
+
+__all__ = ["ReplicaState", "HealthMonitor"]
+
+
+class ReplicaState(Enum):
+    """Lifecycle state of one replica, as seen by the router."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    REJOINING = "rejoining"
+
+
+#: Routing preference: lower ranks serve first.
+_RANK = {
+    ReplicaState.HEALTHY: 0,
+    ReplicaState.REJOINING: 1,
+    ReplicaState.SUSPECT: 2,
+    ReplicaState.DEAD: 3,
+}
+
+
+class _ReplicaHealth:
+    """State-machine record of one replica (monitor-internal)."""
+
+    __slots__ = ("state", "consecutive_failures", "consecutive_successes")
+
+    def __init__(self) -> None:
+        self.state = ReplicaState.HEALTHY
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+
+
+class HealthMonitor:
+    """Tracks every replica's state machine; thread-safe.
+
+    Parameters
+    ----------
+    suspect_after:
+        Consecutive failures that demote HEALTHY → SUSPECT.
+    dead_after:
+        Consecutive failures that demote (HEALTHY/SUSPECT) → DEAD.
+    rejoin_after:
+        Consecutive successes a REJOINING replica needs to become
+        HEALTHY again.
+    """
+
+    def __init__(
+        self,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        rejoin_after: int = 2,
+    ) -> None:
+        if suspect_after < 1:
+            raise ValueError("suspect_after must be positive")
+        if dead_after < suspect_after:
+            raise ValueError("dead_after must be >= suspect_after")
+        if rejoin_after < 1:
+            raise ValueError("rejoin_after must be positive")
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.rejoin_after = rejoin_after
+        self._replicas: dict[Hashable, _ReplicaHealth] = {}
+        self._lock = threading.Lock()
+
+    def register(self, replica_id: Hashable) -> None:
+        """Start tracking a replica (initially HEALTHY)."""
+        with self._lock:
+            self._replicas[replica_id] = _ReplicaHealth()
+
+    def _get(self, replica_id: Hashable) -> _ReplicaHealth:
+        try:
+            return self._replicas[replica_id]
+        except KeyError:
+            raise KeyError(f"unregistered replica {replica_id!r}") from None
+
+    # -- evidence -------------------------------------------------------
+    def record_success(self, replica_id: Hashable) -> ReplicaState:
+        """One successful query/probe against a replica."""
+        with self._lock:
+            rec = self._get(replica_id)
+            rec.consecutive_failures = 0
+            rec.consecutive_successes += 1
+            if rec.state is ReplicaState.SUSPECT:
+                rec.state = ReplicaState.HEALTHY
+            elif rec.state is ReplicaState.DEAD:
+                # A dead replica answering again starts its probation.
+                rec.state = ReplicaState.REJOINING
+                rec.consecutive_successes = 1
+            if (
+                rec.state is ReplicaState.REJOINING
+                and rec.consecutive_successes >= self.rejoin_after
+            ):
+                rec.state = ReplicaState.HEALTHY
+            return rec.state
+
+    def record_failure(self, replica_id: Hashable) -> ReplicaState:
+        """One failed query/probe against a replica."""
+        with self._lock:
+            rec = self._get(replica_id)
+            rec.consecutive_successes = 0
+            rec.consecutive_failures += 1
+            if rec.state is ReplicaState.REJOINING:
+                rec.state = ReplicaState.DEAD
+            elif rec.consecutive_failures >= self.dead_after:
+                rec.state = ReplicaState.DEAD
+            elif rec.consecutive_failures >= self.suspect_after:
+                if rec.state is ReplicaState.HEALTHY:
+                    rec.state = ReplicaState.SUSPECT
+            return rec.state
+
+    def probe(
+        self, replica_id: Hashable, ping: Callable[[], bool]
+    ) -> ReplicaState:
+        """Run one heartbeat probe and feed its outcome to the machine."""
+        try:
+            alive = bool(ping())
+        except Exception:
+            alive = False
+        if alive:
+            return self.record_success(replica_id)
+        return self.record_failure(replica_id)
+
+    # -- routing view ---------------------------------------------------
+    def state(self, replica_id: Hashable) -> ReplicaState:
+        """Current state of one replica."""
+        with self._lock:
+            return self._get(replica_id).state
+
+    def available(self, replica_id: Hashable) -> bool:
+        """True unless the replica is DEAD (routable, maybe reluctantly)."""
+        return self.state(replica_id) is not ReplicaState.DEAD
+
+    def rank(self, replica_id: Hashable) -> int:
+        """Routing preference rank (lower serves first)."""
+        return _RANK[self.state(replica_id)]
+
+    def states(self) -> dict[Hashable, ReplicaState]:
+        """Snapshot of every tracked replica's state."""
+        with self._lock:
+            return {rid: rec.state for rid, rec in self._replicas.items()}

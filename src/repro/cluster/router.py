@@ -1,0 +1,120 @@
+"""Deterministic consistent-hash routing of topology keys onto shards.
+
+NomLoc's constraint stack is dominated by topology-dependent state — the
+convex decomposition, boundary rows and bisector memos all key off the
+(venue, localizer-config) identity that
+:func:`repro.serving.cache.topology_key` hashes.  Routing every query for
+one topology to the *same* shard keeps that shard's
+:class:`~repro.serving.cache.LocalizerCache` hot; consistent hashing
+(virtual nodes on a ring) keeps the key→shard map stable when shards are
+added or removed, so a resize only re-homes ``~1/num_shards`` of the
+keys instead of reshuffling every cache.
+
+Everything here is process-independent: hashes are BLAKE2b over
+``repr`` — never Python's salted ``hash()`` — so two routers built with
+the same parameters agree on every placement, in any process, forever.
+That determinism is what the cluster's bit-exactness invariant stands
+on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence
+
+from ..core import LocalizerConfig
+from ..geometry import Polygon
+from ..serving.cache import topology_key
+
+__all__ = ["stable_hash", "route_key", "ShardRouter"]
+
+
+def stable_hash(value) -> int:
+    """64-bit process-independent hash of ``repr(value)``.
+
+    ``repr`` of the tuples/floats/frozen-dataclasses making up a
+    topology key is deterministic; BLAKE2b makes the mapping uniform.
+    """
+    digest = hashlib.blake2b(
+        repr(value).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def route_key(area: Polygon, config: LocalizerConfig | None = None) -> tuple:
+    """The routing key of a query: its serving-cache topology identity."""
+    return topology_key(area, config or LocalizerConfig())
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping routing keys to shards + replicas.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards (disjoint topology-key partitions).
+    replicas_per_shard:
+        Size of each shard's replica group; :meth:`replica_order` spreads
+        primaries across the group per key so one replica is not the
+        primary for every key.
+    vnodes_per_shard:
+        Virtual nodes per shard on the ring; more vnodes → smoother key
+        distribution and smaller remap fractions on resize.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        replicas_per_shard: int = 1,
+        vnodes_per_shard: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be positive")
+        if vnodes_per_shard < 1:
+            raise ValueError("vnodes_per_shard must be positive")
+        self.num_shards = num_shards
+        self.replicas_per_shard = replicas_per_shard
+        self.vnodes_per_shard = vnodes_per_shard
+        ring = sorted(
+            (stable_hash(("shard", shard, "vnode", vnode)), shard)
+            for shard in range(num_shards)
+            for vnode in range(vnodes_per_shard)
+        )
+        self._ring_hashes = [h for h, _ in ring]
+        self._ring_shards = [s for _, s in ring]
+
+    def shard_for(self, key) -> int:
+        """The shard owning ``key``: first vnode clockwise on the ring."""
+        position = stable_hash(key)
+        index = bisect.bisect_right(self._ring_hashes, position) % len(
+            self._ring_hashes
+        )
+        return self._ring_shards[index]
+
+    def replica_order(self, key) -> tuple[int, ...]:
+        """Failover preference order of replica indices for ``key``.
+
+        A key-derived rotation of ``0..replicas_per_shard-1``: each key
+        has one stable primary (so its constraint caches warm on one
+        replica) and a deterministic failover sequence through the rest
+        of the group.
+        """
+        start = stable_hash((key, "replica")) % self.replicas_per_shard
+        return tuple(
+            (start + offset) % self.replicas_per_shard
+            for offset in range(self.replicas_per_shard)
+        )
+
+    def route(self, key) -> tuple[int, tuple[int, ...]]:
+        """``(shard, replica preference order)`` for one routing key."""
+        return self.shard_for(key), self.replica_order(key)
+
+    def placement(self, keys: Sequence) -> dict[int, int]:
+        """Keys-per-shard histogram (diagnostics / balance tests)."""
+        counts = {shard: 0 for shard in range(self.num_shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

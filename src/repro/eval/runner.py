@@ -206,13 +206,17 @@ def run_campaign_via_service(
     seed: int = 0,
     name: str = "campaign",
 ) -> CampaignResult:
-    """Run a campaign through a :class:`~repro.serving.LocalizationService`.
+    """Run a campaign through a serving backend (service or cluster).
 
-    Measurement stays client-side (``gather(site, rng) -> anchors``, e.g.
+    ``service`` is anything exposing ``batch(anchor_sets) -> responses``
+    whose responses answer ``error_to(truth)`` — a
+    :class:`~repro.serving.LocalizationService` or a whole
+    :class:`~repro.cluster.LocalizationCluster`.  Measurement stays
+    client-side (``gather(site, rng) -> anchors``, e.g.
     :meth:`repro.core.NomLocSystem.gather_anchors`) while every solve is
-    batched through ``service`` — the deployment split of a real NomLoc
-    backend.  Per-(site, repetition) randomness matches
-    :func:`run_campaign` exactly, so a service wrapping the same
+    batched through the backend — the deployment split of a real NomLoc
+    deployment.  Per-(site, repetition) randomness matches
+    :func:`run_campaign` exactly, so a backend wrapping the same
     localizer config reproduces the direct campaign's errors
     bit-for-bit (modulo flagged degraded answers).
     """

@@ -215,6 +215,28 @@ class Tracer:
             self._finished.extend(spans)
         return spans
 
+    def reparent(
+        self, span_ids: Iterable[int], parent_id: int | None
+    ) -> int:
+        """Re-home already-finished spans under a new parent.
+
+        The in-process sibling of :meth:`adopt`: spans recorded on a
+        *different thread* of the same tracer (a hedged cluster attempt,
+        a worker-pool task) start as thread-local roots, because the
+        per-thread active stack cannot see the caller's span.  Once the
+        caller knows which root spans belong to it, it re-parents them —
+        ids are already unique within one tracer, so unlike ``adopt`` no
+        re-issuing is needed.  Returns the number of spans re-homed.
+        """
+        wanted = set(span_ids)
+        moved = 0
+        with self._lock:
+            for sp in self._finished:
+                if sp.span_id in wanted:
+                    sp.parent_id = parent_id
+                    moved += 1
+        return moved
+
     # -- inspection -----------------------------------------------------
     def finished(self) -> tuple[Span, ...]:
         """Snapshot of every finished span, in completion order."""

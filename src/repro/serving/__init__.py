@@ -17,7 +17,9 @@ from .service import (
     LocalizationRequest,
     LocalizationResponse,
     LocalizationService,
+    ServiceClosedError,
     ServingConfig,
+    weighted_centroid,
 )
 
 __all__ = [
@@ -31,8 +33,10 @@ __all__ = [
     "LocalizerCache",
     "percentile",
     "QueueFullError",
+    "ServiceClosedError",
     "ServiceMetrics",
     "ServingConfig",
     "topology_key",
+    "weighted_centroid",
     "WorkerPool",
 ]

@@ -150,11 +150,13 @@ LocalizationService`):
             if lp_failed:
                 self.lp_failures += 1
 
-    def snapshot(self, queue_depth: int = 0) -> dict:
+    def snapshot(self, queue_depth: int = 0, queue_rejected: int = 0) -> dict:
         """Point-in-time view of the service as a plain dict.
 
-        ``queue_depth`` is passed in by the service because the queue,
-        not the metrics object, owns that state.
+        ``queue_depth`` and ``queue_rejected`` are passed in by the
+        service because the queue, not the metrics object, owns that
+        state; ``queue_rejected`` additionally counts blocking-admission
+        timeouts the service-level ``rejected`` counter never sees.
         """
         with self._lock:
             elapsed = time.perf_counter() - self._started
@@ -168,6 +170,7 @@ LocalizationService`):
                 "timeouts": self.timeouts,
                 "lp_failures": self.lp_failures,
                 "queue_depth": queue_depth,
+                "queue_rejected_total": queue_rejected,
                 "throughput_qps": self.completed / elapsed if elapsed > 0 else 0.0,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,

@@ -31,6 +31,7 @@ class AdmissionQueue:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
         self._depth = 0
+        self._rejected_total = 0
         self._cond = threading.Condition()
 
     @property
@@ -39,10 +40,23 @@ class AdmissionQueue:
         with self._cond:
             return self._depth
 
+    @property
+    def rejected_total(self) -> int:
+        """Submissions bounced off the full queue since construction.
+
+        Counts both immediate :meth:`try_acquire` rejections and
+        :meth:`acquire` timeouts — the shed-load signal a cluster router
+        (or :class:`~repro.serving.metrics.ServiceMetrics` snapshot)
+        reads to see backpressure, not just the instantaneous depth.
+        """
+        with self._cond:
+            return self._rejected_total
+
     def try_acquire(self) -> None:
         """Take a slot or raise :class:`QueueFullError` immediately."""
         with self._cond:
             if self._depth >= self.capacity:
+                self._rejected_total += 1
                 raise QueueFullError(
                     f"request queue full ({self.capacity} in flight)"
                 )
@@ -58,6 +72,7 @@ class AdmissionQueue:
             if not self._cond.wait_for(
                 lambda: self._depth < self.capacity, timeout
             ):
+                self._rejected_total += 1
                 raise QueueFullError(
                     f"request queue full ({self.capacity} in flight) "
                     f"after {timeout}s"
@@ -70,4 +85,13 @@ class AdmissionQueue:
             if self._depth <= 0:
                 raise RuntimeError("release without matching acquire")
             self._depth -= 1
-            self._cond.notify()
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every slot is returned; True unless ``timeout`` hit.
+
+        The drain primitive: a service that has stopped admissions waits
+        here for its in-flight queries before shutting the pool down.
+        """
+        with self._cond:
+            return self._cond.wait_for(lambda: self._depth == 0, timeout)

@@ -36,15 +36,43 @@ from .pool import WorkerPool
 from .queueing import AdmissionQueue, QueueFullError
 
 __all__ = [
+    "ServiceClosedError",
     "ServingConfig",
     "LocalizationRequest",
     "LocalizationResponse",
     "LocalizationService",
+    "weighted_centroid",
 ]
 
 
 class _DeadlineExceeded(Exception):
     """Internal: a query's cooperative deadline expired mid-solve."""
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised on submissions to a service that is draining or closed."""
+
+
+def weighted_centroid(anchors: Sequence[Anchor]) -> Point:
+    """PDP-weighted centroid of an anchor set (degradation estimator).
+
+    The same estimator as the
+    :class:`~repro.baselines.WeightedCentroidLocalizer` baseline
+    (exponent 1): coarse, calibration-free, O(anchors).  Shared by the
+    service's degraded path and the cluster's all-replicas-down fallback;
+    callers project the result into their venue.
+    """
+    total = sum(a.pdp for a in anchors)
+    if total <= 0:  # PDPs are validated positive; belt and braces
+        total = float(len(anchors))
+        return Point(
+            sum(a.position.x for a in anchors) / total,
+            sum(a.position.y for a in anchors) / total,
+        )
+    return Point(
+        sum(a.pdp * a.position.x for a in anchors) / total,
+        sum(a.pdp * a.position.y for a in anchors) / total,
+    )
 
 
 @dataclass(frozen=True)
@@ -91,12 +119,20 @@ class ServingConfig:
     latency_window: int = 2048
 
     def __post_init__(self) -> None:
+        # Every knob is validated here, at construction, so a bad config
+        # fails loudly instead of deep inside some later query.
         if self.max_workers < 0:
             raise ValueError("max_workers must be >= 0")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be positive")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive or None")
+        if self.max_cached_topologies < 1:
+            raise ValueError("max_cached_topologies must be positive")
+        if self.max_cached_bisectors < 1:
+            raise ValueError("max_cached_bisectors must be positive")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be positive")
 
 
 @dataclass(frozen=True)
@@ -199,13 +235,45 @@ class LocalizationService:
             if self.config.cache_bisectors
             else None
         )
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`drain`/:meth:`close` stopped admissions."""
+        return self._closed
+
+    def drain(self, timeout_s: float | None = None) -> dict:
+        """Graceful shutdown: stop admissions, finish in-flight, flush.
+
+        The clean replica-shutdown path: new submissions raise
+        :class:`ServiceClosedError` immediately, every already-admitted
+        query runs to completion, and the final metrics snapshot is
+        returned before the worker pool is torn down.  Idempotent — a
+        second call just re-snapshots.
+
+        Raises
+        ------
+        TimeoutError
+            When in-flight queries are still running after ``timeout_s``
+            seconds (``None`` waits indefinitely); admissions stay
+            stopped and the pool is left running so the caller can retry.
+        """
+        self._closed = True
+        if not self.queue.wait_idle(timeout_s):
+            raise TimeoutError(
+                f"{self.queue.depth} queries still in flight "
+                f"after {timeout_s}s drain"
+            )
+        snapshot = self.metrics_snapshot()
         self.pool.shutdown()
+        return snapshot
+
+    def close(self) -> None:
+        """Drain and shut down the worker pool (idempotent)."""
+        self.drain()
 
     def __enter__(self) -> "LocalizationService":
         """Context-manager entry: the service itself."""
@@ -245,6 +313,7 @@ class LocalizationService:
             flight — the caller should shed or retry later
             (backpressure).
         """
+        self._check_open()
         request = self._coerce(request)
         try:
             self.queue.try_acquire()
@@ -266,6 +335,7 @@ class LocalizationService:
         """
         futures = []
         for request in requests:
+            self._check_open()
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
@@ -292,6 +362,7 @@ class LocalizationService:
             window = max(1, 2 * self.pool.max_workers)
         pending: list = []
         for request in requests:
+            self._check_open()
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
@@ -317,7 +388,10 @@ class LocalizationService:
         span finished so far — the serving metrics and the pipeline
         stage breakdown read as one observable state.
         """
-        snap = self.metrics.snapshot(queue_depth=self.queue.depth)
+        snap = self.metrics.snapshot(
+            queue_depth=self.queue.depth,
+            queue_rejected=self.queue.rejected_total,
+        )
         tracer = get_tracer()
         if tracer is not None:
             snap["spans"] = aggregate(tracer.finished())
@@ -344,6 +418,11 @@ class LocalizationService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        """Refuse admissions once the service is draining/closed."""
+        if self._closed:
+            raise ServiceClosedError("service is draining; admissions stopped")
+
     def _coerce(
         self, request: LocalizationRequest | Sequence[Anchor]
     ) -> LocalizationRequest:
@@ -488,20 +567,7 @@ class LocalizationService:
     def _fallback_position(
         self, localizer: NomLocLocalizer, anchors: Sequence[Anchor]
     ) -> Point:
-        """Graceful degradation: PDP-weighted centroid of the anchors.
-
-        The same estimator as the
-        :class:`~repro.baselines.WeightedCentroidLocalizer` baseline
-        (exponent 1), computed from the already-measured anchor PDPs and
-        projected into the venue — coarse, but calibration-free and
-        O(anchors).
-        """
-        total = sum(a.pdp for a in anchors)
-        if total <= 0:  # PDPs are validated positive; belt and braces
-            total = float(len(anchors))
-            sx = sum(a.position.x for a in anchors) / total
-            sy = sum(a.position.y for a in anchors) / total
-        else:
-            sx = sum(a.pdp * a.position.x for a in anchors) / total
-            sy = sum(a.pdp * a.position.y for a in anchors) / total
-        return localizer.project_into_area(Point(sx, sy))
+        """Graceful degradation: :func:`weighted_centroid` of the
+        anchors, projected into the venue — coarse, but calibration-free
+        and O(anchors)."""
+        return localizer.project_into_area(weighted_centroid(anchors))

@@ -1,0 +1,100 @@
+"""Tests for the injectable fault plans and their injector."""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ReplicaCrashed,
+)
+from repro.serving import QueueFullError
+
+
+class TestFault:
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CRASH, 0, 0, after_query=-1)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CRASH, 0, 0, after_query=5, until_query=5)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.LATENCY, 0, 0, latency_s=-1.0)
+
+    def test_active_window_is_half_open(self):
+        fault = Fault(FaultKind.CRASH, 1, 2, after_query=10, until_query=20)
+        assert not fault.active(1, 2, 9)
+        assert fault.active(1, 2, 10)
+        assert fault.active(1, 2, 19)
+        assert not fault.active(1, 2, 20)
+
+    def test_only_targets_its_replica(self):
+        fault = Fault(FaultKind.CRASH, 1, 2)
+        assert fault.active(1, 2, 0)
+        assert not fault.active(1, 0, 0)
+        assert not fault.active(0, 2, 0)
+
+    def test_open_ended_fault_never_clears(self):
+        fault = Fault(FaultKind.CRASH, 0, 0, after_query=3)
+        assert fault.active(0, 0, 10**9)
+
+
+class TestFaultPlan:
+    def test_empty_by_default(self):
+        assert FaultPlan().faults == ()
+
+    def test_constructors_and_union(self):
+        plan = FaultPlan.crash(0, 1, after=40).plus(
+            FaultPlan.latency_spike(0, 0, latency_s=0.2)
+        )
+        assert len(plan.faults) == 2
+        assert plan.active_kinds(0, 1, 50) == {FaultKind.CRASH}
+        assert plan.active_kinds(0, 0, 50) == {FaultKind.LATENCY}
+        assert plan.active_kinds(0, 1, 10) == set()
+
+    def test_plans_are_immutable(self):
+        plan = FaultPlan.crash(0, 0)
+        with pytest.raises(AttributeError):
+            plan.faults = ()
+
+
+class TestFaultInjector:
+    def test_empty_plan_is_a_no_op(self):
+        injector = FaultInjector()
+        injector.on_query(0, 0, 0)
+        injector.on_heartbeat(0, 0, 0)
+        assert not injector.stale_active(0, 0, 0)
+
+    def test_crash_raises_on_query_and_heartbeat(self):
+        injector = FaultInjector(FaultPlan.crash(0, 1, after=2))
+        injector.on_query(0, 1, 1)  # before the window: fine
+        with pytest.raises(ReplicaCrashed):
+            injector.on_query(0, 1, 2)
+        with pytest.raises(ReplicaCrashed):
+            injector.on_heartbeat(0, 1, 2)
+
+    def test_queue_full_storm_sheds(self):
+        injector = FaultInjector(FaultPlan.queue_full_storm(1, 0))
+        with pytest.raises(QueueFullError):
+            injector.on_query(1, 0, 0)
+        injector.on_heartbeat(1, 0, 0)  # shedding replicas still heartbeat
+
+    def test_latency_spike_sleeps(self):
+        injector = FaultInjector(
+            FaultPlan.latency_spike(0, 0, latency_s=0.02)
+        )
+        started = time.perf_counter()
+        injector.on_query(0, 0, 0)
+        assert time.perf_counter() - started >= 0.02
+
+    def test_stale_topology_never_raises_only_flags(self):
+        injector = FaultInjector(
+            FaultPlan.stale_topology(0, 0, after=5, until=10)
+        )
+        injector.on_query(0, 0, 7)
+        injector.on_heartbeat(0, 0, 7)
+        assert injector.stale_active(0, 0, 7)
+        assert not injector.stale_active(0, 0, 4)
+        assert not injector.stale_active(0, 0, 10)

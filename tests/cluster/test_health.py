@@ -1,0 +1,109 @@
+"""Tests for the replica health state machine."""
+
+import pytest
+
+from repro.cluster import HealthMonitor, ReplicaState
+
+
+@pytest.fixture
+def monitor():
+    m = HealthMonitor(suspect_after=1, dead_after=3, rejoin_after=2)
+    m.register("r0")
+    return m
+
+
+class TestValidation:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(suspect_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(suspect_after=3, dead_after=2)
+        with pytest.raises(ValueError):
+            HealthMonitor(rejoin_after=0)
+
+    def test_unregistered_replica_raises(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.state("ghost")
+
+
+class TestDemotion:
+    def test_starts_healthy(self, monitor):
+        assert monitor.state("r0") is ReplicaState.HEALTHY
+        assert monitor.available("r0")
+
+    def test_failures_demote_to_suspect_then_dead(self, monitor):
+        assert monitor.record_failure("r0") is ReplicaState.SUSPECT
+        assert monitor.record_failure("r0") is ReplicaState.SUSPECT
+        assert monitor.record_failure("r0") is ReplicaState.DEAD
+        assert not monitor.available("r0")
+
+    def test_success_clears_suspicion(self, monitor):
+        monitor.record_failure("r0")
+        assert monitor.record_success("r0") is ReplicaState.HEALTHY
+        # The failure streak reset: demotion needs fresh consecutive ones.
+        monitor.record_failure("r0")
+        monitor.record_failure("r0")
+        assert monitor.state("r0") is ReplicaState.SUSPECT
+
+
+class TestRejoin:
+    def _kill(self, monitor):
+        for _ in range(3):
+            monitor.record_failure("r0")
+        assert monitor.state("r0") is ReplicaState.DEAD
+
+    def test_dead_replica_rejoins_slowly(self, monitor):
+        self._kill(monitor)
+        assert monitor.record_success("r0") is ReplicaState.REJOINING
+        assert monitor.record_success("r0") is ReplicaState.HEALTHY
+
+    def test_flapping_rejoiner_dies_again(self, monitor):
+        self._kill(monitor)
+        assert monitor.record_success("r0") is ReplicaState.REJOINING
+        assert monitor.record_failure("r0") is ReplicaState.DEAD
+
+    def test_probe_feeds_the_machine(self, monitor):
+        self._kill(monitor)
+        assert monitor.probe("r0", lambda: True) is ReplicaState.REJOINING
+        assert monitor.probe("r0", lambda: True) is ReplicaState.HEALTHY
+
+    def test_probe_exception_counts_as_failure(self, monitor):
+        def broken():
+            raise RuntimeError("unreachable")
+
+        assert monitor.probe("r0", broken) is ReplicaState.SUSPECT
+
+
+class TestRoutingView:
+    def test_rank_orders_states(self, monitor):
+        ranks = {}
+        for state in (
+            ReplicaState.HEALTHY,
+            ReplicaState.REJOINING,
+            ReplicaState.SUSPECT,
+            ReplicaState.DEAD,
+        ):
+            monitor.register("r0")  # reset to HEALTHY
+            while monitor.state("r0") is not state:
+                if state is ReplicaState.REJOINING:
+                    for _ in range(3):
+                        monitor.record_failure("r0")
+                    monitor.record_success("r0")
+                else:
+                    monitor.record_failure("r0")
+            ranks[state] = monitor.rank("r0")
+        assert (
+            ranks[ReplicaState.HEALTHY]
+            < ranks[ReplicaState.REJOINING]
+            < ranks[ReplicaState.SUSPECT]
+            < ranks[ReplicaState.DEAD]
+        )
+
+    def test_states_snapshot(self, monitor):
+        monitor.register("r1")
+        monitor.record_failure("r1")
+        states = monitor.states()
+        assert states == {
+            "r0": ReplicaState.HEALTHY,
+            "r1": ReplicaState.SUSPECT,
+        }

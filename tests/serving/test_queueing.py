@@ -52,3 +52,51 @@ class TestAdmissionQueue:
         t.join(timeout=5)
         assert acquired.is_set()
         assert q.depth == 1
+
+
+class TestShedAccounting:
+    def test_rejected_total_counts_try_acquire_bounces(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        for _ in range(3):
+            with pytest.raises(QueueFullError):
+                q.try_acquire()
+        assert q.rejected_total == 3
+        # Shedding is cumulative; freeing a slot does not forgive it.
+        q.release()
+        assert q.rejected_total == 3
+
+    def test_rejected_total_counts_acquire_timeouts(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        with pytest.raises(QueueFullError):
+            q.acquire(timeout=0.01)
+        assert q.rejected_total == 1
+
+
+class TestWaitIdle:
+    def test_returns_immediately_when_empty(self):
+        assert AdmissionQueue(4).wait_idle(timeout=0.01)
+
+    def test_times_out_while_slots_held(self):
+        q = AdmissionQueue(1)
+        q.try_acquire()
+        assert not q.wait_idle(timeout=0.01)
+
+    def test_wakes_when_last_slot_returns(self):
+        q = AdmissionQueue(2)
+        q.try_acquire()
+        q.try_acquire()
+        idle = threading.Event()
+
+        def waiter():
+            if q.wait_idle(timeout=5):
+                idle.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        q.release()
+        assert not idle.wait(timeout=0.05)  # one slot still held
+        q.release()
+        t.join(timeout=5)
+        assert idle.is_set()

@@ -20,6 +20,7 @@ from repro.serving import (
     LocalizationRequest,
     LocalizationService,
     QueueFullError,
+    ServiceClosedError,
     ServingConfig,
 )
 
@@ -130,6 +131,108 @@ class TestBackpressure:
         assert len(responses) == len(anchors)
         assert snap["rejected"] == 0
         assert snap["queue_depth"] == 0  # all slots returned
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_workers": -1},
+            {"queue_capacity": 0},
+            {"timeout_s": 0.0},
+            {"max_cached_topologies": 0},
+            {"max_cached_bisectors": 0},
+            {"latency_window": 0},
+        ],
+    )
+    def test_bad_knobs_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestQueueFullUnderConcurrency:
+    def test_racing_submitters_shed_against_capacity_one(
+        self, lab, anchor_sets
+    ):
+        """Satellite drill: real threads racing a saturated capacity-1
+        service all bounce with QueueFullError, and the shed total is
+        visible in the metrics snapshot."""
+        _, anchors = anchor_sets[0]
+        config = ServingConfig(max_workers=1, queue_capacity=1)
+        gate = threading.Event()
+        with LocalizationService(lab.plan.boundary, config=config) as service:
+            inner_solve = service._solve
+
+            def blocking_solve(*args, **kwargs):
+                assert gate.wait(timeout=10)
+                return inner_solve(*args, **kwargs)
+
+            service._solve = blocking_solve
+            first = service.submit(anchors)  # saturates the only slot
+            outcomes = []
+
+            def racer():
+                try:
+                    outcomes.append(service.submit(anchors))
+                except QueueFullError:
+                    outcomes.append(QueueFullError)
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            gate.set()
+            assert first.result(timeout=10).position is not None
+            snap = service.metrics_snapshot()
+        assert outcomes == [QueueFullError] * 4
+        assert snap["rejected"] == 4
+        assert snap["queue_rejected_total"] == 4
+        assert snap["admitted"] == 1
+
+
+class TestLifecycle:
+    def test_drain_stops_admissions_and_flushes_metrics(
+        self, lab, anchor_sets
+    ):
+        _, anchors = anchor_sets[0]
+        service = LocalizationService(lab.plan.boundary)
+        service.locate(anchors)
+        assert not service.closed
+        snapshot = service.drain()
+        assert service.closed
+        assert snapshot["completed"] == 1
+        with pytest.raises(ServiceClosedError):
+            service.submit(anchors)
+        with pytest.raises(ServiceClosedError):
+            service.batch([anchors])
+        with pytest.raises(ServiceClosedError):
+            list(service.serve([anchors]))
+        service.close()  # idempotent
+
+    def test_drain_waits_for_in_flight_queries(self, lab, anchor_sets):
+        _, anchors = anchor_sets[0]
+        config = ServingConfig(max_workers=1)
+        gate = threading.Event()
+        service = LocalizationService(lab.plan.boundary, config=config)
+        inner_solve = service._solve
+
+        def blocking_solve(*args, **kwargs):
+            assert gate.wait(timeout=10)
+            return inner_solve(*args, **kwargs)
+
+        service._solve = blocking_solve
+        future = service.submit(anchors)
+        # The in-flight query is stuck; a bounded drain times out but
+        # keeps the pool alive so the query can still finish.
+        with pytest.raises(TimeoutError):
+            service.drain(timeout_s=0.05)
+        assert service.closed
+        gate.set()
+        assert future.result(timeout=10).position is not None
+        snapshot = service.drain()
+        assert snapshot["completed"] == 1
+        assert snapshot["queue_depth"] == 0
 
 
 class TestGracefulDegradation:

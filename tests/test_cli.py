@@ -194,6 +194,52 @@ class TestServeCommand:
         assert main(["serve", "mall"]) == 2
 
 
+class TestClusterCommand:
+    def test_selftest_against_sequential_service(self, capsys):
+        rc = main(
+            ["cluster", "lab", "--queries", "6", "--packets", "3",
+             "--shards", "2", "--replicas", "2", "--selftest"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) x 2 replica(s)" in out
+        assert "availability 100.0%" in out
+        assert "SELFTEST OK" in out
+
+    def test_crash_drill_fails_over(self, capsys):
+        from repro.cluster import ShardRouter, route_key
+        from repro.environment import get_scenario
+
+        # Crash the primary the router actually picks for the lab venue.
+        key = route_key(get_scenario("lab").plan.boundary)
+        shard, order = ShardRouter(1, 2).route(key)
+        rc = main(
+            ["cluster", "lab", "--queries", "5", "--packets", "3",
+             "--shards", "1", "--replicas", "2",
+             "--crash", f"{shard}:{order[0]}:0", "--selftest"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 faults scripted" in out
+        assert "availability 100.0%" in out
+        assert "failovers 1" in out
+        assert "SELFTEST OK" in out
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(["cluster", "lab", "--crash", "bogus"]) == 2
+        assert "bad --crash spec" in capsys.readouterr().err
+
+    def test_parser_accepts_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "lab", "--shards", "3", "--replicas", "2",
+             "--stale", "0:1:4:9", "--heartbeat-every", "5"]
+        )
+        assert args.shards == 3
+        assert args.replicas == 2
+        assert args.stale == ["0:1:4:9"]
+        assert args.heartbeat_every == 5
+
+
 class TestProfileCommand:
     def test_stage_breakdown_covers_pipeline(self, capsys):
         rc = main(["profile", "lab", "-n", "2", "--packets", "3"])

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.net",
     "repro.eval",
     "repro.serving",
+    "repro.cluster",
     "repro.extensions",
     "repro.tracking",
     "repro.planning",
