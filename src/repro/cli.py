@@ -13,6 +13,8 @@ Usage::
     python -m repro serve lab --queries 50    # simulated serving run + metrics
     python -m repro profile lab -n 6          # per-stage latency breakdown
     python -m repro profile lab --trace-out traces.jsonl
+    python -m repro guard --selftest          # guard-layer corruption drill
+    python -m repro guard lab --faults nan-burst:0.3:AP2
 """
 
 from __future__ import annotations
@@ -176,6 +178,40 @@ def build_parser() -> argparse.ArgumentParser:
         "service bit-for-bit",
     )
 
+    guard = sub.add_parser(
+        "guard",
+        help="measurement-fault drill: inject link corruption, report "
+        "per-link verdicts and degradation-aware estimates",
+    )
+    guard.add_argument(
+        "scenario", nargs="?", default="lab", help="scenario name (lab, lobby)"
+    )
+    guard.add_argument(
+        "--faults",
+        metavar="TYPE:RATE[:AP]",
+        action="append",
+        default=[],
+        help="schedule a link fault (e.g. nan-burst:0.3:AP2, "
+        "subcarrier-dropout:0.5, ap-outage:1.0:AP3); repeatable",
+    )
+    guard.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the scripted corruption drill and gate on its checks",
+    )
+    guard.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="run the injector but skip gating (the comparison arm)",
+    )
+    guard.add_argument("--seed", type=int, default=7)
+    guard.add_argument(
+        "-n", "--count", type=int, default=6, help="number of queries"
+    )
+    guard.add_argument(
+        "--packets", type=int, default=24, help="CSI packets per link"
+    )
+
     profile = sub.add_parser(
         "profile",
         help="trace end-to-end queries and print a per-stage latency table",
@@ -241,6 +277,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch-locate": _cmd_batch_locate,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "guard": _cmd_guard,
         "profile": _cmd_profile,
     }[args.command]
     return handler(args)
@@ -806,6 +843,91 @@ def _cluster_selftest(scenario, batch, responses) -> int:
         if resp.estimate is None or resp.position != direct.position:
             mismatches += 1
     return mismatches
+
+
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from .core import NomLocSystem, SystemConfig
+    from .environment import get_scenario
+    from .guard import (
+        GuardedSystem,
+        InsufficientLinksError,
+        LinkFaultInjector,
+        LinkFaultPlan,
+        parse_fault_spec,
+        run_selftest,
+    )
+
+    if args.selftest:
+        result = run_selftest(seed=args.seed)
+        for check in result["checks"]:
+            mark = "ok " if check["passed"] else "FAIL"
+            print(f"  [{mark}] {check['name']}: {check['detail']}")
+        if not result["passed"]:
+            print("GUARD SELFTEST FAIL", file=sys.stderr)
+            return 1
+        print("GUARD SELFTEST OK: all corruption drills detected and gated")
+        return 0
+
+    try:
+        if args.count < 1:
+            raise ValueError("--count must be at least 1")
+        scenario = get_scenario(args.scenario)
+        plan = LinkFaultPlan(
+            tuple(parse_fault_spec(spec) for spec in args.faults)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = NomLocSystem(
+        scenario, SystemConfig(packets_per_link=args.packets)
+    )
+    guarded = GuardedSystem(
+        system,
+        injector=LinkFaultInjector(plan, seed=args.seed),
+        gate=not args.no_gate,
+    )
+    mode = "gating OFF" if args.no_gate else "gating ON"
+    print(
+        f"guard drill over {scenario.name}: {len(plan.faults)} fault(s) "
+        f"scheduled, {mode}, {args.count} queries"
+    )
+    errors = []
+    unanswered = 0
+    degraded_total = 0
+    rejected_total = 0
+    sites = scenario.test_sites
+    for i in range(args.count):
+        truth = sites[i % len(sites)]
+        rng = np.random.default_rng(np.random.SeedSequence([args.seed, i]))
+        try:
+            estimate, gate = guarded.locate_with_result(truth, rng)
+        except InsufficientLinksError as exc:
+            unanswered += 1
+            print(f"  ({truth.x:5.2f}, {truth.y:5.2f}) -> UNANSWERED: {exc}")
+            continue
+        err = estimate.error_to(truth)
+        errors.append(err)
+        degraded_total += len(gate.degraded)
+        rejected_total += len(gate.rejected)
+        flags = []
+        if gate.degraded:
+            flags.append(f"degraded: {', '.join(gate.degraded)}")
+        if gate.rejected:
+            flags.append(f"rejected: {', '.join(gate.rejected)}")
+        suffix = f"  [{'; '.join(flags)}]" if flags else ""
+        print(
+            f"  ({truth.x:5.2f}, {truth.y:5.2f}) -> "
+            f"({estimate.position.x:5.2f}, {estimate.position.y:5.2f})  "
+            f"err {err:5.2f} m  confidence {estimate.confidence:.2f}"
+            f"{suffix}"
+        )
+    if errors:
+        print(
+            f"{len(errors)} answered ({unanswered} unanswered), mean error "
+            f"{sum(errors) / len(errors):.2f} m, {degraded_total} degraded "
+            f"link(s), {rejected_total} rejected link(s)"
+        )
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

@@ -178,12 +178,9 @@ class ClusterReplica:
     ) -> LocalizationResponse:
         """Serve one query (fault hooks first, then the real service)."""
         self.injector.on_query(self.shard_id, self.index, query_index)
-        return self.service.locate(
-            request.anchors,
-            query_id=request.query_id,
-            area=request.area,
-            timeout_s=request.timeout_s,
-        )
+        # Request-preserving path: optional fields (the guard layer's
+        # gate result among them) must survive the replica hop.
+        return self.service.locate_request(request)
 
     def ping(self, query_index: int) -> bool:
         """Heartbeat probe: True when the replica would answer queries."""

@@ -31,6 +31,8 @@ _SUMMED_KEYS = (
     "cache_hits",
     "cache_misses",
     "queue_rejected_total",
+    "degraded_links_total",
+    "rejected_links_total",
 )
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -130,6 +130,7 @@ def pairwise_constraints(
     normalize: bool = True,
     confidence_fn=confidence_factor,
     bisector_cache=None,
+    quality_weights: Mapping[str, float] | None = None,
 ) -> list[WeightedConstraint]:
     """Bisector constraints for anchor pairs, oriented by PDP.
 
@@ -156,6 +157,15 @@ def pairwise_constraints(
         (and hence orientations/weights) change, so only the geometric
         part is cached.  The cached value is exactly what the uncached
         path computes, keeping results bit-identical.
+    quality_weights:
+        Optional per-anchor link-quality scores in ``(0, 1]``, keyed by
+        anchor name (see :mod:`repro.guard`).  A judgement is only as
+        trustworthy as its *weaker* measurement, so each row's weight is
+        scaled by ``min(q_i, q_j)`` — degraded links argue more softly
+        in the relaxation LP instead of being believed at full
+        confidence.  ``None`` (and any anchor not in the mapping, which
+        defaults to 1.0) leaves weights bit-identical to the ungated
+        path.
     """
     with span("constraints.pairwise", anchors=len(anchors)) as sp:
         out: list[WeightedConstraint] = []
@@ -193,10 +203,22 @@ def pairwise_constraints(
                     if (a_i.nomadic or a_j.nomadic)
                     else ConstraintKind.PAIRWISE
                 )
+                weight = judgement.confidence
+                if quality_weights is not None:
+                    quality = min(
+                        quality_weights.get(a_i.name, 1.0),
+                        quality_weights.get(a_j.name, 1.0),
+                    )
+                    if not 0.0 < quality <= 1.0:
+                        raise ValueError(
+                            f"quality weight for pair {a_i.name}/{a_j.name} "
+                            f"must be in (0, 1], got {quality}"
+                        )
+                    weight = weight * quality
                 out.append(
                     WeightedConstraint(
                         hs,
-                        judgement.confidence,
+                        weight,
                         kind,
                         label=f"{near.name}<{far.name}",
                     )

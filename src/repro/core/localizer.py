@@ -16,7 +16,7 @@ Pipeline per location query:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..geometry import Point, Polygon, decompose_convex
 from ..obs import span
@@ -134,6 +134,16 @@ class LocationEstimate:
         order follows the convex decomposition.
     num_constraints:
         Rows in the winning piece's LP.
+    confidence:
+        Measurement-layer confidence in ``(0, 1]``: 1.0 when every link
+        passed gating at full quality, lower when the guard layer
+        down-weighted or dropped degraded links (see
+        :mod:`repro.guard`).  Estimates from the ungated path always
+        report 1.0.
+    degradation_reasons:
+        Why the confidence is below 1.0 — the sorted, deduplicated
+        union of per-link gating reasons (``"nan-burst"``,
+        ``"ap-outage"``, ...).  Empty for clean queries.
     """
 
     position: Point
@@ -141,6 +151,8 @@ class LocationEstimate:
     region: Polygon | None
     pieces: tuple[PieceSolution, ...]
     num_constraints: int
+    confidence: float = 1.0
+    degradation_reasons: tuple[str, ...] = ()
 
     @property
     def was_feasible(self) -> bool:
@@ -201,13 +213,20 @@ class NomLocLocalizer:
     # topology-dependent prefix and rebuild only the PDP-dependent rows.
     # ------------------------------------------------------------------
     def build_shared_constraints(
-        self, anchors: Sequence[Anchor], bisector_cache=None
+        self,
+        anchors: Sequence[Anchor],
+        bisector_cache=None,
+        quality_weights: Mapping[str, float] | None = None,
     ) -> tuple[WeightedConstraint, ...]:
         """The PDP-dependent pairwise/nomadic rows shared by every piece.
 
         ``bisector_cache`` optionally memoizes the geometric bisectors by
         anchor-position pair (see
-        :func:`~repro.core.constraints.pairwise_constraints`).
+        :func:`~repro.core.constraints.pairwise_constraints`);
+        ``quality_weights`` optionally scales each row by the weaker
+        anchor's link-quality score (the guard layer's degradation-aware
+        hook — ``None`` keeps weights bit-identical to the ungated
+        path).
         """
         if len(anchors) < 2:
             raise ValueError("need at least two anchors to partition space")
@@ -217,6 +236,7 @@ class NomLocLocalizer:
                 include_nomadic_pairs=self.config.include_nomadic_pairs,
                 confidence_fn=self.config.resolve_confidence_fn(),
                 bisector_cache=bisector_cache,
+                quality_weights=quality_weights,
             )
             if not shared:
                 raise ValueError(
@@ -254,15 +274,20 @@ class NomLocLocalizer:
         self,
         anchors: Sequence[Anchor],
         piece_mapper: PieceMapper | None = None,
+        quality_weights: Mapping[str, float] | None = None,
     ) -> LocationEstimate:
         """Estimate the object's position from anchor PDPs.
 
         Requires at least two anchors (one bisector); realistic use has
         four static APs plus the nomadic sites.  ``piece_mapper``
         optionally runs the independent per-piece solves through a worker
-        pool; it must preserve piece order.
+        pool; it must preserve piece order.  ``quality_weights``
+        optionally down-weights rows touching degraded links (see
+        :meth:`build_shared_constraints`).
         """
-        shared = self.build_shared_constraints(anchors)
+        shared = self.build_shared_constraints(
+            anchors, quality_weights=quality_weights
+        )
         solver = lambda idx: self.solve_piece(idx, shared)  # noqa: E731
         indices = range(len(self.pieces))
         if piece_mapper is None:

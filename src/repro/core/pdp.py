@@ -13,6 +13,7 @@ in favour of the stronger AP.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -22,6 +23,7 @@ from ..channel.cir import delay_profile, tap_powers_batch
 from ..channel.csi import CSIMeasurement
 
 __all__ = [
+    "InvalidMeasurementError",
     "confidence_factor",
     "confidence_factor_rational",
     "confidence_factor_power",
@@ -29,6 +31,7 @@ __all__ = [
     "proximity_confidence",
     "estimate_pdp",
     "estimate_pdp_batch",
+    "estimate_pdp_skip_invalid",
     "estimate_pdp_median",
     "estimate_rss",
     "estimate_first_tap",
@@ -37,6 +40,18 @@ __all__ = [
     "ProximityJudgement",
     "judge_proximity",
 ]
+
+
+class InvalidMeasurementError(ValueError):
+    """A CSI batch carried non-finite (NaN/Inf) channel estimates.
+
+    Raised by the PDP estimators instead of letting a corrupted packet
+    poison the mean silently — a single NaN subcarrier turns the whole
+    link's PDP into NaN, which then flows as an apparently valid weight
+    into the relaxation LP.  The guard layer catches degraded batches
+    earlier (see :mod:`repro.guard`); this exception is the last line of
+    defence for callers that bypass it.
+    """
 
 
 def confidence_factor(x: float) -> float:
@@ -110,11 +125,25 @@ def estimate_pdp(measurements: Iterable[CSIMeasurement]) -> float:
     paper's estimator).  Across packets: average, which exploits CSI's
     temporal stability to suppress fading and noise — the prototype
     "collects thousands of packages at each site" for the same reason.
+
+    Raises
+    ------
+    InvalidMeasurementError
+        When any packet's tap powers are non-finite (a NaN/Inf burst in
+        the CSI): one poisoned packet would otherwise turn the link's
+        whole mean into NaN silently.  Use
+        :func:`estimate_pdp_skip_invalid` to tolerate such packets.
     """
     total = 0.0
     count = 0
     for m in measurements:
-        total += delay_profile(m).max_power()
+        value = delay_profile(m).max_power()
+        if not math.isfinite(value):
+            raise InvalidMeasurementError(
+                f"non-finite tap power in packet {count}; reject the "
+                "packet or use estimate_pdp_skip_invalid"
+            )
+        total += value
         count += 1
     if count == 0:
         raise ValueError("need at least one CSI measurement")
@@ -179,7 +208,10 @@ def estimate_pdp_batch(measurements: Iterable[CSIMeasurement]) -> float:
     Bit-identical to the scalar estimator (the row maxima are the same
     floats and are accumulated in the same order); this is the estimator
     the anchor-building fast path uses, with the scalar loop kept as the
-    reference implementation.
+    reference implementation.  Like the scalar path it raises
+    :class:`InvalidMeasurementError` on non-finite inputs — checking the
+    per-packet maxima catches any NaN/Inf in the batch, since a single
+    non-finite tap power propagates to its row maximum.
     """
     ms = list(measurements)
     if not ms:
@@ -187,10 +219,57 @@ def estimate_pdp_batch(measurements: Iterable[CSIMeasurement]) -> float:
     rows = _tap_power_rows(ms)
     if rows is None:
         return estimate_pdp(ms)
+    maxima = rows.max(axis=1)
+    if not np.isfinite(maxima).all():
+        bad = int(np.flatnonzero(~np.isfinite(maxima))[0])
+        raise InvalidMeasurementError(
+            f"non-finite tap power in packet {bad}; reject the packet "
+            "or use estimate_pdp_skip_invalid"
+        )
     total = 0.0
-    for value in rows.max(axis=1):
+    for value in maxima:
         total += float(value)
     return total / len(ms)
+
+
+def estimate_pdp_skip_invalid(
+    measurements: Iterable[CSIMeasurement],
+) -> float:
+    """PDP estimate tolerating non-finite packets: skip, then average.
+
+    The guard layer's estimator: packets whose tap powers are NaN/Inf
+    (firmware glitches, interference bursts) are dropped and the mean is
+    taken over the finite remainder — accumulated sequentially in packet
+    order, so with zero invalid packets the result is bit-identical to
+    :func:`estimate_pdp_batch`.
+
+    Raises
+    ------
+    ValueError
+        On an empty batch.
+    InvalidMeasurementError
+        When *every* packet is invalid — there is no salvageable signal
+        and the link must be rejected, not averaged.
+    """
+    ms = list(measurements)
+    if not ms:
+        raise ValueError("need at least one CSI measurement")
+    rows = _tap_power_rows(ms)
+    if rows is None:
+        maxima = np.array([delay_profile(m).max_power() for m in ms])
+    else:
+        maxima = rows.max(axis=1)
+    total = 0.0
+    count = 0
+    for value in maxima:
+        if math.isfinite(value):
+            total += float(value)
+            count += 1
+    if count == 0:
+        raise InvalidMeasurementError(
+            "every packet in the batch is non-finite; link must be rejected"
+        )
+    return total / count
 
 
 def estimate_first_tap_batch(

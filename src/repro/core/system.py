@@ -35,12 +35,13 @@ from ..mobility import (
     PositionErrorModel,
     generate_trace,
 )
+from ..channel.csi import CSIMeasurement
 from ..mobility.traces import TraceStep
 from .constraints import Anchor
 from .localizer import LocalizerConfig, LocationEstimate, NomLocLocalizer
 from .pdp import PROXIMITY_METRICS, estimate_pdp_batch
 
-__all__ = ["SystemConfig", "NomLocSystem", "measure_link_pdp"]
+__all__ = ["SystemConfig", "LinkRecord", "NomLocSystem", "measure_link_pdp"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,40 @@ class SystemConfig:
     def with_error_range(self, er_m: float) -> "SystemConfig":
         """Copy with a different position error range (the ER sweep)."""
         return replace(self, position_error=PositionErrorModel(er_m))
+
+
+@dataclass(frozen=True)
+class LinkRecord:
+    """One link's raw measurement batch, before PDP estimation.
+
+    The seam the guard layer plugs into: :meth:`NomLocSystem.\
+gather_link_records` stops *before* collapsing each batch into a PDP
+    scalar, so fault injection, sanity checks and quality gating can see
+    the per-packet CSI (see :mod:`repro.guard`).  ``device_gain`` and
+    ``antenna_gain`` are the linear power gains the ungated path
+    multiplies into the PDP estimate, kept separate (and applied in that
+    order) so both paths stay bit-identical.
+    """
+
+    name: str
+    position: Point
+    measurements: tuple[CSIMeasurement, ...]
+    device_gain: float = 1.0
+    antenna_gain: float = 1.0
+    nomadic: bool = False
+
+    def estimate(self, estimator=estimate_pdp_batch) -> float:
+        """The link's gained PDP estimate, as the ungated path computes it."""
+        pdp = estimator(self.measurements)
+        pdp *= self.device_gain
+        pdp *= self.antenna_gain
+        return pdp
+
+    def to_anchor(self, estimator=estimate_pdp_batch) -> Anchor:
+        """Collapse the batch into the anchor the localizer consumes."""
+        return Anchor(
+            self.name, self.position, self.estimate(estimator), self.nomadic
+        )
 
 
 def measure_link_pdp(
@@ -184,25 +219,54 @@ class NomLocSystem:
         per distinct visited site when ``config.use_nomadic``, else a
         single anchor pinned at home.
         """
-        anchors: list[Anchor] = []
+        metric = self.config.resolve_metric()
+        return [
+            record.to_anchor(metric)
+            for record in self.gather_link_records(
+                object_position, rng, pattern
+            )
+        ]
+
+    def gather_link_records(
+        self,
+        object_position: Point,
+        rng: np.random.Generator,
+        pattern: MobilityPattern | None = None,
+    ) -> list[LinkRecord]:
+        """One query's raw per-link measurement batches (the guard seam).
+
+        Identical measurement campaign to :meth:`gather_anchors` — same
+        AP iteration order, same mobility walk, same RNG draw order — but
+        stopping before PDP estimation, so the guard layer can inject
+        faults and gate links at the channel boundary.
+        ``gather_anchors`` is implemented on top of this and stays
+        bit-identical to the historical path.
+        """
+        records: list[LinkRecord] = []
         for ap in self.scenario.aps:
             if ap.nomadic and self.config.use_nomadic:
-                anchors.extend(
-                    self._nomadic_anchors(ap, object_position, rng, pattern)
+                records.extend(
+                    self._nomadic_records(ap, object_position, rng, pattern)
                 )
             else:
-                pdp = measure_link_pdp(
-                    self.link_sim,
+                batch = self.link_sim.measure_batch(
                     object_position,
                     ap.position,
                     self.config.packets_per_link,
                     rng,
-                    self.config.resolve_metric(),
                 )
-                pdp *= self._device_gain(ap.name)
-                pdp *= self._antenna_gain(ap.name, ap.position, object_position)
-                anchors.append(Anchor(ap.name, ap.position, pdp))
-        return anchors
+                records.append(
+                    LinkRecord(
+                        ap.name,
+                        ap.position,
+                        tuple(batch),
+                        device_gain=self._device_gain(ap.name),
+                        antenna_gain=self._antenna_gain(
+                            ap.name, ap.position, object_position
+                        ),
+                    )
+                )
+        return records
 
     def _device_gain(self, ap_name: str) -> float:
         """Linear power gain of one AP's receive chain."""
@@ -220,39 +284,37 @@ class NomLocSystem:
             pattern.gain_towards_db(ap_position, object_position) / 10.0
         )
 
-    def _nomadic_anchors(
+    def _nomadic_records(
         self,
         ap: APSpec,
         object_position: Point,
         rng: np.random.Generator,
         pattern: MobilityPattern | None,
-    ) -> list[Anchor]:
+    ) -> list[LinkRecord]:
         trace = self._walk(ap, rng, pattern)
-        anchors = []
+        records = []
         for step in trace.unique_steps():
             # Physics happen at the TRUE position; the constraint uses the
             # REPORTED one.
-            pdp = measure_link_pdp(
-                self.link_sim,
+            batch = self.link_sim.measure_batch(
                 object_position,
                 step.true_position,
                 self.config.packets_per_link,
                 rng,
-                self.config.resolve_metric(),
             )
-            pdp *= self._device_gain(ap.name)
-            pdp *= self._antenna_gain(
-                ap.name, step.true_position, object_position
-            )
-            anchors.append(
-                Anchor(
+            records.append(
+                LinkRecord(
                     f"{ap.name}@s{step.site_index}",
                     step.reported_position,
-                    pdp,
+                    tuple(batch),
+                    device_gain=self._device_gain(ap.name),
+                    antenna_gain=self._antenna_gain(
+                        ap.name, step.true_position, object_position
+                    ),
                     nomadic=True,
                 )
             )
-        return anchors
+        return records
 
     def _walk(
         self,

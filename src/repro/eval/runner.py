@@ -21,11 +21,73 @@ from .metrics import ErrorCDF, ErrorStats
 
 __all__ = [
     "Localizer",
+    "CampaignWorkerError",
+    "SiteFailure",
     "SiteResult",
     "CampaignResult",
     "run_campaign",
     "run_campaign_via_service",
 ]
+
+
+class CampaignWorkerError(RuntimeError):
+    """A campaign query crashed, with enough context to replay it.
+
+    A bare exception from deep inside a worker process is useless for a
+    multi-hour campaign — you need the failing ``(site, repetition)``
+    pair and the seed to reproduce the exact query in isolation::
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, site_index, repetition])
+        )
+        localizer.localization_error(site, rng)
+
+    Attributes
+    ----------
+    site_index, site, repetition, seed:
+        Coordinates of the failing query in the campaign's seed grid.
+    """
+
+    def __init__(
+        self,
+        site_index: int,
+        site: Point,
+        repetition: int,
+        seed: int,
+        message: str,
+    ) -> None:
+        super().__init__(
+            f"campaign query failed at site {site_index} "
+            f"({site.x:g}, {site.y:g}), repetition {repetition}, "
+            f"seed {seed}: {message} — replay with "
+            f"SeedSequence([{seed}, {site_index}, {repetition}])"
+        )
+        self.site_index = site_index
+        self.site = site
+        self.repetition = repetition
+        self.seed = seed
+
+
+@dataclass(frozen=True)
+class SiteFailure:
+    """One site a partial-results campaign could not measure.
+
+    Attributes
+    ----------
+    site_index, site:
+        Which site failed.
+    repetition, seed:
+        The first failing query's coordinates in the seed grid (see
+        :class:`CampaignWorkerError` for the replay recipe).
+    error:
+        ``"ExcType: message"`` of the original exception.
+    """
+
+    site_index: int
+    site: Point
+    repetition: int
+    seed: int
+    error: str
 
 
 class Localizer(Protocol):
@@ -50,13 +112,26 @@ class SiteResult:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """All per-site results of one campaign."""
+    """All per-site results of one campaign.
+
+    ``failed_sites`` is non-empty only for campaigns run with
+    ``partial_results=True`` that actually lost sites; ``sites`` then
+    holds the successful remainder and every summary statistic is
+    computed over it alone — an explicitly partial answer, never a
+    silently wrong one.
+    """
 
     name: str
     sites: tuple[SiteResult, ...]
+    failed_sites: tuple[SiteFailure, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every site was measured."""
+        return not self.failed_sites
 
     def per_site_means(self) -> list[float]:
-        """Mean error per site, in site order."""
+        """Mean error per site, in site order (successful sites only)."""
         return [s.mean_error for s in self.sites]
 
     @property
@@ -76,25 +151,42 @@ def _site_errors(
     site: Point,
     repetitions: int,
     seed: int,
-) -> list[float]:
+) -> tuple[list[float], SiteFailure | None]:
     """One site's error vector, under an ``eval.site`` span.
 
     Randomness is derived from ``SeedSequence([seed, site_idx, rep])``
     alone — never from process or thread identity — which is what makes
     the parallel campaign path bit-identical to the sequential one.
+
+    A query exception stops the site at the failing repetition and is
+    returned as a :class:`SiteFailure` record instead of propagating —
+    the caller decides between fail-fast (wrap it in a
+    :class:`CampaignWorkerError`) and partial-results mode, and a plain
+    record crosses process boundaries where an exception chain may not
+    pickle.
     """
     with span("eval.site", site=site_idx):
-        errors = []
+        errors: list[float] = []
         for rep in range(repetitions):
             rng = np.random.default_rng(
                 np.random.SeedSequence([seed, site_idx, rep])
             )
-            errors.append(float(localizer.localization_error(site, rng)))
-    return errors
+            try:
+                errors.append(float(localizer.localization_error(site, rng)))
+            except Exception as exc:  # noqa: BLE001 - reported, not dropped
+                failure = SiteFailure(
+                    site_idx,
+                    site,
+                    rep,
+                    seed,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                return errors, failure
+    return errors, None
 
 
-def _site_task(payload) -> tuple[list[float], list[dict]]:
-    """Worker-process entry point: one site's errors plus its spans.
+def _site_task(payload) -> tuple[list[float], SiteFailure | None, list[dict]]:
+    """Worker-process entry point: one site's outcome plus its spans.
 
     The worker traces into its own private tracer (when the parent was
     tracing) and ships the finished spans back as ``to_dict`` records for
@@ -103,10 +195,15 @@ def _site_task(payload) -> tuple[list[float], list[dict]]:
     """
     localizer, site_idx, site, repetitions, seed, traced = payload
     if not traced:
-        return _site_errors(localizer, site_idx, site, repetitions, seed), []
+        errors, failure = _site_errors(
+            localizer, site_idx, site, repetitions, seed
+        )
+        return errors, failure, []
     with capture() as tracer:
-        errors = _site_errors(localizer, site_idx, site, repetitions, seed)
-    return errors, [s.to_dict() for s in tracer.finished()]
+        errors, failure = _site_errors(
+            localizer, site_idx, site, repetitions, seed
+        )
+    return errors, failure, [s.to_dict() for s in tracer.finished()]
 
 
 def _run_sites_parallel(
@@ -116,7 +213,7 @@ def _run_sites_parallel(
     seed: int,
     workers: int,
     campaign_span,
-) -> list[SiteResult]:
+) -> list[tuple[Point, list[float], SiteFailure | None]]:
     """Fan sites out over a process pool; merge results in site order.
 
     Uses the ``fork`` start method where available (cheap, inherits the
@@ -124,6 +221,10 @@ def _run_sites_parallel(
     either way ``localizer`` must be picklable.  Each worker's span batch
     is adopted separately: worker tracers all number spans from 1, so
     mixing two batches in one adopt call would cross their parent links.
+
+    Sites are submitted individually (not ``pool.map``) so one failing
+    site never cancels the healthy remainder — every site's outcome,
+    failure record included, comes back for the caller to rule on.
     """
     traced = is_enabled()
     payloads = [
@@ -137,15 +238,16 @@ def _run_sites_parallel(
     with ProcessPoolExecutor(
         max_workers=min(workers, len(sites)), mp_context=mp_context
     ) as pool:
-        outcomes = list(pool.map(_site_task, payloads))
+        futures = [pool.submit(_site_task, p) for p in payloads]
+        outcomes = [f.result() for f in futures]
     tracer = get_tracer()
     parent_id = getattr(campaign_span, "span_id", None)
-    results = []
-    for site, (errors, records) in zip(sites, outcomes):
+    merged = []
+    for site, (errors, failure, records) in zip(sites, outcomes):
         if tracer is not None and records:
             tracer.adopt(records, parent_id=parent_id)
-        results.append(SiteResult(site, tuple(errors)))
-    return results
+        merged.append((site, errors, failure))
+    return merged
 
 
 def run_campaign(
@@ -155,6 +257,7 @@ def run_campaign(
     seed: int = 0,
     name: str = "campaign",
     workers: int | None = None,
+    partial_results: bool = False,
 ) -> CampaignResult:
     """Measure ``localizer`` over every site, ``repetitions`` times each.
 
@@ -168,6 +271,19 @@ def run_campaign(
     result is bit-identical to the sequential one for any worker count;
     ``localizer`` must be picklable.  Worker-side spans are merged back
     into the parent tracer under the campaign span.
+
+    A query exception normally aborts the campaign with a
+    :class:`CampaignWorkerError` naming the failing ``(site,
+    repetition)`` pair and seed.  With ``partial_results=True`` the
+    failing site is dropped to :attr:`CampaignResult.failed_sites`
+    instead and every healthy site is still measured — the mode for
+    long overnight sweeps where one poisoned site must not cost the
+    other hundred.
+
+    Raises
+    ------
+    CampaignWorkerError
+        On the first failing query, unless ``partial_results`` is set.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
@@ -183,19 +299,38 @@ def run_campaign(
         workers=workers or 0,
     ) as sp:
         if workers:
-            results = _run_sites_parallel(
+            outcomes = _run_sites_parallel(
                 localizer, sites, repetitions, seed, workers, sp
             )
             sp.incr("queries", repetitions * len(sites))
         else:
-            results = []
+            outcomes = []
             for site_idx, site in enumerate(sites):
-                errors = _site_errors(
+                errors, failure = _site_errors(
                     localizer, site_idx, site, repetitions, seed
                 )
+                sp.incr("queries", len(errors) + (1 if failure else 0))
+                outcomes.append((site, errors, failure))
+                if failure is not None and not partial_results:
+                    break  # fail fast; no point measuring the rest
+        results = []
+        failures = []
+        for site, errors, failure in outcomes:
+            if failure is None:
                 results.append(SiteResult(site, tuple(errors)))
-                sp.incr("queries", repetitions)
-        return CampaignResult(name, tuple(results))
+                continue
+            if not partial_results:
+                raise CampaignWorkerError(
+                    failure.site_index,
+                    failure.site,
+                    failure.repetition,
+                    failure.seed,
+                    failure.error,
+                )
+            failures.append(failure)
+        if failures:
+            sp.incr("failed_sites", len(failures))
+        return CampaignResult(name, tuple(results), tuple(failures))
 
 
 def run_campaign_via_service(

@@ -1,0 +1,125 @@
+"""Structural sanity checks on raw CSI batches.
+
+First of the guard layer's two passes (see :mod:`repro.guard.quality`
+for the statistical pass): cheap per-packet predicates that are *provably
+impossible* on clean synthesized measurements, so a packet they flag is
+corrupted with certainty and a clean pipeline is never perturbed:
+
+* non-finite subcarrier gains (NaN/Inf bursts);
+* exact-zero subcarriers — receiver noise makes a true zero a
+  measure-zero event, but dropped subcarriers are reported as exact
+  zeros by firmware;
+* amplitude clipping — a run of subcarriers pinned at the packet's peak
+  amplitude, the signature of front-end saturation;
+* batch-level defects: an empty batch, a sample-count shortfall against
+  the campaign's packet budget, or packets mixing OFDM layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..channel.csi import CSIMeasurement
+
+__all__ = ["StructuralReport", "inspect_batch"]
+
+#: Minimum fraction of subcarriers pinned at the packet peak before the
+#: packet is called clipped.  Clean packets never tie their own peak
+#: (amplitudes are continuous); clipped ones pin a large run at it.
+CLIP_FRACTION = 0.25
+
+#: Relative tolerance for "pinned at the peak".
+CLIP_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class StructuralReport:
+    """Per-packet structural verdicts for one link's batch.
+
+    Attributes
+    ----------
+    packets:
+        Batch size after any packet loss.
+    finite:
+        Per-packet mask: every subcarrier gain is finite.
+    nonzero:
+        Per-packet mask: no subcarrier is exactly zero.
+    unclipped:
+        Per-packet mask: amplitudes are not pinned at the packet peak.
+    issues:
+        Batch-level defect labels (``"empty-batch"``,
+        ``"packet-shortfall"``, ``"mixed-ofdm-config"``).
+    """
+
+    packets: int
+    finite: np.ndarray
+    nonzero: np.ndarray
+    unclipped: np.ndarray
+    issues: tuple[str, ...]
+
+    @property
+    def clean(self) -> np.ndarray:
+        """Packets passing every structural check."""
+        return self.finite & self.nonzero & self.unclipped
+
+    def packet_reasons(self) -> list[str]:
+        """Defect labels for the per-packet failures present in the batch."""
+        reasons = []
+        if not self.finite.all():
+            reasons.append("non-finite-csi")
+        if not self.nonzero.all():
+            reasons.append("zero-subcarriers")
+        if not self.unclipped.all():
+            reasons.append("amplitude-clipping")
+        return reasons
+
+
+def inspect_batch(
+    measurements: Sequence[CSIMeasurement],
+    expected_packets: int | None = None,
+) -> StructuralReport:
+    """Run every structural check over one link's batch.
+
+    ``expected_packets`` is the campaign's per-link packet budget; a
+    shorter batch earns a ``"packet-shortfall"`` issue (silent packet
+    loss).  An empty batch returns empty masks and ``"empty-batch"``.
+    """
+    ms = list(measurements)
+    issues: list[str] = []
+    if not ms:
+        issues.append("empty-batch")
+        empty = np.zeros(0, dtype=bool)
+        if expected_packets:
+            issues.append("packet-shortfall")
+        return StructuralReport(0, empty, empty, empty, tuple(issues))
+    if expected_packets is not None and len(ms) < expected_packets:
+        issues.append("packet-shortfall")
+    cfg = ms[0].config
+    if any(m.config != cfg for m in ms[1:]):
+        issues.append("mixed-ofdm-config")
+    finite = np.empty(len(ms), dtype=bool)
+    nonzero = np.empty(len(ms), dtype=bool)
+    unclipped = np.empty(len(ms), dtype=bool)
+    for i, m in enumerate(ms):
+        amps = np.abs(m.csi)
+        finite[i] = bool(np.isfinite(m.csi).all())
+        # The zero/clipping predicates only judge packets they can judge
+        # — a non-finite packet is already condemned by its own mask and
+        # must not leak extra reason labels.
+        nonzero[i] = bool((amps > 0.0).all()) if finite[i] else True
+        unclipped[i] = not _is_clipped(amps) if finite[i] else True
+    return StructuralReport(
+        len(ms), finite, nonzero, unclipped, tuple(issues)
+    )
+
+
+def _is_clipped(amplitudes: np.ndarray) -> bool:
+    """True when a large run of subcarriers is pinned at the packet peak."""
+    peak = float(amplitudes.max())
+    if peak <= 0.0:
+        return False
+    pinned = amplitudes >= peak * (1.0 - CLIP_RTOL)
+    return float(pinned.mean()) >= CLIP_FRACTION

@@ -102,6 +102,8 @@ LocalizationService`):
         self.lp_failures = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.degraded_links_total = 0
+        self.rejected_links_total = 0
 
     def record_admitted(self) -> None:
         """One request passed admission control."""
@@ -123,6 +125,18 @@ LocalizationService`):
         """
         with self._lock:
             self._queue_waits.observe(wait_s)
+
+    def record_gating(self, degraded: int, rejected: int) -> None:
+        """One gated query's link tallies from the guard layer.
+
+        ``degraded`` links were kept with scaled weights; ``rejected``
+        links were dropped before the LP (see :mod:`repro.guard`).
+        Only queries carrying a gate result report here — ungated
+        traffic leaves both counters untouched.
+        """
+        with self._lock:
+            self.degraded_links_total += int(degraded)
+            self.rejected_links_total += int(rejected)
 
     def record_cache(self, hit: bool) -> None:
         """One topology-cache lookup outcome."""
@@ -175,6 +189,8 @@ LocalizationService`):
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                "degraded_links_total": self.degraded_links_total,
+                "rejected_links_total": self.rejected_links_total,
                 "latency_mean_s": self._latencies.mean(),
             }
             snap.update(

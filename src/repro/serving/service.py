@@ -24,8 +24,8 @@ whole constraint system per call:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..core import Anchor, LocalizerConfig, LocationEstimate, NomLocLocalizer
 from ..geometry import Point, Polygon
@@ -34,6 +34,9 @@ from .cache import BisectorCache, LocalizerCache
 from .metrics import ServiceMetrics
 from .pool import WorkerPool
 from .queueing import AdmissionQueue, QueueFullError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layer cycle
+    from ..guard.policy import GateResult
 
 __all__ = [
     "ServiceClosedError",
@@ -152,12 +155,21 @@ class LocalizationRequest:
         service default.
     timeout_s:
         Per-request deadline override (``None`` inherits the service's).
+    gate:
+        Optional measurement-gating outcome
+        (:class:`repro.guard.GateResult`) from the guard layer.  When
+        present, its quality weights scale the relaxation LP's rows,
+        its per-link rulings feed the ``degraded_links_total`` /
+        ``rejected_links_total`` service counters, and the served
+        estimate carries its ``confidence`` and reasons.  ``None`` (the
+        default) serves exactly the historical ungated pipeline.
     """
 
     anchors: tuple[Anchor, ...]
     query_id: str = ""
     area: Polygon | None = None
     timeout_s: float | None = None
+    gate: "GateResult | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "anchors", tuple(self.anchors))
@@ -292,15 +304,34 @@ class LocalizationService:
         query_id: str = "",
         area: Polygon | None = None,
         timeout_s: float | None = None,
+        gate: "GateResult | None" = None,
     ) -> LocalizationResponse:
         """Serve one query synchronously on the caller's thread.
 
         This path may additionally parallelize the per-piece solves when
-        :attr:`ServingConfig.parallel_pieces` is set.
+        :attr:`ServingConfig.parallel_pieces` is set.  ``gate``
+        optionally carries the guard layer's verdicts (see
+        :class:`LocalizationRequest`).
         """
         request = LocalizationRequest(
-            tuple(anchors), query_id=query_id, area=area, timeout_s=timeout_s
+            tuple(anchors),
+            query_id=query_id,
+            area=area,
+            timeout_s=timeout_s,
+            gate=gate,
         )
+        return self._handle(request, allow_piece_pool=True)
+
+    def locate_request(
+        self, request: LocalizationRequest
+    ) -> LocalizationResponse:
+        """Serve one already-built request synchronously.
+
+        The request-preserving sibling of :meth:`locate` — callers that
+        construct a :class:`LocalizationRequest` (the cluster's replicas,
+        gated pipelines) route through here so optional fields like
+        ``gate`` survive the hop.
+        """
         return self._handle(request, allow_piece_pool=True)
 
     def submit(self, request: LocalizationRequest | Sequence[Anchor]):
@@ -481,12 +512,23 @@ class LocalizationService:
                 else self.config.timeout_s
             )
             deadline = started + timeout if timeout is not None else None
+            gate = request.gate
+            if gate is not None:
+                self.metrics.record_gating(
+                    len(gate.degraded), len(gate.rejected)
+                )
             timed_out = lp_failed = False
             estimate: LocationEstimate | None = None
             reason = ""
             try:
                 estimate = self._solve(
-                    localizer, request.anchors, deadline, allow_piece_pool
+                    localizer,
+                    request.anchors,
+                    deadline,
+                    allow_piece_pool,
+                    quality_weights=(
+                        gate.quality_weights if gate is not None else None
+                    ),
                 )
             except _DeadlineExceeded:
                 if not self.config.degrade_on_failure:
@@ -504,6 +546,12 @@ class LocalizationService:
                 lp_failed = True
                 reason = "lp-failure"
             if estimate is not None:
+                if gate is not None:
+                    estimate = replace(
+                        estimate,
+                        confidence=gate.confidence,
+                        degradation_reasons=gate.reasons,
+                    )
                 position = estimate.position
                 degraded = False
             else:
@@ -524,6 +572,12 @@ class LocalizationService:
                 cache_hit=cache_hit,
                 degraded=degraded,
             )
+            if gate is not None:
+                sp.set(
+                    link_confidence=gate.confidence,
+                    degraded_links=len(gate.degraded),
+                    rejected_links=len(gate.rejected),
+                )
             return LocalizationResponse(
                 query_id=request.query_id,
                 position=position,
@@ -540,10 +594,13 @@ class LocalizationService:
         anchors: Sequence[Anchor],
         deadline: float | None,
         allow_piece_pool: bool,
+        quality_weights=None,
     ) -> LocationEstimate:
         """The full SP pipeline with a cooperative between-piece deadline."""
         shared = localizer.build_shared_constraints(
-            anchors, bisector_cache=self.bisector_cache
+            anchors,
+            bisector_cache=self.bisector_cache,
+            quality_weights=quality_weights,
         )
 
         def solve_one(index: int):

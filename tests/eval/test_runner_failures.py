@@ -1,0 +1,123 @@
+"""Tests for campaign failure handling: fail-fast and partial results."""
+
+import numpy as np
+import pytest
+
+from repro.eval import CampaignWorkerError, SiteFailure, run_campaign
+from repro.geometry import Point
+
+SITES = (Point(1.0, 1.0), Point(2.0, 1.0), Point(3.0, 1.0))
+
+
+class FlakyLocalizer:
+    """Deterministic localizer that explodes at one (site, repetition).
+
+    Module-level so it pickles into worker processes.
+    """
+
+    def __init__(self, bad_site: float, bad_rep: int = 1):
+        self.bad_site = bad_site
+        self.bad_rep = bad_rep
+        self.rep_counts: dict[float, int] = {}
+
+    def localization_error(
+        self, object_position: Point, rng: np.random.Generator
+    ) -> float:
+        rep = self.rep_counts.get(object_position.x, 0)
+        self.rep_counts[object_position.x] = rep + 1
+        if object_position.x == self.bad_site and rep == self.bad_rep:
+            raise RuntimeError("solver exploded")
+        return float(rng.uniform(0.5, 1.5))
+
+
+class TestFailFast:
+    def test_raises_with_replay_coordinates(self):
+        with pytest.raises(CampaignWorkerError) as excinfo:
+            run_campaign(
+                FlakyLocalizer(bad_site=2.0, bad_rep=1),
+                SITES,
+                repetitions=3,
+                seed=5,
+            )
+        err = excinfo.value
+        assert err.site_index == 1
+        assert err.site == Point(2.0, 1.0)
+        assert err.repetition == 1
+        assert err.seed == 5
+        assert "RuntimeError: solver exploded" in str(err)
+        assert "SeedSequence([5, 1, 1])" in str(err)
+
+    def test_parallel_also_fails_fast(self):
+        with pytest.raises(CampaignWorkerError) as excinfo:
+            run_campaign(
+                FlakyLocalizer(bad_site=2.0, bad_rep=0),
+                SITES,
+                repetitions=2,
+                seed=5,
+                workers=2,
+            )
+        assert excinfo.value.site_index == 1
+
+    def test_healthy_campaign_is_complete(self):
+        result = run_campaign(
+            FlakyLocalizer(bad_site=-1.0), SITES, repetitions=2, seed=5
+        )
+        assert result.complete
+        assert result.failed_sites == ()
+        assert len(result.sites) == len(SITES)
+
+
+class TestPartialResults:
+    def test_failing_site_is_reported_not_raised(self):
+        result = run_campaign(
+            FlakyLocalizer(bad_site=2.0, bad_rep=1),
+            SITES,
+            repetitions=3,
+            seed=5,
+            partial_results=True,
+        )
+        assert not result.complete
+        assert len(result.sites) == 2
+        assert len(result.failed_sites) == 1
+        failure = result.failed_sites[0]
+        assert isinstance(failure, SiteFailure)
+        assert failure.site_index == 1
+        assert failure.repetition == 1
+        assert failure.error == "RuntimeError: solver exploded"
+
+    def test_stats_cover_surviving_sites_only(self):
+        result = run_campaign(
+            FlakyLocalizer(bad_site=2.0, bad_rep=0),
+            SITES,
+            repetitions=2,
+            seed=5,
+            partial_results=True,
+        )
+        assert len(result.per_site_means()) == 2
+        assert np.isfinite(result.stats.mean)
+
+    def test_parallel_partial_matches_sequential(self):
+        kwargs = dict(
+            sites=SITES, repetitions=2, seed=5, partial_results=True
+        )
+        seq = run_campaign(FlakyLocalizer(bad_site=2.0, bad_rep=0), **kwargs)
+        par = run_campaign(
+            FlakyLocalizer(bad_site=2.0, bad_rep=0), workers=2, **kwargs
+        )
+        assert [s.errors for s in par.sites] == [s.errors for s in seq.sites]
+        assert par.failed_sites == seq.failed_sites
+
+    def test_all_sites_failing_yields_empty_result(self):
+        class AlwaysBroken:
+            def localization_error(self, object_position, rng):
+                raise ValueError("no anchors")
+
+        result = run_campaign(
+            AlwaysBroken(),
+            SITES,
+            repetitions=1,
+            seed=5,
+            partial_results=True,
+        )
+        assert result.sites == ()
+        assert len(result.failed_sites) == len(SITES)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the guard-layer tests: clean lab link records."""
+
+import numpy as np
+import pytest
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+
+PACKETS = 12
+
+
+@pytest.fixture(scope="package")
+def lab_system():
+    """One lab-scenario system with a small per-link packet budget."""
+    return NomLocSystem(
+        get_scenario("lab"),
+        SystemConfig(packets_per_link=PACKETS, trace_steps=4),
+    )
+
+
+@pytest.fixture(scope="package")
+def lab_records(lab_system):
+    """Clean link records of one lab query (deterministic seed)."""
+    scenario = lab_system.scenario
+    return lab_system.gather_link_records(
+        scenario.test_sites[0], np.random.default_rng(3)
+    )

@@ -1,0 +1,219 @@
+"""Tests for scripted measurement-fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.guard import (
+    LinkFault,
+    LinkFaultInjector,
+    LinkFaultKind,
+    LinkFaultPlan,
+    parse_fault_spec,
+)
+
+
+class TestParseFaultSpec:
+    def test_type_and_rate(self):
+        fault = parse_fault_spec("nan-burst:0.3")
+        assert fault.kind is LinkFaultKind.NAN_BURST
+        assert fault.rate == 0.3
+        assert fault.ap is None
+
+    def test_with_ap(self):
+        fault = parse_fault_spec("ap-outage:1.0:AP3")
+        assert fault.kind is LinkFaultKind.AP_OUTAGE
+        assert fault.ap == "AP3"
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="known types"):
+            parse_fault_spec("gremlins:0.5")
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fault_spec("nan-burst:lots")
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError, match="rate"):
+            parse_fault_spec("nan-burst:1.5")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="TYPE:RATE"):
+            parse_fault_spec("nan-burst")
+
+
+class TestFaultMatching:
+    def test_untargeted_matches_everything(self):
+        fault = LinkFault(LinkFaultKind.PACKET_LOSS, 0.5)
+        assert fault.matches("AP1")
+        assert fault.matches("AP1@s3")
+
+    def test_targeted_matches_site_links(self):
+        fault = LinkFault(LinkFaultKind.PACKET_LOSS, 0.5, ap="AP1")
+        assert fault.matches("AP1")
+        assert fault.matches("AP1@s3")
+        assert not fault.matches("AP2")
+        assert not fault.matches("AP2@s1")
+
+
+class TestPlanComposition:
+    def test_empty_by_default(self):
+        assert LinkFaultPlan().faults == ()
+
+    def test_plus_concatenates(self):
+        plan = LinkFaultPlan.nan_burst(0.3, ap="AP2").plus(
+            LinkFaultPlan.outage(1.0, ap="AP3")
+        )
+        assert [f.kind for f in plan.faults] == [
+            LinkFaultKind.NAN_BURST,
+            LinkFaultKind.AP_OUTAGE,
+        ]
+
+    def test_faults_for_filters_by_link(self):
+        plan = LinkFaultPlan.nan_burst(0.3, ap="AP2").plus(
+            LinkFaultPlan.packet_loss(0.5)
+        )
+        assert len(plan.faults_for("AP2")) == 2
+        assert len(plan.faults_for("AP4")) == 1
+
+
+class TestInjectorDeterminism:
+    def test_unmatched_link_returned_untouched(self, lab_records):
+        injector = LinkFaultInjector(
+            LinkFaultPlan.nan_burst(1.0, ap="NOPE"), seed=1
+        )
+        record = lab_records[0]
+        assert injector.corrupt(record) is record
+
+    def test_empty_plan_is_identity(self, lab_records):
+        out = LinkFaultInjector().corrupt_batch(lab_records)
+        assert all(a is b for a, b in zip(out, lab_records))
+
+    def test_same_seed_replays_bit_identically(self, lab_records):
+        plan = LinkFaultPlan.subcarrier_dropout(0.5)
+        a = LinkFaultInjector(plan, seed=9).corrupt_batch(lab_records)
+        b = LinkFaultInjector(plan, seed=9).corrupt_batch(lab_records)
+        for ra, rb in zip(a, b):
+            for ma, mb in zip(ra.measurements, rb.measurements):
+                np.testing.assert_array_equal(ma.csi, mb.csi)
+
+    def test_different_seeds_differ(self, lab_records):
+        plan = LinkFaultPlan.subcarrier_dropout(1.0, fraction=0.1)
+        a = LinkFaultInjector(plan, seed=1).corrupt(lab_records[0])
+        b = LinkFaultInjector(plan, seed=2).corrupt(lab_records[0])
+        assert any(
+            not np.array_equal(ma.csi, mb.csi)
+            for ma, mb in zip(a.measurements, b.measurements)
+        )
+
+    def test_corruption_independent_of_record_order(self, lab_records):
+        plan = LinkFaultPlan.nan_burst(0.5)
+        forward = LinkFaultInjector(plan, seed=4).corrupt_batch(lab_records)
+        backward = LinkFaultInjector(plan, seed=4).corrupt_batch(
+            list(reversed(lab_records))
+        )
+        by_name = {r.name: r for r in backward}
+        for record in forward:
+            twin = by_name[record.name]
+            for ma, mb in zip(record.measurements, twin.measurements):
+                np.testing.assert_array_equal(ma.csi, mb.csi)
+
+    def test_repeat_calls_draw_fresh_randomness(self, lab_records):
+        injector = LinkFaultInjector(
+            LinkFaultPlan.subcarrier_dropout(1.0, fraction=0.1), seed=5
+        )
+        first = injector.corrupt(lab_records[0])
+        second = injector.corrupt(lab_records[0])
+        assert any(
+            not np.array_equal(ma.csi, mb.csi)
+            for ma, mb in zip(first.measurements, second.measurements)
+        )
+
+
+class TestFaultKinds:
+    def test_dropout_zeroes_exact_subcarriers(self, lab_records):
+        injector = LinkFaultInjector(
+            LinkFaultPlan.subcarrier_dropout(1.0, fraction=0.25), seed=2
+        )
+        record = injector.corrupt(lab_records[0])
+        n = len(record.measurements[0].csi)
+        for m in record.measurements:
+            zeros = int((m.csi == 0).sum())
+            assert zeros == max(1, round(0.25 * n))
+
+    def test_packet_loss_shrinks_batch(self, lab_records):
+        injector = LinkFaultInjector(LinkFaultPlan.packet_loss(1.0), seed=2)
+        record = injector.corrupt(lab_records[0])
+        assert record.measurements == ()
+
+    def test_nan_burst_is_contiguous(self, lab_records):
+        injector = LinkFaultInjector(
+            LinkFaultPlan.nan_burst(1.0, width=8), seed=2
+        )
+        record = injector.corrupt(lab_records[0])
+        for m in record.measurements:
+            bad = np.flatnonzero(~np.isfinite(m.csi))
+            assert len(bad) == 8
+            assert bad[-1] - bad[0] == 7  # one contiguous run
+
+    def test_saturation_clips_preserving_phase(self, lab_records):
+        injector = LinkFaultInjector(
+            LinkFaultPlan.rssi_saturation(1.0, level=0.35), seed=2
+        )
+        clean = lab_records[0]
+        record = injector.corrupt(clean)
+        for before, after in zip(clean.measurements, record.measurements):
+            ceiling = 0.35 * float(np.abs(before.csi).max())
+            assert np.abs(after.csi).max() <= ceiling * (1 + 1e-9)
+            clipped = np.abs(before.csi) > ceiling
+            assert clipped.any()
+            np.testing.assert_allclose(
+                np.angle(after.csi[clipped]),
+                np.angle(before.csi[clipped]),
+                atol=1e-9,
+            )
+
+    def test_outage_empties_batch(self, lab_records):
+        injector = LinkFaultInjector(LinkFaultPlan.outage(1.0), seed=2)
+        assert injector.corrupt(lab_records[0]).measurements == ()
+
+    def test_phase_smear_shared_across_packets(self, lab_records):
+        injector = LinkFaultInjector(LinkFaultPlan.phase_offset(1.0), seed=2)
+        clean = lab_records[0]
+        record = injector.corrupt(clean)
+        rotations = [
+            after.csi / before.csi
+            for before, after in zip(clean.measurements, record.measurements)
+        ]
+        for rotation in rotations[1:]:
+            np.testing.assert_allclose(rotation, rotations[0], atol=1e-9)
+        np.testing.assert_allclose(np.abs(rotations[0]), 1.0, atol=1e-9)
+
+    def test_zero_rate_never_fires(self, lab_records):
+        plan = LinkFaultPlan.nan_burst(0.0).plus(LinkFaultPlan.outage(0.0))
+        record = LinkFaultInjector(plan, seed=2).corrupt(lab_records[0])
+        for before, after in zip(
+            lab_records[0].measurements, record.measurements
+        ):
+            np.testing.assert_array_equal(before.csi, after.csi)
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(LinkFaultKind.PACKET_LOSS, -0.1)
+
+    def test_dropout_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(
+                LinkFaultKind.SUBCARRIER_DROPOUT, 0.5, dropout_fraction=0.0
+            )
+
+    def test_burst_width_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(LinkFaultKind.NAN_BURST, 0.5, burst_width=0)
+
+    def test_saturation_level_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(
+                LinkFaultKind.RSSI_SATURATION, 0.5, saturation_level=1.5
+            )

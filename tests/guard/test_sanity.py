@@ -1,0 +1,81 @@
+"""Tests for the structural CSI batch checks."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.channel.csi import CSIMeasurement
+from repro.guard import inspect_batch
+
+
+def _with_csi(m, csi):
+    return CSIMeasurement(csi, m.config, m.rssi_dbm)
+
+
+class TestCleanBatch:
+    def test_all_masks_true(self, lab_records):
+        report = inspect_batch(lab_records[0].measurements)
+        assert report.packets == len(lab_records[0].measurements)
+        assert report.clean.all()
+        assert report.issues == ()
+        assert report.packet_reasons() == []
+
+
+class TestPerPacketPredicates:
+    def test_nan_packet_flagged_finite_only(self, lab_records):
+        ms = list(lab_records[0].measurements)
+        csi = ms[2].csi.copy()
+        csi[5] = complex(np.nan, np.nan)
+        ms[2] = _with_csi(ms[2], csi)
+        report = inspect_batch(ms)
+        assert not report.finite[2]
+        # A non-finite packet must not leak zero/clipping labels too.
+        assert report.nonzero[2] and report.unclipped[2]
+        assert report.packet_reasons() == ["non-finite-csi"]
+        assert report.clean.sum() == len(ms) - 1
+
+    def test_zero_subcarrier_flagged(self, lab_records):
+        ms = list(lab_records[0].measurements)
+        csi = ms[0].csi.copy()
+        csi[7] = 0.0
+        ms[0] = _with_csi(ms[0], csi)
+        report = inspect_batch(ms)
+        assert not report.nonzero[0]
+        assert report.packet_reasons() == ["zero-subcarriers"]
+
+    def test_clipped_packet_flagged(self, lab_records):
+        ms = list(lab_records[0].measurements)
+        amps = np.abs(ms[1].csi)
+        ceiling = 0.3 * float(amps.max())
+        csi = ms[1].csi.copy()
+        over = amps > ceiling
+        csi[over] = csi[over] / amps[over] * ceiling
+        ms[1] = _with_csi(ms[1], csi)
+        report = inspect_batch(ms)
+        assert not report.unclipped[1]
+        assert report.packet_reasons() == ["amplitude-clipping"]
+
+
+class TestBatchLevelIssues:
+    def test_empty_batch(self):
+        report = inspect_batch([])
+        assert report.packets == 0
+        assert "empty-batch" in report.issues
+
+    def test_empty_batch_with_budget_is_also_short(self):
+        report = inspect_batch([], expected_packets=8)
+        assert "empty-batch" in report.issues
+        assert "packet-shortfall" in report.issues
+
+    def test_packet_shortfall(self, lab_records):
+        ms = list(lab_records[0].measurements)[:4]
+        report = inspect_batch(ms, expected_packets=12)
+        assert report.issues == ("packet-shortfall",)
+        assert report.clean.all()  # survivors are still clean
+
+    def test_mixed_ofdm_config(self, lab_records):
+        ms = list(lab_records[0].measurements)
+        other = dataclasses.replace(ms[0].config, n_fft=128)
+        ms[1] = CSIMeasurement(ms[1].csi, other, ms[1].rssi_dbm)
+        report = inspect_batch(ms)
+        assert "mixed-ofdm-config" in report.issues

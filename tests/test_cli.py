@@ -240,6 +240,57 @@ class TestClusterCommand:
         assert args.heartbeat_every == 5
 
 
+class TestGuardCommand:
+    def test_selftest_passes(self, capsys):
+        assert main(["guard", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "GUARD SELFTEST OK" in out
+        assert "zero-fault-bit-identical" in out
+        assert "phase-smear-salvaged" in out
+
+    def test_fault_drill_reports_verdicts(self, capsys):
+        rc = main(
+            ["guard", "lab", "-n", "3", "--packets", "8",
+             "--faults", "nan-burst:0.5:AP2",
+             "--faults", "ap-outage:1.0:AP3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 fault(s) scheduled, gating ON" in out
+        assert "degraded: AP2" in out
+        assert "rejected: AP3" in out
+        assert "confidence" in out
+
+    def test_clean_drill_keeps_full_confidence(self, capsys):
+        rc = main(["guard", "lab", "-n", "2", "--packets", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "confidence 1.00" in out
+        assert "0 degraded link(s), 0 rejected link(s)" in out
+
+    def test_no_gate_arm(self, capsys):
+        rc = main(
+            ["guard", "lab", "-n", "2", "--packets", "8", "--no-gate",
+             "--faults", "nan-burst:0.3:AP2"]
+        )
+        assert rc == 0
+        assert "gating OFF" in capsys.readouterr().out
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(["guard", "lab", "--faults", "gremlins:0.5"]) == 2
+        assert "unknown fault type" in capsys.readouterr().err
+
+    def test_bad_count_rejected(self, capsys):
+        assert main(["guard", "lab", "-n", "0"]) == 2
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["guard"])
+        assert args.scenario == "lab"
+        assert args.faults == []
+        assert not args.selftest
+        assert args.seed == 7
+
+
 class TestProfileCommand:
     def test_stage_breakdown_covers_pipeline(self, capsys):
         rc = main(["profile", "lab", "-n", "2", "--packets", "3"])

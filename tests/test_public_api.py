@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.serving",
     "repro.cluster",
+    "repro.guard",
     "repro.extensions",
     "repro.tracking",
     "repro.planning",
