@@ -212,6 +212,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=24, help="CSI packets per link"
     )
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="network front door: asyncio HTTP/WebSocket server with a "
+        "durable measurement ledger over a localization cluster",
+    )
+    gateway.add_argument(
+        "scenario", nargs="?", default="lab", help="scenario name (lab, lobby)"
+    )
+    gateway.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve until SIGTERM/SIGINT (the default action)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="bind address")
+    gateway.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    gateway.add_argument(
+        "--db",
+        default="gateway.db",
+        help="ledger database path (WAL sqlite; ':memory:' disables "
+        "durability)",
+    )
+    gateway.add_argument(
+        "--shards", type=int, default=1, help="cluster shards"
+    )
+    gateway.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    gateway.add_argument(
+        "--solver-workers",
+        type=int,
+        default=2,
+        help="solver threads behind the async/sync bridge",
+    )
+    gateway.add_argument(
+        "--selftest",
+        action="store_true",
+        help="in-process client round-trip: socket answers must match the "
+        "direct service bit-for-bit, acked ingest must survive a drain",
+    )
+    gateway.add_argument(
+        "--packets", type=int, default=4, help="CSI packets per link (selftest)"
+    )
+    gateway.add_argument(
+        "--load-s",
+        type=float,
+        default=1.0,
+        help="selftest loadgen duration in seconds",
+    )
+    gateway.add_argument(
+        "--p95-bound-s",
+        type=float,
+        default=2.0,
+        help="selftest fails if loadgen p95 latency exceeds this",
+    )
+    gateway.add_argument("--seed", type=int, default=0)
+
     profile = sub.add_parser(
         "profile",
         help="trace end-to-end queries and print a per-stage latency table",
@@ -278,6 +336,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "guard": _cmd_guard,
+        "gateway": _cmd_gateway,
         "profile": _cmd_profile,
     }[args.command]
     return handler(args)
@@ -927,6 +986,167 @@ def _cmd_guard(args: argparse.Namespace) -> int:
             f"{sum(errors) / len(errors):.2f} m, {degraded_total} degraded "
             f"link(s), {rejected_total} rejected link(s)"
         )
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .environment import get_scenario
+    from .gateway import GatewayConfig, GatewayServer
+
+    try:
+        scenario = get_scenario(args.scenario)
+        config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            db_path=args.db,
+            num_shards=args.shards,
+            replicas_per_shard=args.replicas,
+            solver_workers=args.solver_workers,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.selftest:
+        return _gateway_selftest(args, scenario, config)
+
+    async def serve() -> None:
+        server = GatewayServer(scenario.plan.boundary, config=config)
+        await server.start()
+        print(
+            f"gateway listening on http://{server.host}:{server.port} "
+            f"(scenario {scenario.name}, cluster "
+            f"{config.num_shards}x{config.replicas_per_shard}, "
+            f"ledger {config.db_path})",
+            flush=True,
+        )
+        await server.serve_forever()
+        print("gateway drained cleanly", flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # non-Unix fallback; Unix path drains in-loop
+        pass
+    return 0
+
+
+def _gateway_selftest(args, scenario, config) -> int:
+    """In-process round trip over a real socket, gated on bit-exactness.
+
+    Three checks, mirroring the ``cluster --selftest`` conventions:
+    answers served over the wire equal the direct service's bit for bit;
+    a replayed batch_id re-acks as a duplicate without double-ingesting;
+    and after a graceful drain every acked batch has a stored estimate
+    (no acknowledged write lost).
+    """
+    import asyncio
+    import tempfile
+    from dataclasses import replace as dc_replace
+    from pathlib import Path
+
+    from .gateway import (
+        AsyncGatewayClient,
+        GatewayServer,
+        LoadGenConfig,
+        MeasurementLedger,
+        run_loadgen,
+    )
+    from .serving import LocalizationService
+
+    _, _, queries = _serving_setup(args)
+    batch = list(queries(6))
+    anchor_sets = [anchors for _, anchors in batch]
+
+    async def run(db_path: str) -> int:
+        test_config = dc_replace(config, port=0, db_path=db_path)
+        server = GatewayServer(scenario.plan.boundary, config=test_config)
+        await server.start()
+        client = AsyncGatewayClient(server.host, server.port)
+        failures = 0
+        with LocalizationService(scenario.plan.boundary) as direct:
+            for i, anchors in enumerate(anchor_sets):
+                wire = await client.locate(anchors, query_id=f"selftest-{i}")
+                reference = direct.locate(anchors, query_id=f"selftest-{i}")
+                if (
+                    wire["degraded"]
+                    or wire["position"]["x"] != reference.position.x
+                    or wire["position"]["y"] != reference.position.y
+                ):
+                    failures += 1
+        print(
+            f"  locate round-trip: {len(anchor_sets)} queries over "
+            f"http://{server.host}:{server.port}, {failures} mismatches"
+        )
+        ack = await client.submit_batch(
+            "selftest-batch", anchor_sets[0], object_id="obj", wait=True
+        )
+        dup = await client.submit_batch(
+            "selftest-batch", anchor_sets[0], object_id="obj", wait=True
+        )
+        if ack["duplicate"] or not dup["duplicate"]:
+            print("  FAIL: idempotent replay mis-acked", file=sys.stderr)
+            failures += 1
+        if dup["estimate"]["position"] != ack["estimate"]["position"]:
+            print("  FAIL: replayed ack changed the answer", file=sys.stderr)
+            failures += 1
+        report = await run_loadgen(
+            server.host,
+            server.port,
+            anchor_sets,
+            LoadGenConfig(
+                connections=4,
+                duration_s=args.load_s,
+                mode="measurements",
+                batch_prefix="selftest-load",
+            ),
+        )
+        p95_s = report.latency_quantile(95.0)
+        print(
+            f"  loadgen: {report.completed} batches acked at "
+            f"{report.qps:.0f} q/s (p95 {p95_s * 1e3:.1f} ms), "
+            f"{report.errors} errors"
+        )
+        if report.errors or not report.completed:
+            print("  FAIL: loadgen campaign hit errors", file=sys.stderr)
+            failures += 1
+        if p95_s > args.p95_bound_s:
+            print(
+                f"  FAIL: loadgen p95 {p95_s:.3f}s exceeds the "
+                f"{args.p95_bound_s:.3f}s bound",
+                file=sys.stderr,
+            )
+            failures += 1
+        await client.close()
+        await server.stop()
+        with MeasurementLedger(db_path) as ledger:
+            lost = [
+                bid
+                for bid in ["selftest-batch", *report.acked_batch_ids]
+                if ledger.get_estimate(bid) is None
+            ]
+        if lost:
+            print(
+                f"  FAIL: {len(lost)} acked batches lost across drain",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"  drain durability: {1 + len(report.acked_batch_ids)} "
+                "acked batches all answered in the ledger"
+            )
+        return failures
+
+    with tempfile.TemporaryDirectory() as tmp:
+        failures = asyncio.run(run(str(Path(tmp) / "selftest.db")))
+    if failures:
+        print(f"SELFTEST FAIL: {failures} failing checks", file=sys.stderr)
+        return 1
+    print(
+        "SELFTEST OK: socket answers identical to direct service; "
+        "acked ingest survived the drain"
+    )
     return 0
 
 

@@ -42,6 +42,7 @@ from ..serving import (
     weighted_centroid,
 )
 from ..serving.cache import LocalizerCache
+from ..serving.metrics import json_safe
 from .faults import FaultInjector, FaultPlan, ReplicaCrashed
 from .health import HealthMonitor, ReplicaState
 from .metrics import ClusterMetrics, merge_service_snapshots
@@ -314,6 +315,18 @@ class LocalizationCluster:
         )
         return self._route(request)
 
+    def locate_request(self, request: LocalizationRequest) -> ClusterResponse:
+        """Route one already-built request (the network entry point).
+
+        The request-preserving sibling of :meth:`locate`, mirroring
+        :meth:`repro.serving.LocalizationService.locate_request`: callers
+        that construct a :class:`~repro.serving.LocalizationRequest`
+        themselves — the gateway's protocol decoder chief among them —
+        route through here so optional fields (``gate``, per-request
+        ``timeout_s``, ``area``) survive into the replica.
+        """
+        return self._route(request)
+
     def batch(
         self, requests: Iterable[LocalizationRequest | Sequence[Anchor]]
     ) -> list[ClusterResponse]:
@@ -420,6 +433,15 @@ class LocalizationCluster:
         if tracer is not None:
             snap["spans"] = aggregate(tracer.finished())
         return snap
+
+    def metrics_json(self) -> dict:
+        """:meth:`metrics_snapshot` coerced to JSON-serializable form.
+
+        Health-state enums collapse to their string values and keys come
+        back sorted — see :func:`repro.serving.metrics.json_safe`.  The
+        gateway's ``/metrics`` endpoint serves this dict verbatim.
+        """
+        return json_safe(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # Routing internals

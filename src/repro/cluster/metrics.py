@@ -16,7 +16,7 @@ import threading
 import time
 from typing import Mapping, Sequence
 
-from ..serving.metrics import LatencyReservoir
+from ..serving.metrics import LatencyReservoir, json_safe
 
 __all__ = ["ClusterMetrics", "merge_service_snapshots"]
 
@@ -136,6 +136,15 @@ class ClusterMetrics:
                 }
             )
             return snap
+
+    def to_json(self) -> dict:
+        """:meth:`snapshot` as a JSON-serializable dict with sorted keys.
+
+        Same contract as
+        :meth:`repro.serving.metrics.ServiceMetrics.to_json` — the form
+        the gateway's ``/metrics`` endpoint ships on the wire.
+        """
+        return json_safe(self.snapshot())
 
 
 def merge_service_snapshots(snapshots: Sequence[Mapping]) -> dict:

@@ -1,0 +1,202 @@
+"""Minimal HTTP/1.1 wire helpers over asyncio streams (stdlib only).
+
+Just enough HTTP for the gateway's JSON protocol and its clients: a
+request/response parser pair for persistent (keep-alive) connections,
+body framing by ``Content-Length``, and JSON response shorthand.  No
+chunked encoding, no multipart, no TLS — the protocol layer above never
+needs them, and every byte format here is covered by the gateway's
+socket round-trip tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "read_response",
+    "write_json_response",
+    "write_request",
+]
+
+#: Bound on header-section size; a larger preamble is a malformed client.
+MAX_HEADER_BYTES = 64 * 1024
+#: Bound on body size (measurement batches are a few KB; 8 MB is ample).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Malformed or oversized HTTP traffic on a connection."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        """The body parsed as JSON (raises ``ProtocolError`` upstream)."""
+        from .protocol import loads
+
+        return loads(self.body)
+
+
+@dataclass
+class HttpResponse:
+    """One parsed response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        return json.loads(self.body) if self.body else None
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> list[str]:
+    """Read up to the blank line; returns the preamble's non-empty lines."""
+    try:
+        raw = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise HttpError("connection closed")
+        raise HttpError("truncated HTTP preamble")
+    except asyncio.LimitOverrunError:
+        raise HttpError("HTTP preamble too large")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise HttpError("HTTP preamble too large")
+    return [line for line in raw.decode("latin-1").split("\r\n") if line]
+
+
+def _parse_header_lines(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str]
+) -> bytes:
+    length = headers.get("content-length")
+    if length is None:
+        return b""
+    try:
+        n = int(length)
+    except ValueError:
+        raise HttpError(f"bad Content-Length {length!r}")
+    if n < 0 or n > MAX_BODY_BYTES:
+        raise HttpError(f"unacceptable Content-Length {n}")
+    if n == 0:
+        return b""
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError:
+        raise HttpError("connection closed mid-body")
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on clean EOF between requests."""
+    if reader.at_eof():
+        return None
+    try:
+        lines = await _read_headers(reader)
+    except HttpError as exc:
+        if str(exc) == "connection closed":
+            return None
+        raise
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(f"malformed request line {lines[0]!r}")
+    headers = _parse_header_lines(lines[1:])
+    body = await _read_body(reader, headers)
+    return HttpRequest(parts[0].upper(), parts[1], headers, body)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response off a client connection."""
+    lines = await _read_headers(reader)
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(f"malformed status line {lines[0]!r}")
+    headers = _parse_header_lines(lines[1:])
+    body = await _read_body(reader, headers)
+    return HttpResponse(int(parts[1]), headers, body)
+
+
+def _write_preamble(
+    writer: asyncio.StreamWriter, first_line: str, headers: dict[str, str]
+) -> None:
+    chunks = [first_line, *(f"{k}: {v}" for k, v in headers.items()), "", ""]
+    writer.write("\r\n".join(chunks).encode("latin-1"))
+
+
+async def write_json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    keep_alive: bool = True,
+) -> None:
+    """Serialize + send one JSON response (sorted keys, stable order)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    reason = _REASONS.get(status, "Unknown")
+    _write_preamble(
+        writer,
+        f"HTTP/1.1 {status} {reason}",
+        {
+            "content-type": "application/json",
+            "content-length": str(len(body)),
+            "connection": "keep-alive" if keep_alive else "close",
+        },
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+async def write_request(
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Serialize + send one (optionally JSON-bodied) client request."""
+    body = (
+        b""
+        if payload is None
+        else json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    all_headers = {"content-length": str(len(body))}
+    if payload is not None:
+        all_headers["content-type"] = "application/json"
+    if headers:
+        all_headers.update(headers)
+    _write_preamble(writer, f"{method} {path} HTTP/1.1", all_headers)
+    writer.write(body)
+    await writer.drain()

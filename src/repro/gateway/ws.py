@@ -1,0 +1,94 @@
+"""Minimal RFC 6455 WebSocket support (stdlib only).
+
+Implements exactly the subset the gateway's streaming endpoint needs:
+the HTTP upgrade handshake, text/close/ping/pong frames, client-side
+masking, and 16-bit/64-bit extended payload lengths.  No extensions, no
+fragmentation (every protocol message fits one frame), no binary frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+__all__ = [
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketError",
+    "accept_key",
+    "encode_frame",
+    "read_frame",
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+#: Bound on a single frame payload; protocol messages are tiny.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+class WebSocketError(Exception):
+    """Malformed or unsupported WebSocket traffic."""
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((client_key + _GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One unfragmented frame (clients must set ``mask=True``)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WebSocketError("frame payload too large")
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    n = len(payload)
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", n)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``.
+
+    Raises :class:`WebSocketError` on fragmentation (unsupported) or
+    oversized frames, and ``asyncio.IncompleteReadError`` on EOF.
+    """
+    first = await reader.readexactly(2)
+    fin = first[0] & 0x80
+    opcode = first[0] & 0x0F
+    if not fin:
+        raise WebSocketError("fragmented frames are unsupported")
+    masked = first[1] & 0x80
+    length = first[1] & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", await reader.readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", await reader.readexactly(8))[0]
+    if length > MAX_FRAME_BYTES:
+        raise WebSocketError("frame payload too large")
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(length) if length else b""
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

@@ -106,6 +106,56 @@ class GateResult:
             out.update(v.reasons)
         return tuple(sorted(out))
 
+    def to_dict(self) -> dict:
+        """Plain-dict wire form of the whole gate outcome.
+
+        Everything the serving layer needs to reproduce the gated query
+        exactly survives: anchors (positions + PDPs, floats round-trip
+        bit-exactly through JSON), quality weights, and every link's
+        :meth:`~repro.guard.quality.LinkVerdict.to_dict` record.  This
+        is what the gateway protocol carries in a request's optional
+        ``gate`` section and what the verdict ledger persists.
+        """
+        return {
+            "anchors": [
+                {
+                    "name": a.name,
+                    "x": a.position.x,
+                    "y": a.position.y,
+                    "pdp": a.pdp,
+                    "nomadic": a.nomadic,
+                }
+                for a in self.anchors
+            ],
+            "quality_weights": (
+                None
+                if self.quality_weights is None
+                else dict(self.quality_weights)
+            ),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "GateResult":
+        """Rebuild a gate outcome from its :meth:`to_dict` record."""
+        anchors = tuple(
+            Anchor(
+                name=a["name"],
+                position=Point(float(a["x"]), float(a["y"])),
+                pdp=float(a["pdp"]),
+                nomadic=bool(a.get("nomadic", False)),
+            )
+            for a in record.get("anchors") or ()
+        )
+        weights = record.get("quality_weights")
+        return cls(
+            anchors=anchors,
+            quality_weights=None if weights is None else dict(weights),
+            verdicts=tuple(
+                LinkVerdict.from_dict(v) for v in record.get("verdicts") or ()
+            ),
+        )
+
 
 def gate_records(
     records: Sequence[LinkRecord],

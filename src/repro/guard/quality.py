@@ -180,6 +180,41 @@ class LinkVerdict:
         """True when the link may contribute an anchor."""
         return self.status is not LinkStatus.REJECTED
 
+    def to_dict(self) -> dict:
+        """Plain-dict wire/ledger form of the ruling.
+
+        Floats pass through unchanged (JSON round-trips them exactly),
+        so ``from_dict(to_dict(v)) == v`` — the property the gateway's
+        verdict ledger and the protocol's optional ``gate`` section both
+        rely on.
+        """
+        return {
+            "name": self.name,
+            "status": self.status.value,
+            "quality": self.quality,
+            "reasons": list(self.reasons),
+            "clean_packets": self.clean_packets,
+            "expected_packets": self.expected_packets,
+            "pdp": self.pdp,
+            "energy": self.energy,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "LinkVerdict":
+        """Rebuild a ruling from its :meth:`to_dict` record."""
+        return cls(
+            name=record["name"],
+            status=LinkStatus(record["status"]),
+            quality=float(record["quality"]),
+            reasons=tuple(record.get("reasons") or ()),
+            clean_packets=int(record["clean_packets"]),
+            expected_packets=int(record["expected_packets"]),
+            pdp=None if record.get("pdp") is None else float(record["pdp"]),
+            energy=(
+                None if record.get("energy") is None else float(record["energy"])
+            ),
+        )
+
 
 def assess_link(
     record: LinkRecord,

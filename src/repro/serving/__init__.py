@@ -10,7 +10,7 @@ fails or a deadline expires.
 """
 
 from .cache import BisectorCache, CacheStats, LocalizerCache, topology_key
-from .metrics import LatencyReservoir, ServiceMetrics, percentile
+from .metrics import LatencyReservoir, ServiceMetrics, json_safe, percentile
 from .pool import WorkerPool
 from .queueing import AdmissionQueue, QueueFullError
 from .service import (
@@ -26,6 +26,7 @@ __all__ = [
     "AdmissionQueue",
     "BisectorCache",
     "CacheStats",
+    "json_safe",
     "LatencyReservoir",
     "LocalizationRequest",
     "LocalizationResponse",

@@ -9,11 +9,43 @@ events.
 
 from __future__ import annotations
 
+import enum
+import math
 import threading
 import time
 from collections import deque
+from typing import Any, Mapping
 
-__all__ = ["LatencyReservoir", "ServiceMetrics", "percentile"]
+__all__ = ["LatencyReservoir", "ServiceMetrics", "json_safe", "percentile"]
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce a metrics snapshot into a strictly JSON-serializable form.
+
+    The contract exporters rely on: dicts come back with **sorted,
+    stringified keys** (stable wire order regardless of insertion
+    history), tuples/sets become lists, enums collapse to their values,
+    and non-finite floats — which ``json.dumps`` rejects or emits as
+    non-standard ``NaN`` — become ``None``.  Unknown objects fall back to
+    ``str``, so a snapshot never fails to serialize.
+    """
+    if isinstance(value, Mapping):
+        return {
+            str(key): json_safe(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=str) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(item) for item in items]
+    if isinstance(value, enum.Enum):
+        return json_safe(value.value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (int, str)):
+        return value
+    return str(value)
 
 
 def percentile(values, q: float) -> float:
@@ -209,3 +241,16 @@ LocalizationService`):
                 }
             )
             return snap
+
+    def to_json(self, queue_depth: int = 0, queue_rejected: int = 0) -> dict:
+        """:meth:`snapshot` as a JSON-serializable dict with sorted keys.
+
+        The exporter-facing form (the gateway's ``/metrics`` endpoint,
+        log shippers, test assertions): ``json.dumps`` never raises on
+        it, and key order is stable across processes and runs.
+        """
+        return json_safe(
+            self.snapshot(
+                queue_depth=queue_depth, queue_rejected=queue_rejected
+            )
+        )

@@ -31,7 +31,7 @@ from ..core import Anchor, LocalizerConfig, LocationEstimate, NomLocLocalizer
 from ..geometry import Point, Polygon
 from ..obs import aggregate, get_tracer, span
 from .cache import BisectorCache, LocalizerCache
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, json_safe
 from .pool import WorkerPool
 from .queueing import AdmissionQueue, QueueFullError
 
@@ -445,6 +445,16 @@ class LocalizationService:
                 "hit_rate": stats.hit_rate,
             }
         return snap
+
+    def metrics_json(self) -> dict:
+        """:meth:`metrics_snapshot` coerced to JSON-serializable form.
+
+        Sorted keys, enum values collapsed, non-finite floats nulled —
+        see :func:`repro.serving.metrics.json_safe`.  This is what
+        network exporters (the gateway ``/metrics`` endpoint) serve
+        directly, without any per-caller conversion shims.
+        """
+        return json_safe(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,5 +1,7 @@
 """Tests for cluster-level metrics and the fleet roll-up."""
 
+import json
+
 from repro.cluster import ClusterMetrics, merge_service_snapshots
 
 
@@ -64,3 +66,23 @@ class TestMergeServiceSnapshots:
         merged = merge_service_snapshots([])
         assert merged["replica_count"] == 0
         assert merged["cache_hit_rate"] == 0.0
+
+
+class TestClusterMetricsToJson:
+    def test_to_json_dumps_cleanly_with_stable_order(self):
+        metrics = ClusterMetrics()
+        metrics.record_query(0.01)
+        metrics.record_query(0.02, degraded=True, hedged=True)
+        doc = metrics.to_json()
+        assert doc == json.loads(json.dumps(doc, sort_keys=True))
+        assert list(doc) == sorted(doc)
+        assert doc["routed"] == 2
+        assert doc["hedges"] == 1
+
+    def test_to_json_matches_snapshot_values(self):
+        metrics = ClusterMetrics()
+        metrics.record_query(0.125)
+        snap = metrics.snapshot()
+        doc = metrics.to_json()
+        assert doc["latency_p95_s"] == snap["latency_p95_s"]  # exact floats
+        assert doc["availability"] == snap["availability"]

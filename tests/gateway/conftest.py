@@ -1,0 +1,24 @@
+"""Shared fixtures for the gateway test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+
+
+@pytest.fixture(scope="package")
+def lab():
+    return get_scenario("lab")
+
+
+@pytest.fixture(scope="package")
+def anchor_sets(lab):
+    """Four seeded queries across the lab's test sites."""
+    system = NomLocSystem(lab, SystemConfig(packets_per_link=4))
+    sets = []
+    for i in range(4):
+        site = lab.test_sites[i % len(lab.test_sites)]
+        rng = np.random.default_rng(np.random.SeedSequence([11, i]))
+        sets.append(tuple(system.gather_anchors(site, rng)))
+    return sets

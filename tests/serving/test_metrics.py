@@ -1,9 +1,13 @@
 """Tests for the service metrics core."""
 
+import enum
+import json
+import math
+
 import numpy as np
 import pytest
 
-from repro.serving import LatencyReservoir, ServiceMetrics, percentile
+from repro.serving import LatencyReservoir, ServiceMetrics, json_safe, percentile
 
 
 class TestPercentile:
@@ -97,3 +101,56 @@ class TestQueueWait:
         assert snap["queue_wait_mean_s"] == 0.0
         assert snap["queue_wait_p50_s"] == 0.0
         assert snap["queue_wait_p95_s"] == 0.0
+
+
+class TestJsonSafe:
+    def test_sorted_stringified_keys_recursively(self):
+        out = json_safe({"b": 1, 2: {"z": (1, 2), "a": {3.5}}})
+        assert list(out) == ["2", "b"]
+        assert out["2"] == {"a": [3.5], "z": [1, 2]}
+        json.dumps(out)
+
+    def test_non_finite_floats_become_null(self):
+        assert json_safe({"a": math.nan, "b": math.inf, "c": 1.5}) == {
+            "a": None,
+            "b": None,
+            "c": 1.5,
+        }
+
+    def test_enums_collapse_and_unknowns_stringify(self):
+        class Status(enum.Enum):
+            OK = "ok"
+
+        class Opaque:
+            def __str__(self):
+                return "opaque!"
+
+        out = json_safe({"s": Status.OK, "o": Opaque(), "flag": True})
+        assert out == {"flag": True, "o": "opaque!", "s": "ok"}
+        json.dumps(out)
+
+    def test_numpy_scalars_never_break_serialization(self):
+        out = json_safe({"count": np.int64(3), "rate": np.float64(0.5)})
+        json.dumps(out)  # falls back to str for non-builtin numerics
+
+
+class TestServiceMetricsToJson:
+    def test_to_json_dumps_cleanly_with_stable_order(self):
+        m = ServiceMetrics()
+        m.record_admitted()
+        m.record_completed(0.01)
+        doc = m.to_json(queue_depth=2, queue_rejected=1)
+        assert doc == json.loads(json.dumps(doc, sort_keys=True))
+        assert list(doc) == sorted(doc)
+        assert doc["completed"] == 1
+        assert doc["queue_depth"] == 2
+        assert doc["queue_rejected_total"] == 1
+
+    def test_to_json_matches_snapshot_values(self):
+        m = ServiceMetrics()
+        m.record_admitted()
+        m.record_completed(0.25)
+        snap = m.snapshot()
+        doc = m.to_json()
+        assert doc["latency_p50_s"] == snap["latency_p50_s"]  # exact floats
+        assert doc["completed"] == snap["completed"]

@@ -356,3 +356,43 @@ class TestServingTraceFlag:
             obs.disable()
         assert rc == 0
         assert "stage breakdown" in capsys.readouterr().out
+
+
+class TestGatewayCommand:
+    def test_parser_accepts_gateway_flags(self):
+        args = build_parser().parse_args(
+            ["gateway", "lobby", "--host", "0.0.0.0", "--port", "8080",
+             "--db", "/tmp/x.db", "--shards", "2", "--replicas", "3",
+             "--solver-workers", "4", "--selftest"]
+        )
+        assert args.scenario == "lobby"
+        assert args.host == "0.0.0.0"
+        assert args.port == 8080
+        assert args.db == "/tmp/x.db"
+        assert args.shards == 2
+        assert args.replicas == 3
+        assert args.solver_workers == 4
+        assert args.selftest
+
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway"])
+        assert args.scenario == "lab"
+        assert args.port == 0
+        assert args.db == "gateway.db"
+        assert args.shards == 1 and args.replicas == 1
+
+    def test_selftest_round_trip(self, capsys):
+        rc = main(["gateway", "lab", "--selftest", "--packets", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 mismatches" in out
+        assert "drain durability" in out
+        assert "SELFTEST OK" in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["gateway", "mall", "--selftest"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_cluster_shape_rejected(self, capsys):
+        assert main(["gateway", "lab", "--shards", "0"]) == 2
+        assert "error" in capsys.readouterr().err
