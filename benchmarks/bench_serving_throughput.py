@@ -1,21 +1,34 @@
-"""SERVE — serving-layer throughput: sequential vs pooled vs cached (ours).
+"""SERVE — serving-layer throughput: sequential vs pooled/batched/process.
 
 Measures queries/sec and p50/p95 latency of the
 :class:`repro.serving.LocalizationService` over pre-gathered anchor sets
 (measurement excluded — a server receives anchors, it doesn't simulate
-radios) in three configurations per scenario:
+radios) in five configurations per scenario:
 
 * ``cold-sequential`` — caches off, no workers: every query rebuilds the
   convex decomposition and boundary rows, the pre-serving baseline;
-* ``cached-sequential`` — topology + bisector caches on, warm;
-* ``cached-pooled`` — caches on plus a worker pool.
+* ``cached-sequential`` — topology + bisector caches on, warm; the
+  bit-exactness and speedup reference for the parallel modes;
+* ``cached-pooled`` — caches on plus a thread pool (GIL-bound: included
+  as the documented anti-pattern the process/batched modes replace);
+* ``cached-batched`` — caches on, micro-batched stacked-LP solves
+  (``lp_batch``): many queries advance per NumPy pass instead of one per
+  Python pivot loop — the single-core way past the GIL ceiling;
+* ``cached-processes`` — caches on, process workers solving micro-batch
+  chunks with the warmed topology state fork-inherited — the multi-core
+  way past it.
 
-Expected shape: the cached paths beat cold-sequential (the topology
-prefix dominates small-query solve time), and all three return
-bit-identical positions.  Results are persisted to
-``benchmarks/results/SERVE.txt``.
+Acceptance bar: the best parallel mode (batched or processes) sustains
+**>= 3x** the cached-sequential QPS, and every mode returns bit-identical
+positions.  Timing is best-of-``REPS`` per mode with the modes
+interleaved across repetitions, so a noisy-neighbour burst hurts every
+mode equally instead of whichever one it landed on.  Results are
+persisted to ``benchmarks/results/SERVE.txt`` and the machine-readable
+ledger ``benchmarks/results/BENCH_serving_throughput.json`` that the CI
+regression gate (``benchmarks/check_regression.py``) diffs against.
 """
 
+import os
 import time
 
 import numpy as np
@@ -27,17 +40,29 @@ from repro.serving import LocalizationService, ServingConfig
 
 from conftest import run_once
 
-QUERIES = 40
+QUERIES = 64
 PACKETS = 6
-WORKERS = 4
+REPS = 3
+THREAD_WORKERS = 4
+PROC_WORKERS = max(1, min(4, os.cpu_count() or 1))
 
 MODES = {
     "cold-sequential": ServingConfig(
         max_workers=0, cache_topologies=False, cache_bisectors=False
     ),
     "cached-sequential": ServingConfig(max_workers=0),
-    "cached-pooled": ServingConfig(max_workers=WORKERS),
+    "cached-pooled": ServingConfig(max_workers=THREAD_WORKERS),
+    "cached-batched": ServingConfig(max_workers=0, lp_batch=QUERIES),
+    "cached-processes": ServingConfig(
+        max_workers=PROC_WORKERS,
+        worker_mode="process",
+        lp_batch=max(2, QUERIES // (2 * PROC_WORKERS)),
+    ),
 }
+
+#: Modes allowed to claim the >= 3x bar against cached-sequential.
+PARALLEL_MODES = ("cached-batched", "cached-processes")
+SPEEDUP_FLOOR = 3.0
 
 
 def _gather_queries(scenario_name: str):
@@ -51,35 +76,51 @@ def _gather_queries(scenario_name: str):
     return scenario, sets
 
 
-def _run_mode(scenario, anchor_sets, config):
-    with LocalizationService(scenario.plan.boundary, config=config) as svc:
-        if config.cache_topologies:
-            svc.batch(anchor_sets[:2])  # warm the caches out-of-band
-        # Best-of-two timed batches: scheduler noise shows up as a slow
-        # outlier, never a fast one, so the max q/s is the honest figure.
-        elapsed = float("inf")
-        for _ in range(2):
-            started = time.perf_counter()
-            responses = svc.batch(anchor_sets)
-            elapsed = min(elapsed, time.perf_counter() - started)
-        snap = svc.metrics_snapshot()
-    return {
-        "responses": responses,
-        "qps": len(anchor_sets) / elapsed,
-        "p50_ms": snap["latency_p50_s"] * 1e3,
-        "p95_ms": snap["latency_p95_s"] * 1e3,
-        "degraded": snap["degraded"],
-    }
+def _run_modes(scenario, anchor_sets):
+    """Every mode over the same queries, interleaved best-of-``REPS``.
+
+    One long-lived service per mode (that is what's being measured — a
+    serving process, warm), with the timed repetitions round-robined
+    across modes so scheduler noise is spread evenly.
+    """
+    services = {}
+    elapsed = {}
+    try:
+        for mode, config in MODES.items():
+            svc = LocalizationService(scenario.plan.boundary, config=config)
+            services[mode] = svc
+            if config.cache_topologies:
+                svc.batch(anchor_sets[:2])  # warm the caches out-of-band
+            elapsed[mode] = float("inf")
+        responses = {}
+        for _ in range(REPS):
+            for mode, svc in services.items():
+                started = time.perf_counter()
+                responses[mode] = svc.batch(anchor_sets)
+                elapsed[mode] = min(
+                    elapsed[mode], time.perf_counter() - started
+                )
+        out = {}
+        for mode, svc in services.items():
+            snap = svc.metrics_snapshot()
+            out[mode] = {
+                "responses": responses[mode],
+                "qps": len(anchor_sets) / elapsed[mode],
+                "p50_ms": snap["latency_p50_s"] * 1e3,
+                "p95_ms": snap["latency_p95_s"] * 1e3,
+                "degraded": snap["degraded"],
+            }
+        return out
+    finally:
+        for svc in services.values():
+            svc.close()
 
 
 def _serving_comparison():
     results = {}
     for scenario_name in ("lab", "lobby"):
         scenario, anchor_sets = _gather_queries(scenario_name)
-        results[scenario_name] = {
-            mode: _run_mode(scenario, anchor_sets, config)
-            for mode, config in MODES.items()
-        }
+        results[scenario_name] = _run_modes(scenario, anchor_sets)
     return results
 
 
@@ -89,6 +130,7 @@ def test_serving_throughput(benchmark, save_result, save_json):
     rows = []
     for scenario_name, by_mode in results.items():
         cold = by_mode["cold-sequential"]
+        seq = by_mode["cached-sequential"]
         for mode, r in by_mode.items():
             # Serving must never silently degrade under benign load.
             assert r["degraded"] == 0, f"{scenario_name}/{mode} degraded"
@@ -103,22 +145,20 @@ def test_serving_throughput(benchmark, save_result, save_json):
                     round(r["qps"], 1),
                     round(r["p50_ms"], 2),
                     round(r["p95_ms"], 2),
-                    round(r["qps"] / cold["qps"], 2),
+                    round(r["qps"] / seq["qps"], 2),
                 ]
             )
-        # The acceptance bar: a measurable speedup over the cold path
-        # from the cache hit or the pool.
-        best = max(
-            by_mode["cached-sequential"]["qps"],
-            by_mode["cached-pooled"]["qps"],
-        )
-        assert best > cold["qps"], (
-            f"{scenario_name}: no serving speedup "
-            f"(cold {cold['qps']:.1f} q/s, best {best:.1f} q/s)"
+        # The acceptance bar: at least one GIL-free mode clears 3x the
+        # warm sequential path (batched on one core, processes on many).
+        best = max(by_mode[m]["qps"] for m in PARALLEL_MODES)
+        assert best >= SPEEDUP_FLOOR * seq["qps"], (
+            f"{scenario_name}: parallel serving below {SPEEDUP_FLOOR}x "
+            f"(sequential {seq['qps']:.1f} q/s, best parallel "
+            f"{best:.1f} q/s = {best / seq['qps']:.2f}x)"
         )
 
     table = format_table(
-        ["scenario", "mode", "qps", "p50(ms)", "p95(ms)", "speedup"], rows
+        ["scenario", "mode", "qps", "p50(ms)", "p95(ms)", "vs-seq"], rows
     )
     save_result("SERVE", table)
     save_json(

@@ -248,6 +248,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver threads behind the async/sync bridge",
     )
     gateway.add_argument(
+        "--replica-workers",
+        type=int,
+        default=0,
+        help="workers inside each replica service (0 = sequential)",
+    )
+    gateway.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="replica worker kind: 'process' forks workers that share "
+        "the warm caches copy-on-write (needs --replica-workers >= 1)",
+    )
+    gateway.add_argument(
+        "--lp-batch",
+        type=int,
+        default=0,
+        help="stack up to N queries' relaxation LPs per replica solve",
+    )
+    gateway.add_argument(
         "--selftest",
         action="store_true",
         help="in-process client round-trip: socket answers must match the "
@@ -309,6 +328,21 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="worker threads (0 = sequential reference path)",
+    )
+    parser.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker kind: 'thread' shares the GIL, 'process' forks "
+        "workers that share the warm caches copy-on-write (needs "
+        "--workers >= 1)",
+    )
+    parser.add_argument(
+        "--lp-batch",
+        type=int,
+        default=0,
+        help="stack up to N queries' relaxation LPs into one batched "
+        "solve (0 = per-query scalar solves)",
     )
     parser.add_argument(
         "--no-cache",
@@ -635,6 +669,8 @@ def _cmd_batch_locate(args: argparse.Namespace) -> int:
         scenario, system, queries = _serving_setup(args)
         config = ServingConfig(
             max_workers=args.workers,
+            worker_mode=args.worker_mode,
+            lp_batch=args.lp_batch,
             cache_topologies=not args.no_cache,
             cache_bisectors=not args.no_cache,
         )
@@ -705,6 +741,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scenario, system, queries = _serving_setup(args)
         config = ServingConfig(
             max_workers=args.workers,
+            worker_mode=args.worker_mode,
+            lp_batch=args.lp_batch,
             queue_capacity=args.queue_capacity,
             timeout_s=args.timeout,
             cache_topologies=not args.no_cache,
@@ -714,7 +752,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _trace_tracer(args)
-    mode = f"{args.workers} workers" if args.workers else "sequential"
+    mode = (
+        f"{args.workers} {args.worker_mode} workers"
+        if args.workers
+        else "sequential"
+    )
+    if args.lp_batch > 1:
+        mode += f", lp-batch {args.lp_batch}"
     print(
         f"serving {args.queries} queries against {scenario.name} "
         f"({mode}, queue capacity {config.queue_capacity})"
@@ -826,6 +870,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             heartbeat_every=args.heartbeat_every,
             serving=ServingConfig(
                 max_workers=args.workers,
+                worker_mode=args.worker_mode,
+                lp_batch=args.lp_batch,
                 timeout_s=args.timeout,
                 cache_topologies=not args.no_cache,
                 cache_bisectors=not args.no_cache,
@@ -994,6 +1040,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
 
     from .environment import get_scenario
     from .gateway import GatewayConfig, GatewayServer
+    from .serving import ServingConfig
 
     try:
         scenario = get_scenario(args.scenario)
@@ -1005,14 +1052,23 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             replicas_per_shard=args.replicas,
             solver_workers=args.solver_workers,
         )
+        serving_config = ServingConfig(
+            max_workers=args.replica_workers,
+            worker_mode=args.worker_mode,
+            lp_batch=args.lp_batch,
+        )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.selftest:
-        return _gateway_selftest(args, scenario, config)
+        return _gateway_selftest(args, scenario, config, serving_config)
 
     async def serve() -> None:
-        server = GatewayServer(scenario.plan.boundary, config=config)
+        server = GatewayServer(
+            scenario.plan.boundary,
+            config=config,
+            serving_config=serving_config,
+        )
         await server.start()
         print(
             f"gateway listening on http://{server.host}:{server.port} "
@@ -1031,7 +1087,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
-def _gateway_selftest(args, scenario, config) -> int:
+def _gateway_selftest(args, scenario, config, serving_config=None) -> int:
     """In-process round trip over a real socket, gated on bit-exactness.
 
     Three checks, mirroring the ``cluster --selftest`` conventions:
@@ -1060,7 +1116,11 @@ def _gateway_selftest(args, scenario, config) -> int:
 
     async def run(db_path: str) -> int:
         test_config = dc_replace(config, port=0, db_path=db_path)
-        server = GatewayServer(scenario.plan.boundary, config=test_config)
+        server = GatewayServer(
+            scenario.plan.boundary,
+            config=test_config,
+            serving_config=serving_config,
+        )
         await server.start()
         client = AsyncGatewayClient(server.host, server.port)
         failures = 0

@@ -27,7 +27,7 @@ import random
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..core import Anchor, LocalizerConfig, LocationEstimate
@@ -335,8 +335,105 @@ class LocalizationCluster:
         Queries are routed sequentially so the fault clock (the global
         query counter) is deterministic — the property fault drills and
         the bit-exactness benchmark rely on.
+
+        When the per-replica serving config enables LP micro-batching
+        (``serving.lp_batch > 1``), consecutive queries that route to the
+        same healthy replica are handed to that replica's
+        :meth:`~repro.serving.LocalizationService.batch` in one call, so
+        their relaxation LPs solve as stacked tableaux.  Fault hooks
+        still fire once per query *before* its run is served, and any
+        query whose hook (or whose run's batched serve) raises a failover
+        error falls back to the retried scalar routing path — failures
+        stay per-query, never per-batch.  Count-based heartbeats
+        (``heartbeat_every``) don't compose with run coalescing, so that
+        setting forces the scalar path.
         """
-        return [self._route(self._coerce(r)) for r in requests]
+        reqs = [self._coerce(r) for r in requests]
+        if self.config.serving.lp_batch <= 1 or self.config.heartbeat_every:
+            return [self._route(r) for r in reqs]
+        out: list[ClusterResponse] = []
+        run: list[LocalizationRequest] = []
+        run_dest: tuple[int, int] | None = None
+        for req in reqs:
+            area = req.area if req.area is not None else self.area
+            shard_id, order = self.router.route(
+                route_key(area, self.localizer_config)
+            )
+            primary = self._pick(shard_id, order, set())
+            if primary is None:
+                # Whole replica group unroutable: flush, then let the
+                # scalar path produce the flagged fallback answer.
+                if run:
+                    out.extend(self._serve_run(run_dest, run))
+                    run, run_dest = [], None
+                out.append(self._route(req))
+                continue
+            dest = (shard_id, primary)
+            if run and dest != run_dest:
+                out.extend(self._serve_run(run_dest, run))
+                run = []
+            run_dest = dest
+            run.append(req)
+        if run:
+            out.extend(self._serve_run(run_dest, run))
+        return out
+
+    def _serve_run(
+        self, dest: tuple[int, int], run: list[LocalizationRequest]
+    ) -> list[ClusterResponse]:
+        """Serve one same-replica run through the replica's batch path.
+
+        Fires the fault hook per query first (preserving the sequential
+        fault clock), serves the survivors in one
+        ``service.batch`` call, and falls back to :meth:`_route` for any
+        query the hook or the batched serve failed — those queries spend
+        fresh clock ticks, exactly like a client retrying.
+        """
+        shard_id, idx = dest
+        replica = self.shards[shard_id][idx]
+        out: list[ClusterResponse | None] = [None] * len(run)
+        serve: list[int] = []
+        fallback: list[int] = []
+        started = time.perf_counter()
+        for pos in range(len(run)):
+            query_index = self._next_query_index()
+            try:
+                self.injector.on_query(shard_id, idx, query_index)
+            except _FAILOVER_ERRORS:
+                self.health.record_failure(replica.replica_id)
+                fallback.append(pos)
+            else:
+                serve.append(pos)
+        if serve:
+            with span(
+                "cluster.batch", shard=shard_id, replica=idx, size=len(serve)
+            ) as run_sp:
+                try:
+                    resps = replica.service.batch([run[p] for p in serve])
+                except _FAILOVER_ERRORS:
+                    self.health.record_failure(replica.replica_id)
+                    fallback.extend(serve)
+                else:
+                    for pos, resp in zip(serve, resps):
+                        out[pos] = self._finish(
+                            run[pos],
+                            resp,
+                            replica,
+                            shard_id,
+                            started,
+                            attempts=1,
+                            failovers=0,
+                            retries=0,
+                            hedged=False,
+                            route_sp=run_sp,
+                        )
+        for pos in fallback:
+            # The failed coalesced attempt was a failover the re-route
+            # below never sees; count it on the response and the fleet.
+            resp = self._route(run[pos])
+            out[pos] = replace(resp, failovers=resp.failovers + 1)
+            self.metrics.record_failover()
+        return out  # type: ignore[return-value]  # every slot is filled
 
     def _coerce(
         self, request: LocalizationRequest | Sequence[Anchor]

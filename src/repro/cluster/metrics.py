@@ -91,6 +91,18 @@ class ClusterMetrics:
             if hedged:
                 self.hedges += 1
 
+    def record_failover(self, n: int = 1) -> None:
+        """Failover attempts seen outside :meth:`record_query`.
+
+        The coalesced batch path fires fault hooks before routing; a
+        query knocked out of its run there fails over exactly like the
+        scalar path's mid-route failure, but its eventual ``_route``
+        retry no longer sees that attempt — this keeps the fleet counter
+        honest.
+        """
+        with self._lock:
+            self.failovers += n
+
     def record_retry_denied(self) -> None:
         """The retry budget refused a retry (load-amplification guard)."""
         with self._lock:

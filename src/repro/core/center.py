@@ -15,7 +15,7 @@ estimators are provided and compared in the ABL-CTR ablation:
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -40,19 +40,29 @@ def feasible_polygon(
     return intersect_halfspaces(halfspaces, bound)
 
 
+#: Sentinel distinguishing "no precomputed region passed" from a caller
+#: that already clipped and found the region empty (``region=None``).
+_UNSET: Any = object()
+
+
 def region_center(
     halfspaces: Sequence[HalfSpace],
     bound: Polygon,
     method: CenterMethod = CenterMethod.CENTROID,
     fallback: np.ndarray | None = None,
+    region: Polygon | None | Any = _UNSET,
 ) -> Point | None:
     """Centre of ``{z : halfspaces} ∩ bound`` by the chosen method.
 
     Returns ``None`` when the region is empty and no ``fallback`` point is
     given; with a ``fallback`` (typically the relaxation LP's feasible
-    point) a degenerate region still yields an estimate.
+    point) a degenerate region still yields an estimate.  A caller that
+    already clipped the same halfspaces may pass the result as ``region``
+    (including ``None`` for "known empty") to skip the redundant clip —
+    clipping is deterministic, so the centre is unchanged.
     """
-    region = feasible_polygon(halfspaces, bound)
+    if region is _UNSET:
+        region = feasible_polygon(halfspaces, bound)
     if region is None:
         if fallback is None:
             return None

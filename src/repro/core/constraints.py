@@ -33,7 +33,7 @@ from ..geometry import (
     boundary_halfspaces,
 )
 from ..obs import span
-from .pdp import confidence_factor, judge_proximity
+from .pdp import confidence_factor, proximity_confidence
 
 __all__ = [
     "ConstraintKind",
@@ -169,18 +169,27 @@ def pairwise_constraints(
     """
     with span("constraints.pairwise", anchors=len(anchors)) as sp:
         out: list[WeightedConstraint] = []
-        for i in range(len(anchors)):
-            for j in range(i + 1, len(anchors)):
-                a_i, a_j = anchors[i], anchors[j]
+        n = len(anchors)
+        pdps = [a.pdp for a in anchors]
+        for i in range(n):
+            a_i = anchors[i]
+            p_i = pdps[i]
+            for j in range(i + 1, n):
+                a_j = anchors[j]
                 if a_i.nomadic and a_j.nomadic and not include_nomadic_pairs:
                     continue
                 if a_i.position.almost_equals(a_j.position):
                     continue  # coincident anchors give no information
-                judgement = judge_proximity(
-                    [a.pdp for a in anchors], i, j, confidence_fn
-                )
-                near = anchors[judgement.near_index]
-                far = anchors[judgement.far_index]
+                # judge_proximity, inlined for the serving hot loop:
+                # larger PDP wins (ties to the lower index), confidence
+                # from the weaker/stronger power ratio — same arithmetic,
+                # minus the per-pair judgement object.
+                p_j = pdps[j]
+                confidence = proximity_confidence(p_i, p_j, confidence_fn)
+                if p_i >= p_j:
+                    near, far = a_i, a_j
+                else:
+                    near, far = a_j, a_i
                 hs = None
                 cache_key = None
                 if bisector_cache is not None:
@@ -203,7 +212,7 @@ def pairwise_constraints(
                     if (a_i.nomadic or a_j.nomadic)
                     else ConstraintKind.PAIRWISE
                 )
-                weight = judgement.confidence
+                weight = confidence
                 if quality_weights is not None:
                     quality = min(
                         quality_weights.get(a_i.name, 1.0),

@@ -29,7 +29,7 @@ from .constraints import (
     boundary_constraints,
     pairwise_constraints,
 )
-from .relaxation import RelaxationResult, solve_relaxation
+from .relaxation import RelaxationResult, solve_relaxation, solve_relaxation_batch
 
 __all__ = [
     "LocalizerConfig",
@@ -296,6 +296,55 @@ class NomLocLocalizer:
             solutions = list(piece_mapper(solver, indices))
         return self.estimate_from_solutions(solutions)
 
+    def locate_batch(
+        self,
+        queries: Sequence[Sequence[Anchor]],
+        quality_weights: Sequence[Mapping[str, float] | None] | None = None,
+        bisector_cache=None,
+    ) -> list[LocationEstimate]:
+        """Estimate positions for many queries in stacked LP passes.
+
+        Every ``(query, piece)`` relaxation LP across the whole batch is
+        collected and solved through :func:`solve_relaxation_batch`, so
+        the effective stack is ``len(queries) * len(self.pieces)`` deep —
+        the batched simplex's sweet spot.  Estimates are **bit-identical**
+        to calling :meth:`locate` per query in order (same constraint
+        assembly, bit-identical relaxations, same geometry code).
+        """
+        if not queries:
+            return []
+        weights: Sequence[Mapping[str, float] | None]
+        weights = quality_weights or [None] * len(queries)
+        if len(weights) != len(queries):
+            raise ValueError("quality_weights length must match queries")
+        shareds = [
+            self.build_shared_constraints(
+                anchors, bisector_cache=bisector_cache, quality_weights=w
+            )
+            for anchors, w in zip(queries, weights)
+        ]
+        indices = list(range(len(self.pieces)))
+        with span(
+            "lp.solve_batch", queries=len(queries), pieces=len(indices)
+        ) as sp:
+            systems = []
+            for shared in shareds:
+                for index in indices:
+                    systems.append(self.assemble_piece_system(index, shared))
+            sp.incr("rows", sum(len(s) for s in systems))
+            relaxations = solve_relaxation_batch(systems)
+        estimates = []
+        for qi in range(len(queries)):
+            solutions = [
+                self._solution_from_relaxation(index, relaxation)
+                for index, relaxation in zip(
+                    indices,
+                    relaxations[qi * len(indices) : (qi + 1) * len(indices)],
+                )
+            ]
+            estimates.append(self.estimate_from_solutions(solutions))
+        return estimates
+
     def estimate_from_solutions(
         self, solutions: Sequence[PieceSolution]
     ) -> LocationEstimate:
@@ -358,46 +407,86 @@ class NomLocLocalizer:
         it only reads immutable state after the first boundary-row build.
         """
         with span("lp.solve", piece=index) as sp:
-            piece = self.pieces[index]
             system = self.assemble_piece_system(index, shared)
             sp.incr("rows", len(system))
             relaxation = solve_relaxation(system)
-            # Centre over the rows the relaxation kept: the minimally
-            # relaxed full stack is typically degenerate (conflicting rows
-            # just touch), while the satisfied sub-system usually has
-            # proper interior.  If even the satisfied rows are degenerate
-            # (e.g. opposing ties pin a line), inflate them slightly to
-            # recover a thin but centreable region rather than falling
-            # back to an arbitrary LP vertex.
-            epsilon = 0.05  # metres (rows are unit-normalized)
-            candidate_sets = [
-                relaxation.satisfied_halfspaces(),
-                [h.relaxed(epsilon) for h in relaxation.satisfied_halfspaces()],
-                relaxation.relaxed_halfspaces(),
-                [h.relaxed(epsilon) for h in relaxation.relaxed_halfspaces()],
+            return self._solution_from_relaxation(index, relaxation)
+
+    def solve_pieces_batch(
+        self,
+        indices: Sequence[int],
+        shared: Sequence[WeightedConstraint],
+    ) -> list[PieceSolution]:
+        """Solve many pieces' relaxation LPs in one stacked pass.
+
+        Same results as calling :meth:`solve_piece` per index — the
+        batched relaxation is bit-identical to the sequential one — but
+        the LPs are stacked by shape so N solves advance per NumPy call
+        instead of per Python-level pivot loop.
+        """
+        with span("lp.solve_batch", pieces=len(indices)) as sp:
+            systems = [self.assemble_piece_system(i, shared) for i in indices]
+            sp.incr("rows", sum(len(s) for s in systems))
+            relaxations = solve_relaxation_batch(systems)
+            return [
+                self._solution_from_relaxation(index, relaxation)
+                for index, relaxation in zip(indices, relaxations)
             ]
-            halfspaces = candidate_sets[0]
-            region = None
-            for candidate in candidate_sets:
-                region = feasible_polygon(candidate, self._bound)
-                if region is not None:
-                    halfspaces = candidate
-                    break
-            center = region_center(
-                halfspaces,
-                self._bound,
-                self.config.center_method,
-                fallback=relaxation.feasible_point,
+
+    def _solution_from_relaxation(
+        self, index: int, relaxation: RelaxationResult
+    ) -> PieceSolution:
+        """Geometry half of a piece solve: centre the relaxed region.
+
+        Shared by the scalar and batched paths so both produce identical
+        :class:`PieceSolution` objects from identical relaxations.
+        """
+        piece = self.pieces[index]
+        # Centre over the rows the relaxation kept: the minimally
+        # relaxed full stack is typically degenerate (conflicting rows
+        # just touch), while the satisfied sub-system usually has
+        # proper interior.  If even the satisfied rows are degenerate
+        # (e.g. opposing ties pin a line), inflate them slightly to
+        # recover a thin but centreable region rather than falling
+        # back to an arbitrary LP vertex.
+        epsilon = 0.05  # metres (rows are unit-normalized)
+
+        def candidate_sets():
+            # Lazy: the satisfied set usually clips to a proper region on
+            # the first try, so the relaxed/inflated variants (and their
+            # HalfSpace constructions) are typically never built.
+            satisfied = relaxation.satisfied_halfspaces()
+            yield satisfied
+            yield [h.relaxed(epsilon) for h in satisfied]
+            relaxed = relaxation.relaxed_halfspaces()
+            yield relaxed
+            yield [h.relaxed(epsilon) for h in relaxed]
+
+        halfspaces = None
+        region = None
+        for candidate in candidate_sets():
+            if halfspaces is None:
+                halfspaces = candidate  # default if every clip fails
+            region = feasible_polygon(candidate, self._bound)
+            if region is not None:
+                halfspaces = candidate
+                break
+        center = region_center(
+            halfspaces,
+            self._bound,
+            self.config.center_method,
+            fallback=relaxation.feasible_point,
+            region=region,
+        )
+        if center is None:
+            # The LP relaxation's feasible point doubles as the center
+            # fallback, so this is unreachable for any solvable piece —
+            # raise (not assert) so the guard survives ``python -O``.
+            raise RuntimeError(
+                f"no center estimate for piece {index}: region_center "
+                "returned None despite the relaxation fallback"
             )
-            if center is None:
-                # The LP relaxation's feasible point doubles as the center
-                # fallback, so this is unreachable for any solvable piece —
-                # raise (not assert) so the guard survives ``python -O``.
-                raise RuntimeError(
-                    f"no center estimate for piece {index}: region_center "
-                    "returned None despite the relaxation fallback"
-                )
-            return PieceSolution(index, piece, relaxation, region, center)
+        return PieceSolution(index, piece, relaxation, region, center)
 
 
 def _merge_centers(winners: Sequence[PieceSolution]) -> Point:

@@ -16,14 +16,16 @@ location estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..geometry import HalfSpace
-from ..optimize import LPStatus, solve_lp
+from ..optimize import LPStatus, solve_lp, solve_lp_batch
+from ..optimize.linprog import InequalityLP
 from .constraints import ConstraintSystem
 
-__all__ = ["RelaxationResult", "solve_relaxation"]
+__all__ = ["RelaxationResult", "solve_relaxation", "solve_relaxation_batch"]
 
 #: Slacks below this are treated as exactly satisfied constraints.
 _SLACK_TOL = 1e-7
@@ -140,6 +142,55 @@ def solve_relaxation(system: ConstraintSystem) -> RelaxationResult:
     z = result.x[:2]
     t = np.maximum(result.x[2:], 0.0)
     return RelaxationResult(z, t, float(result.objective), system)
+
+
+def solve_relaxation_batch(
+    systems: Sequence[ConstraintSystem],
+) -> list[RelaxationResult]:
+    """Solve Eq. 19 for many constraint systems in stacked NumPy passes.
+
+    Systems are grouped by row count (the stacked-tableau shape) and each
+    group is handed to :func:`~repro.optimize.solve_lp_batch`; singleton
+    groups and systems above :data:`_LARGE_SYSTEM_ROWS` fall back to
+    :func:`solve_relaxation`.  Every returned
+    :class:`RelaxationResult` is **bit-identical** to what
+    :func:`solve_relaxation` produces for that system alone — the LP
+    construction is the same code and the batched simplex replays each
+    problem's scalar pivot sequence (see :mod:`repro.optimize.batched`).
+    """
+    results: list[RelaxationResult | None] = [None] * len(systems)
+    groups: dict[int, list[int]] = {}
+    for i, system in enumerate(systems):
+        m = len(system)
+        if m == 0:
+            raise ValueError("cannot relax an empty constraint system")
+        if m > _LARGE_SYSTEM_ROWS:
+            results[i] = solve_relaxation(system)
+        else:
+            groups.setdefault(m, []).append(i)
+    for m, idxs in groups.items():
+        if len(idxs) == 1:
+            results[idxs[0]] = solve_relaxation(systems[idxs[0]])
+            continue
+        nonneg = np.array([False, False] + [True] * m)
+        problems = []
+        for i in idxs:
+            a, b, w = systems[i].matrices()
+            c = np.concatenate([[0.0, 0.0], w])
+            a_lp = np.hstack([a, -np.eye(m)])
+            problems.append(InequalityLP(c, a_lp, b, nonneg))
+        for i, result in zip(idxs, solve_lp_batch(problems)):
+            if result.status is not LPStatus.OPTIMAL:
+                raise RuntimeError(
+                    f"relaxation LP unexpectedly failed: {result.status} "
+                    f"({result.message})"
+                )
+            z = result.x[:2]
+            t = np.maximum(result.x[2:], 0.0)
+            results[i] = RelaxationResult(
+                z, t, float(result.objective), systems[i]
+            )
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def _solve_relaxation_sparse(

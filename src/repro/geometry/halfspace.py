@@ -128,13 +128,83 @@ def intersect_halfspaces(
     ``bound`` must be convex; it anchors the (possibly unbounded) halfspace
     intersection to the area of interest.  Returns the feasible polygon or
     ``None`` when the constraints are jointly infeasible inside ``bound``.
+
+    Implementation note: this is the serving hot path's geometry kernel
+    (one call per candidate halfspace set per piece per query), so the
+    clipping runs on plain coordinate tuples and only the final region is
+    materialized as a :class:`Polygon`.  Every arithmetic step replicates
+    :func:`clip_polygon` exactly — same expressions, same evaluation
+    order — so the result is bit-identical to chaining ``clip_polygon``.
     """
-    region: Polygon | None = bound
+    verts = [(p.x, p.y) for p in bound.vertices]
     for hs in halfspaces:
-        region = clip_polygon(region, hs)
-        if region is None:
+        verts = _clip_coords(verts, hs.ax, hs.ay, hs.b)
+        if verts is None:
             return None
-    return region
+    return Polygon(tuple(Point(x, y) for x, y in verts))
+
+
+def _clip_coords(
+    verts: list[tuple[float, float]], ax: float, ay: float, b: float
+) -> list[tuple[float, float]] | None:
+    """Coordinate-level :func:`clip_polygon`, bit-identical arithmetic.
+
+    Takes and returns CCW vertex tuples; ``None`` for empty/degenerate
+    intersections, mirroring ``clip_polygon``'s dedupe, vertex-count,
+    orientation and area checks.
+    """
+    out: list[tuple[float, float]] = []
+    n = len(verts)
+    # One slack sign per vertex — the edge walk below reads each vertex
+    # twice (as current and as next), so evaluating upfront halves the
+    # arithmetic without changing any expression.
+    inside = [b - (ax * x + ay * y) >= -EPS for x, y in verts]
+    emit = out.append
+    for i in range(n):
+        k = i + 1 if i + 1 < n else 0
+        cur_in = inside[i]
+        if cur_in:
+            emit(verts[i])
+        if cur_in != inside[k]:
+            # Edge crosses the boundary line: add the crossing point.
+            cx, cy = verts[i]
+            nx, ny = verts[k]
+            denom = ax * (nx - cx) + ay * (ny - cy)
+            if abs(denom) > EPS:
+                t = (b - ax * cx - ay * cy) / denom
+                t = max(0.0, min(1.0, t))
+                emit((cx + (nx - cx) * t, cy + (ny - cy) * t))
+    # Consecutive near-duplicate removal (== _dedupe on Point tuples).
+    cleaned: list[tuple[float, float]] = []
+    for x, y in out:
+        if (
+            not cleaned
+            or abs(cleaned[-1][0] - x) > 1e-9
+            or abs(cleaned[-1][1] - y) > 1e-9
+        ):
+            cleaned.append((x, y))
+    if (
+        len(cleaned) > 1
+        and abs(cleaned[0][0] - cleaned[-1][0]) <= 1e-9
+        and abs(cleaned[0][1] - cleaned[-1][1]) <= 1e-9
+    ):
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return None
+    # Shoelace, replicating Polygon.signed_area term order exactly.
+    total = 0.0
+    k = len(cleaned)
+    for i in range(k):
+        px, py = cleaned[i]
+        qx, qy = cleaned[(i + 1) % k]
+        total += px * qy - qx * py
+    signed = total / 2.0
+    if abs(signed) <= EPS:
+        return None
+    if signed < 0:
+        # Polygon.__post_init__ normalizes orientation the same way.
+        cleaned.reverse()
+    return cleaned
 
 
 def halfspaces_to_matrix(

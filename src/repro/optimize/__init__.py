@@ -6,9 +6,10 @@ analytic "centre of the feasible region" the paper extracts from CVX's
 interior-point method.
 """
 
+from .batched import simplex_standard_form_batch
 from .chebyshev import chebyshev_center
 from .interior_point import analytic_center, barrier_solve_lp
-from .linprog import InequalityLP, solve_lp
+from .linprog import InequalityLP, solve_lp, solve_lp_batch
 from .simplex import simplex_standard_form
 from .types import LPResult, LPStatus
 
@@ -17,7 +18,9 @@ __all__ = [
     "LPStatus",
     "InequalityLP",
     "solve_lp",
+    "solve_lp_batch",
     "simplex_standard_form",
+    "simplex_standard_form_batch",
     "chebyshev_center",
     "analytic_center",
     "barrier_solve_lp",

@@ -19,10 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
+from .batched import simplex_standard_form_batch
 from .simplex import simplex_standard_form
 from .types import LPResult, LPStatus
 
-__all__ = ["InequalityLP", "solve_lp"]
+__all__ = ["InequalityLP", "solve_lp", "solve_lp_batch"]
 
 
 @dataclass(frozen=True)
@@ -99,7 +100,55 @@ def solve_lp(
     return _solve(problem, max_iterations)
 
 
-def _solve(problem: InequalityLP, max_iterations: int) -> LPResult:
+def solve_lp_batch(
+    problems: Sequence[InequalityLP],
+    max_iterations: int = 10_000,
+) -> list[LPResult]:
+    """Solve many **same-shape** inequality LPs in one stacked pass.
+
+    Every problem must share ``(num_constraints, num_vars)`` and the
+    ``nonneg`` mask — the shape of the stacked standard-form tableaux.
+    The serving layer's micro-batches satisfy this naturally (same
+    topology piece, same anchor count); callers with mixed shapes group
+    first and fall back to :func:`solve_lp` for the remainder.
+
+    Each returned :class:`~repro.optimize.types.LPResult` is bit-identical
+    to ``solve_lp`` on that problem alone: the standard-form conversion is
+    the same code, and the batched simplex replays each problem's scalar
+    pivot sequence (see :mod:`repro.optimize.batched`).
+    """
+    if not problems:
+        return []
+    shape = (problems[0].num_constraints, problems[0].num_vars)
+    mask = problems[0].nonneg
+    for problem in problems[1:]:
+        if (problem.num_constraints, problem.num_vars) != shape or not (
+            np.array_equal(problem.nonneg, mask)
+        ):
+            raise ValueError(
+                "solve_lp_batch needs same-shape problems with identical "
+                "nonneg masks; group by shape first"
+            )
+    standard = [_standard_form(p) for p in problems]
+    raw = simplex_standard_form_batch(
+        [(c, a, b) for c, a, b, _, _ in standard], max_iterations
+    )
+    return [
+        _map_back(problem, result, plus_col, minus_col)
+        for problem, result, (_, _, _, plus_col, minus_col) in zip(
+            problems, raw, standard
+        )
+    ]
+
+
+def _standard_form(
+    problem: InequalityLP,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert an inequality LP to standard form.
+
+    Returns ``(c_std, a_std, b_std, plus_col, minus_col)`` where the
+    column maps recover original variables from the standard-form point.
+    """
     n = problem.num_vars
     m = problem.num_constraints
     free = ~problem.nonneg
@@ -130,13 +179,20 @@ def _solve(problem: InequalityLP, max_iterations: int) -> LPResult:
         for j in np.flatnonzero(free):
             a_std[:, minus_col[j]] = -problem.a_ub[:, j]
         a_std[:, n + num_free :] = np.eye(m)
+    return c_std, a_std, b_std, plus_col, minus_col
 
-    result = simplex_standard_form(c_std, a_std, b_std, max_iterations)
+
+def _map_back(
+    problem: InequalityLP,
+    result: LPResult,
+    plus_col: np.ndarray,
+    minus_col: np.ndarray,
+) -> LPResult:
+    """Recover the original variables from a standard-form solution."""
     if not result.ok:
         return result
-
     x = result.x[plus_col].copy()
-    for j in np.flatnonzero(free):
+    for j in np.flatnonzero(~problem.nonneg):
         x[j] -= result.x[minus_col[j]]
     return LPResult(
         LPStatus.OPTIMAL,
@@ -145,3 +201,9 @@ def _solve(problem: InequalityLP, max_iterations: int) -> LPResult:
         result.iterations,
         result.message,
     )
+
+
+def _solve(problem: InequalityLP, max_iterations: int) -> LPResult:
+    c_std, a_std, b_std, plus_col, minus_col = _standard_form(problem)
+    result = simplex_standard_form(c_std, a_std, b_std, max_iterations)
+    return _map_back(problem, result, plus_col, minus_col)

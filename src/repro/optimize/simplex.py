@@ -26,6 +26,9 @@ __all__ = ["simplex_standard_form"]
 
 _TOL = 1e-9
 
+#: Phase-I optimum above this is declared infeasible (sum of artificials).
+_PHASE1_TOL = 1e-7
+
 
 def simplex_standard_form(
     c: np.ndarray,
@@ -62,6 +65,44 @@ def simplex_standard_form(
             return LPResult(LPStatus.OPTIMAL, np.zeros(n), 0.0, 0)
         return LPResult(LPStatus.UNBOUNDED, message="no constraints, negative cost")
 
+    tableau, basis = _phase1_tableau(a, b)
+
+    status, iters1 = _run_pivots(tableau, basis, n + m, max_iterations)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, iterations=iters1, message="phase 1 failed")
+    if tableau[m, -1] < -_PHASE1_TOL:
+        return LPResult(
+            LPStatus.INFEASIBLE,
+            iterations=iters1,
+            message=f"phase-1 objective {-tableau[m, -1]:.3e} > 0",
+        )
+
+    _drive_out_artificials(tableau, basis, n)
+    _install_phase2_objective(tableau, basis, c, n)
+    # Artificial columns are forbidden from re-entering by restricting the
+    # entering-column scan to the first ``n`` columns below.
+    status, iters2 = _run_pivots(
+        tableau, basis, n, max_iterations - iters1, allowed_cols=n
+    )
+    iterations = iters1 + iters2
+    # Volume counter for the enclosing obs span (lp.solve): pivots are the
+    # simplex's unit of work, the per-stage analogue of queries served.
+    add_counter("simplex.pivots", iterations)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, iterations=iterations, message="phase 2 failed")
+    return _extract_solution(tableau, basis, c, n, m, iterations)
+
+
+def _phase1_tableau(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, list[int]]:
+    """Build the Phase-I tableau and its all-artificial starting basis.
+
+    Shared verbatim by the scalar solver above and the batched solver in
+    :mod:`repro.optimize.batched` (which stacks the per-problem tableaux
+    this function builds), so both paths start from bit-identical state.
+    """
+    m, n = a.shape
     # Normalize to b >= 0 so the artificial basis is feasible.
     a = a.copy()
     b = b.copy()
@@ -77,21 +118,18 @@ def simplex_standard_form(
     # Phase-I objective row: sum of artificial rows (reduced costs).
     tableau[m, :n] = -a.sum(axis=0)
     tableau[m, -1] = -b.sum()
-    basis = list(range(n, n + m))
+    return tableau, list(range(n, n + m))
 
-    status, iters1 = _run_pivots(tableau, basis, n + m, max_iterations)
-    if status is not LPStatus.OPTIMAL:
-        return LPResult(status, iterations=iters1, message="phase 1 failed")
-    if tableau[m, -1] < -1e-7:
-        return LPResult(
-            LPStatus.INFEASIBLE,
-            iterations=iters1,
-            message=f"phase-1 objective {-tableau[m, -1]:.3e} > 0",
-        )
 
-    # Drive any artificial variables out of the basis.  Membership tests
-    # run once per (row, column) pair, so keep a set view of the basis in
-    # step with the list instead of scanning it per candidate column.
+def _drive_out_artificials(
+    tableau: np.ndarray, basis: list[int], n: int
+) -> None:
+    """Pivot leftover basic artificial variables out after Phase I.
+
+    Membership tests run once per (row, column) pair, so keep a set view
+    of the basis in step with the list instead of scanning it per
+    candidate column.
+    """
     in_basis = set(basis)
     for row, var in enumerate(basis):
         if var < n:
@@ -113,24 +151,28 @@ def simplex_standard_form(
         in_basis.add(pivot_col)
         basis[row] = pivot_col
 
-    # Phase II: install the real objective expressed in the current basis.
+
+def _install_phase2_objective(
+    tableau: np.ndarray, basis: list[int], c: np.ndarray, n: int
+) -> None:
+    """Install the real objective expressed in the current basis."""
+    m = tableau.shape[0] - 1
     tableau[m, :] = 0.0
     tableau[m, :n] = c
     for row, var in enumerate(basis):
         if var < n and abs(c[var]) > 0:
             tableau[m, :] -= c[var] * tableau[row, :]
-    # Artificial columns are forbidden from re-entering by restricting the
-    # entering-column scan to the first ``n`` columns below.
-    status, iters2 = _run_pivots(
-        tableau, basis, n, max_iterations - iters1, allowed_cols=n
-    )
-    iterations = iters1 + iters2
-    # Volume counter for the enclosing obs span (lp.solve): pivots are the
-    # simplex's unit of work, the per-stage analogue of queries served.
-    add_counter("simplex.pivots", iterations)
-    if status is not LPStatus.OPTIMAL:
-        return LPResult(status, iterations=iterations, message="phase 2 failed")
 
+
+def _extract_solution(
+    tableau: np.ndarray,
+    basis: list[int],
+    c: np.ndarray,
+    n: int,
+    m: int,
+    iterations: int,
+) -> LPResult:
+    """Read the optimal point off the final tableau."""
     x = np.zeros(n + m)
     for row, var in enumerate(basis):
         x[var] = tableau[row, -1]

@@ -12,6 +12,7 @@ fails or a deadline expires.
 from .cache import BisectorCache, CacheStats, LocalizerCache, topology_key
 from .metrics import LatencyReservoir, ServiceMetrics, json_safe, percentile
 from .pool import WorkerPool
+from .procpool import ProcessWorkerPool
 from .queueing import AdmissionQueue, QueueFullError
 from .service import (
     LocalizationRequest,
@@ -33,6 +34,7 @@ __all__ = [
     "LocalizationService",
     "LocalizerCache",
     "percentile",
+    "ProcessWorkerPool",
     "QueueFullError",
     "ServiceClosedError",
     "ServiceMetrics",

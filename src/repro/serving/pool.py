@@ -15,12 +15,26 @@ rows are immutable dataclasses that would be expensive to pickle.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = ["WorkerPool"]
 
 T = TypeVar("T")
+
+#: Warning text for ``WorkerPool(max_workers=None)``.  The serving bench
+#: (BENCH_serving_throughput.json) shows cpu_count() *threads* make p50
+#: latency worse, not better: the per-query LP solves hold the GIL, so
+#: threads only add contention.  ``None`` keeps resolving to cpu_count()
+#: for backwards compatibility, but loudly.
+_CPU_COUNT_WARNING = (
+    "WorkerPool(max_workers=None) resolves to os.cpu_count() threads, "
+    "which the serving benchmarks show is counterproductive for the "
+    "GIL-bound LP solves (threads add contention, not parallelism). "
+    "Prefer ServingConfig(worker_mode='process') for real parallelism, "
+    "lp_batch for stacked solves, or an explicit small thread count."
+)
 
 
 def _resolved(fn: Callable[..., T], *args, **kwargs) -> "Future[T]":
@@ -40,13 +54,18 @@ class WorkerPool:
     ----------
     max_workers:
         ``0`` runs everything inline on the caller's thread (the
-        sequential fallback — bit-identical reference behaviour);
-        ``None`` picks ``os.cpu_count()``; any positive integer sizes the
-        pool explicitly.
+        sequential fallback — bit-identical reference behaviour); any
+        positive integer sizes the pool explicitly.  ``None`` picks
+        ``os.cpu_count()`` **and warns**: cpu_count() GIL-bound threads
+        demonstrably serve slower than sequential (see
+        ``BENCH_serving_throughput.json``), so an explicit choice — the
+        process pool, ``lp_batch``, or a deliberate thread count — is
+        almost always what the caller actually wants.
     """
 
     def __init__(self, max_workers: int | None = 0) -> None:
         if max_workers is None:
+            warnings.warn(_CPU_COUNT_WARNING, RuntimeWarning, stacklevel=2)
             max_workers = os.cpu_count() or 1
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0")

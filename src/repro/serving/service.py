@@ -86,6 +86,20 @@ class ServingConfig:
     ----------
     max_workers:
         Query-level concurrency; ``0`` is the sequential reference path.
+    worker_mode:
+        ``"thread"`` (default) runs query workers on a
+        :class:`~repro.serving.pool.WorkerPool`; ``"process"`` runs them
+        on a :class:`~repro.serving.procpool.ProcessWorkerPool` — real
+        parallelism for the GIL-bound LP solves, with the warmed
+        topology/bisector caches fork-inherited by every worker.
+        Results stay bit-identical to sequential either way.
+    lp_batch:
+        Micro-batch size for :meth:`batch`: groups of up to this many
+        queries are solved through the stacked-LP path
+        (:meth:`~repro.core.NomLocLocalizer.locate_batch`), advancing N
+        queries per NumPy pass instead of one per Python pivot loop.
+        ``0``/``1`` disables batching.  Composes with ``worker_mode``:
+        each worker (thread or process) solves whole chunks.
     queue_capacity:
         In-flight request bound; non-blocking submissions beyond it are
         rejected with :class:`~repro.serving.queueing.QueueFullError`.
@@ -111,6 +125,8 @@ class ServingConfig:
     """
 
     max_workers: int = 0
+    worker_mode: str = "thread"
+    lp_batch: int = 0
     queue_capacity: int = 64
     timeout_s: float | None = None
     degrade_on_failure: bool = True
@@ -126,6 +142,12 @@ class ServingConfig:
         # fails loudly instead of deep inside some later query.
         if self.max_workers < 0:
             raise ValueError("max_workers must be >= 0")
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError("worker_mode must be 'thread' or 'process'")
+        if self.worker_mode == "process" and self.max_workers < 1:
+            raise ValueError("process worker_mode needs max_workers >= 1")
+        if self.lp_batch < 0:
+            raise ValueError("lp_batch must be >= 0")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be positive")
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -236,7 +258,21 @@ class LocalizationService:
         self.config = config or ServingConfig()
         self.metrics = ServiceMetrics(self.config.latency_window)
         self.queue = AdmissionQueue(self.config.queue_capacity)
-        self.pool = WorkerPool(self.config.max_workers)
+        if self.config.worker_mode == "process":
+            from .procpool import ProcessWorkerPool
+
+            self.proc_pool: "ProcessWorkerPool | None" = ProcessWorkerPool(
+                area,
+                self.localizer_config,
+                self.config,
+                self.config.max_workers,
+            )
+            # Piece-level work stays inline: the query-level process pool
+            # is the concurrency mechanism.
+            self.pool = WorkerPool(0)
+        else:
+            self.proc_pool = None
+            self.pool = WorkerPool(self.config.max_workers)
         self.topology_cache = (
             LocalizerCache(self.config.max_cached_topologies)
             if self.config.cache_topologies
@@ -281,6 +317,8 @@ class LocalizationService:
             )
         snapshot = self.metrics_snapshot()
         self.pool.shutdown()
+        if self.proc_pool is not None:
+            self.proc_pool.shutdown()
         return snapshot
 
     def close(self) -> None:
@@ -352,9 +390,7 @@ class LocalizationService:
             self.metrics.record_rejected()
             raise
         self.metrics.record_admitted()
-        return self.pool.submit(
-            self._handle_and_release, request, time.perf_counter()
-        )
+        return self._dispatch(request, time.perf_counter())
 
     def batch(
         self, requests: Iterable[LocalizationRequest | Sequence[Anchor]]
@@ -362,20 +398,50 @@ class LocalizationService:
         """Serve a batch, blocking for admission; responses in input order.
 
         Unlike :meth:`submit`, a full queue here *waits* for a slot
-        instead of rejecting — a batch caller wants all answers.
+        instead of rejecting — a batch caller wants all answers.  With
+        :attr:`ServingConfig.lp_batch` set, consecutive requests are
+        grouped into micro-batches that each worker solves through the
+        stacked-LP path — positions stay bit-identical to per-request
+        serving.
         """
+        chunk_size = self.config.lp_batch
+        if chunk_size > 1:
+            return self._batch_chunked(requests, chunk_size)
         futures = []
         for request in requests:
             self._check_open()
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
-            futures.append(
-                self.pool.submit(
-                    self._handle_and_release, request, time.perf_counter()
-                )
-            )
+            futures.append(self._dispatch(request, time.perf_counter()))
         return [f.result() for f in futures]
+
+    def _batch_chunked(
+        self,
+        requests: Iterable[LocalizationRequest | Sequence[Anchor]],
+        chunk_size: int,
+    ) -> list[LocalizationResponse]:
+        """Micro-batched :meth:`batch`: chunks of requests per worker."""
+        futures = []
+        chunk: list[LocalizationRequest] = []
+
+        def flush() -> None:
+            if chunk:
+                futures.append(
+                    self._dispatch_chunk(list(chunk), time.perf_counter())
+                )
+                chunk.clear()
+
+        for request in requests:
+            self._check_open()
+            request = self._coerce(request)
+            self.queue.acquire()
+            self.metrics.record_admitted()
+            chunk.append(request)
+            if len(chunk) >= chunk_size:
+                flush()
+        flush()
+        return [response for f in futures for response in f.result()]
 
     def serve(
         self,
@@ -390,18 +456,19 @@ class LocalizationService:
         the sockets.
         """
         if window is None:
-            window = max(1, 2 * self.pool.max_workers)
+            workers = (
+                self.proc_pool.max_workers
+                if self.proc_pool is not None
+                else self.pool.max_workers
+            )
+            window = max(1, 2 * workers)
         pending: list = []
         for request in requests:
             self._check_open()
             request = self._coerce(request)
             self.queue.acquire()
             self.metrics.record_admitted()
-            pending.append(
-                self.pool.submit(
-                    self._handle_and_release, request, time.perf_counter()
-                )
-            )
+            pending.append(self._dispatch(request, time.perf_counter()))
             while len(pending) >= window:
                 yield pending.pop(0).result()
         while pending:
@@ -477,6 +544,105 @@ class LocalizationService:
         if self.topology_cache is not None:
             return self.topology_cache.get(area, self.localizer_config)
         return NomLocLocalizer(area, self.localizer_config).warm(), False
+
+    def _dispatch(self, request: LocalizationRequest, admitted_at: float):
+        """Route one admitted request to the configured worker kind."""
+        if self.proc_pool is not None:
+            return self._wrap_process_future(
+                self.proc_pool.submit_request(request),
+                [request],
+                admitted_at,
+                unwrap_single=True,
+            )
+        return self.pool.submit(
+            self._handle_and_release, request, admitted_at
+        )
+
+    def _dispatch_chunk(
+        self, chunk: list[LocalizationRequest], admitted_at: float
+    ):
+        """Route one admitted micro-batch to the configured worker kind."""
+        if self.proc_pool is not None:
+            return self._wrap_process_future(
+                self.proc_pool.submit_chunk(chunk), chunk, admitted_at
+            )
+        return self.pool.submit(
+            self._handle_chunk_and_release, chunk, admitted_at
+        )
+
+    def _wrap_process_future(
+        self,
+        raw,
+        requests: list[LocalizationRequest],
+        admitted_at: float,
+        unwrap_single: bool = False,
+    ):
+        """Account for process-worker results on the parent side.
+
+        Worker processes record metrics into *their own* (discarded)
+        service instance, so the parent re-records each response's
+        observable outcome — queue wait, cache hit, completion, gating —
+        into its metrics, then frees the admission slots.  The returned
+        future resolves to the response (``unwrap_single``) or the
+        response list.
+        """
+        from concurrent.futures import Future
+
+        wrapped: Future = Future()
+
+        def _done(f) -> None:
+            try:
+                responses = f.result()
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                for _ in requests:
+                    self.queue.release()
+                wrapped.set_exception(exc)
+                return
+            if unwrap_single:
+                responses = [responses]
+            round_trip_s = max(0.0, time.perf_counter() - admitted_at)
+            try:
+                for request, response in zip(requests, responses):
+                    # Queue wait = round trip minus the worker's compute
+                    # time; transport (pickling) counts as wait, which is
+                    # honest — it is serving overhead, not solving.
+                    self.metrics.record_queue_wait(
+                        max(0.0, round_trip_s - response.latency_s)
+                    )
+                    self.metrics.record_cache(response.cache_hit)
+                    if request.gate is not None:
+                        self.metrics.record_gating(
+                            len(request.gate.degraded),
+                            len(request.gate.rejected),
+                        )
+                    self.metrics.record_completed(
+                        response.latency_s,
+                        degraded=response.degraded,
+                        timed_out=response.reason == "timeout",
+                        lp_failed=response.reason == "lp-failure",
+                    )
+            finally:
+                for _ in requests:
+                    self.queue.release()
+            wrapped.set_result(responses[0] if unwrap_single else responses)
+
+        raw.add_done_callback(_done)
+        return wrapped
+
+    def _handle_chunk_and_release(
+        self,
+        chunk: list[LocalizationRequest],
+        admitted_at: float,
+    ) -> list[LocalizationResponse]:
+        """Worker entry point for a micro-batch: handle, free the slots."""
+        queue_wait_s = max(0.0, time.perf_counter() - admitted_at)
+        for _ in chunk:
+            self.metrics.record_queue_wait(queue_wait_s)
+        try:
+            return self._handle_batch(chunk)
+        finally:
+            for _ in chunk:
+                self.queue.release()
 
     def _handle_and_release(
         self,
@@ -597,6 +763,107 @@ class LocalizationService:
                 cache_hit=cache_hit,
                 latency_s=latency,
             )
+
+    def _handle_batch(
+        self, requests: list[LocalizationRequest]
+    ) -> list[LocalizationResponse]:
+        """Serve a micro-batch through the stacked-LP path.
+
+        Requests carrying a deadline run the scalar cooperative-deadline
+        path; the rest are grouped by venue topology and solved with one
+        :meth:`~repro.core.NomLocLocalizer.locate_batch` pass per group.
+        Any group whose stacked solve fails falls back to per-request
+        scalar handling, so one poisoned query degrades only itself —
+        exactly the scalar path's failure isolation.  Served positions
+        are bit-identical to per-request serving either way.
+        """
+        responses: list[LocalizationResponse | None] = [None] * len(requests)
+        groups: dict[int, list[int]] = {}
+        localizers: dict[int, tuple[NomLocLocalizer, list[bool]]] = {}
+        for i, request in enumerate(requests):
+            timeout = (
+                request.timeout_s
+                if request.timeout_s is not None
+                else self.config.timeout_s
+            )
+            if timeout is not None:
+                # Deadlines are enforced cooperatively *between* piece
+                # solves; a stacked pass has no such boundary, so these
+                # take the scalar path.
+                responses[i] = self._handle(request, allow_piece_pool=False)
+                continue
+            area = request.area if request.area is not None else self.area
+            localizer, cache_hit = self._localizer_for(area)
+            key = id(localizer)
+            if key not in localizers:
+                localizers[key] = (localizer, [])
+            localizers[key][1].append(cache_hit)
+            groups.setdefault(key, []).append(i)
+        for key, members in groups.items():
+            localizer, cache_hits = localizers[key]
+            group = [requests[i] for i in members]
+            try:
+                served = self._solve_group(localizer, group, cache_hits)
+            except (RuntimeError, ArithmeticError):
+                # Per-request fallback: re-serving scalar re-runs the
+                # cache lookup and degrades (or raises) per query.
+                served = [
+                    self._handle(request, allow_piece_pool=False)
+                    for request in group
+                ]
+            for i, response in zip(members, served):
+                responses[i] = response
+        return responses  # type: ignore[return-value]  # every slot filled
+
+    def _solve_group(
+        self,
+        localizer: NomLocLocalizer,
+        requests: list[LocalizationRequest],
+        cache_hits: list[bool],
+    ) -> list[LocalizationResponse]:
+        """One topology group's stacked solve + per-request bookkeeping."""
+        with span("serve.batch", queries=len(requests)) as sp:
+            started = time.perf_counter()
+            estimates = localizer.locate_batch(
+                [request.anchors for request in requests],
+                quality_weights=[
+                    request.gate.quality_weights
+                    if request.gate is not None
+                    else None
+                    for request in requests
+                ],
+                bisector_cache=self.bisector_cache,
+            )
+            latency = time.perf_counter() - started
+            sp.set(compute_s=latency)
+            responses = []
+            for request, estimate, cache_hit in zip(
+                requests, estimates, cache_hits
+            ):
+                gate = request.gate
+                if gate is not None:
+                    self.metrics.record_gating(
+                        len(gate.degraded), len(gate.rejected)
+                    )
+                    estimate = replace(
+                        estimate,
+                        confidence=gate.confidence,
+                        degradation_reasons=gate.reasons,
+                    )
+                self.metrics.record_cache(cache_hit)
+                # Every request in the chunk completes when the chunk
+                # does, so the chunk wall time is each one's latency.
+                self.metrics.record_completed(latency, degraded=False)
+                responses.append(
+                    LocalizationResponse(
+                        query_id=request.query_id,
+                        position=estimate.position,
+                        estimate=estimate,
+                        cache_hit=cache_hit,
+                        latency_s=latency,
+                    )
+                )
+            return responses
 
     def _solve(
         self,

@@ -116,6 +116,76 @@ class TestBitExactness:
         assert tagged[1].position == tagged[0].position
 
 
+class TestMicroBatching:
+    @pytest.mark.parametrize("shards,replicas", [(1, 1), (2, 2)])
+    def test_coalesced_batch_matches_reference(
+        self, lab, anchor_sets, reference, shards, replicas
+    ):
+        from repro.serving import ServingConfig
+
+        config = ClusterConfig(
+            num_shards=shards,
+            replicas_per_shard=replicas,
+            serving=ServingConfig(lp_batch=4),
+        )
+        with LocalizationCluster(lab.plan.boundary, config=config) as cluster:
+            responses = cluster.batch([a for _, a in anchor_sets])
+        for resp, ref in zip(responses, reference):
+            assert not resp.degraded
+            assert resp.position == ref.position
+            assert (
+                resp.estimate.relaxation_cost == ref.estimate.relaxation_cost
+            )
+            assert (
+                resp.estimate.num_constraints == ref.estimate.num_constraints
+            )
+
+    def test_coalesced_batch_with_crash_fails_over(
+        self, lab, anchor_sets, reference
+    ):
+        from repro.serving import ServingConfig
+
+        config = ClusterConfig(
+            num_shards=1,
+            replicas_per_shard=2,
+            serving=ServingConfig(lp_batch=4),
+        )
+        probe = LocalizationCluster(lab.plan.boundary, config=config)
+        shard, primary = primary_of(probe, lab.plan.boundary)
+        probe.close()
+        plan = FaultPlan.crash(shard, primary, after=0)
+        with LocalizationCluster(
+            lab.plan.boundary, config=config, fault_plan=plan
+        ) as cluster:
+            responses = cluster.batch([a for _, a in anchor_sets])
+            snap = cluster.metrics_snapshot()
+        # Queries hit by the crash drop out of the coalesced run and
+        # retry through the scalar path — nothing is lost or unflagged.
+        for resp, ref in zip(responses, reference):
+            assert not resp.degraded
+            assert resp.position == ref.position
+        assert snap["availability"] == 1.0
+        assert snap["failovers"] >= 1
+
+    def test_heartbeat_every_forces_scalar_path(
+        self, lab, anchor_sets, reference
+    ):
+        from repro.serving import ServingConfig
+
+        # Count-based heartbeats interleave with queries; coalescing
+        # would change when sweeps fire, so lp_batch defers to it.
+        config = ClusterConfig(
+            num_shards=1,
+            replicas_per_shard=2,
+            heartbeat_every=2,
+            serving=ServingConfig(lp_batch=4),
+        )
+        with LocalizationCluster(lab.plan.boundary, config=config) as cluster:
+            responses = cluster.batch([a for _, a in anchor_sets])
+        for resp, ref in zip(responses, reference):
+            assert resp.position == ref.position
+
+
 class TestFailover:
     def test_primary_crash_fails_over_without_losing_answers(
         self, lab, anchor_sets, reference

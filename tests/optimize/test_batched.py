@@ -1,0 +1,202 @@
+"""Bit-exactness tests for the batched lockstep simplex.
+
+The batched solver's whole contract is that stacking never changes a
+single bit of any problem's answer, so every test here compares against
+the scalar :func:`~repro.optimize.simplex.simplex_standard_form` (or the
+scalar relaxation / localizer built on it) with ``==`` / ``tobytes()``,
+never ``approx``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NomLocLocalizer, NomLocSystem, SystemConfig
+from repro.core.relaxation import solve_relaxation, solve_relaxation_batch
+from repro.environment import SCENARIOS, get_scenario
+from repro.optimize import simplex_standard_form
+from repro.optimize.batched import simplex_standard_form_batch
+from repro.optimize.linprog import InequalityLP, solve_lp, solve_lp_batch
+
+
+def assert_bit_identical(scalar, batched):
+    """LPResult equality down to the last float bit (NaN-aware)."""
+    assert scalar.status == batched.status
+    assert scalar.iterations == batched.iterations
+    assert scalar.x.tobytes() == batched.x.tobytes()
+    if np.isnan(scalar.objective):
+        assert np.isnan(batched.objective)
+    else:
+        assert scalar.objective == batched.objective
+
+
+def random_problems(rng, batch, m, n, degenerate=False):
+    """Same-shape standard-form problems, optionally with zero rows."""
+    out = []
+    for _ in range(batch):
+        a = rng.normal(size=(m, n)).round(2)
+        b = rng.normal(size=m).round(2)
+        c = rng.normal(size=n).round(2)
+        if degenerate and rng.random() < 0.5:
+            a[0] = 0.0  # forces either redundancy or infeasibility
+        out.append((c, a, b))
+    return out
+
+
+class TestStackedStandardForm:
+    def test_mixed_statuses_match_scalar(self):
+        # Degenerate rows steer individual problems into INFEASIBLE /
+        # redundant-constraint territory while their batch mates stay
+        # OPTIMAL — each lane must still match its own scalar run.
+        rng = np.random.default_rng(3)
+        for trial in range(20):
+            m = int(rng.integers(1, 7))
+            n = int(rng.integers(m, m + 6))
+            problems = random_problems(
+                rng, int(rng.integers(2, 8)), m, n, degenerate=True
+            )
+            batched = simplex_standard_form_batch(problems)
+            statuses = set()
+            for (c, a, b), res in zip(problems, batched):
+                assert_bit_identical(simplex_standard_form(c, a, b), res)
+                statuses.add(res.status)
+
+    def test_unbounded_lane_among_optimal(self):
+        c_opt = np.array([1.0, 1.0, 0.0])
+        a = np.array([[1.0, -1.0, 1.0]])
+        b = np.array([1.0])
+        c_unb = np.array([-1.0, 0.0, 0.0])  # x0 can grow along a ray
+        a_unb = np.array([[0.0, 1.0, 1.0]])
+        problems = [(c_opt, a, b), (c_unb, a_unb, b), (c_opt, a, b)]
+        batched = simplex_standard_form_batch(problems)
+        for (c, a_eq, b_eq), res in zip(problems, batched):
+            assert_bit_identical(simplex_standard_form(c, a_eq, b_eq), res)
+
+    def test_shape_mismatch_rejected(self):
+        p1 = (np.zeros(3), np.ones((2, 3)), np.ones(2))
+        p2 = (np.zeros(4), np.ones((2, 4)), np.ones(2))
+        with pytest.raises(ValueError, match="same-shape"):
+            simplex_standard_form_batch([p1, p2])
+
+    def test_empty_batch(self):
+        assert simplex_standard_form_batch([]) == []
+
+    def test_singleton_batch_is_scalar_path(self):
+        rng = np.random.default_rng(11)
+        (problem,) = random_problems(rng, 1, 3, 5)
+        c, a, b = problem
+        assert_bit_identical(
+            simplex_standard_form(c, a, b),
+            simplex_standard_form_batch([problem])[0],
+        )
+
+    def test_budget_exhaustion_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        problems = random_problems(rng, 4, 4, 6)
+        for budget in (1, 2, 5):
+            batched = simplex_standard_form_batch(problems, budget)
+            for (c, a, b), res in zip(problems, batched):
+                assert_bit_identical(
+                    simplex_standard_form(c, a, b, budget), res
+                )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        order=st.permutations(list(range(5))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_order_never_changes_results(self, seed, order):
+        # Lockstep lanes are independent: shuffling the batch must give
+        # each problem the exact same bits in its new position.
+        rng = np.random.default_rng(seed)
+        problems = random_problems(rng, 5, 3, 5, degenerate=True)
+        baseline = simplex_standard_form_batch(problems)
+        shuffled = simplex_standard_form_batch([problems[i] for i in order])
+        for pos, i in enumerate(order):
+            assert_bit_identical(baseline[i], shuffled[pos])
+
+
+class TestStackedInequalityLP:
+    def test_matches_scalar_solve(self):
+        rng = np.random.default_rng(7)
+        m, nv = 5, 3
+        problems = []
+        for _ in range(6):
+            a = rng.normal(size=(m, nv)).round(2)
+            x_feas = rng.uniform(0, 2, size=nv)
+            b = a @ x_feas + rng.uniform(0.1, 1.0, size=m)
+            c = rng.normal(size=nv).round(2)
+            nonneg = np.array([True, False, True])
+            problems.append(InequalityLP(c, a, b, nonneg))
+        batched = solve_lp_batch(problems)
+        for lp, res in zip(problems, batched):
+            assert_bit_identical(solve_lp(lp.c, lp.a_ub, lp.b_ub, lp.nonneg), res)
+
+    def test_mismatched_masks_rejected(self):
+        a = np.ones((2, 2))
+        b = np.ones(2)
+        c = np.zeros(2)
+        p1 = InequalityLP(c, a, b, np.array([True, False]))
+        p2 = InequalityLP(c, a, b, np.array([False, True]))
+        with pytest.raises(ValueError):
+            solve_lp_batch([p1, p2])
+
+
+def scenario_systems(name, queries=6, seed=17):
+    """Per-query constraint systems gathered from one scenario."""
+    scenario = get_scenario(name)
+    system = NomLocSystem(scenario, SystemConfig(packets_per_link=6))
+    localizer = NomLocLocalizer(scenario.plan.boundary)
+    sites = scenario.test_sites
+    out = []
+    for i in range(queries):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, i]))
+        anchors = system.gather_anchors(sites[i % len(sites)], rng)
+        shared = localizer.build_shared_constraints(anchors)
+        for index in range(len(localizer.pieces)):
+            out.append(localizer.assemble_piece_system(index, shared))
+    return out
+
+
+class TestBatchedRelaxation:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_all_scenario_topologies_bit_identical(self, name):
+        systems = scenario_systems(name)
+        batched = solve_relaxation_batch(systems)
+        for system, res in zip(systems, batched):
+            scalar = solve_relaxation(system)
+            assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
+            assert scalar.slacks.tobytes() == res.slacks.tobytes()
+            assert scalar.cost == res.cost
+
+    def test_mixed_sizes_grouped(self):
+        # Systems from different scenarios have different row counts;
+        # the batch API must regroup internally and still match.
+        systems = scenario_systems("lab", queries=3) + scenario_systems(
+            "lobby", queries=3
+        )
+        batched = solve_relaxation_batch(systems)
+        for system, res in zip(systems, batched):
+            scalar = solve_relaxation(system)
+            assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
+            assert scalar.slacks.tobytes() == res.slacks.tobytes()
+
+
+class TestLocalizerBatch:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_locate_batch_matches_locate(self, name):
+        scenario = get_scenario(name)
+        system = NomLocSystem(scenario, SystemConfig(packets_per_link=6))
+        localizer = NomLocLocalizer(scenario.plan.boundary)
+        sites = scenario.test_sites
+        queries = []
+        for i in range(8):
+            rng = np.random.default_rng(np.random.SeedSequence([23, i]))
+            queries.append(system.gather_anchors(sites[i % len(sites)], rng))
+        batched = localizer.locate_batch(queries)
+        for anchors, est in zip(queries, batched):
+            scalar = localizer.locate(anchors)
+            assert scalar.position == est.position
+            assert scalar.relaxation_cost == est.relaxation_cost
+            assert scalar.num_constraints == est.num_constraints

@@ -1,6 +1,7 @@
 """Tests for the worker pool and its sequential fallback."""
 
 import threading
+import warnings
 
 import pytest
 
@@ -53,6 +54,16 @@ class TestConcurrentPool:
         with pytest.raises(ValueError):
             WorkerPool(-1)
 
-    def test_none_picks_cpu_count(self):
-        with WorkerPool(None) as pool:
-            assert pool.max_workers >= 1
+    def test_none_picks_cpu_count_with_warning(self):
+        # max_workers=None silently resolving to os.cpu_count() threads
+        # is a GIL-bound footgun, so it now carries a RuntimeWarning
+        # steering callers to process workers / lp_batch instead.
+        with pytest.warns(RuntimeWarning, match="cpu_count"):
+            with WorkerPool(None) as pool:
+                assert pool.max_workers >= 1
+
+    def test_explicit_worker_count_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with WorkerPool(2) as pool:
+                assert pool.max_workers == 2

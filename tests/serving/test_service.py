@@ -321,6 +321,81 @@ class TestStreaming:
             LocalizationRequest(())
 
 
+class TestMicroBatching:
+    def test_lp_batch_bit_identical_to_sequential(self, lab, anchor_sets):
+        anchors = [a for _, a in anchor_sets]
+        with LocalizationService(lab.plan.boundary) as reference:
+            expected = reference.batch(anchors)
+        for chunk_size in (2, 3, 64):
+            config = ServingConfig(lp_batch=chunk_size)
+            with LocalizationService(
+                lab.plan.boundary, config=config
+            ) as service:
+                served = service.batch(anchors)
+            for seq, chunked in zip(expected, served):
+                assert chunked.position == seq.position
+                assert (
+                    chunked.estimate.relaxation_cost
+                    == seq.estimate.relaxation_cost
+                )
+                assert (
+                    chunked.estimate.num_constraints
+                    == seq.estimate.num_constraints
+                )
+
+    def test_lp_batch_composes_with_thread_workers(self, lab, anchor_sets):
+        anchors = [a for _, a in anchor_sets]
+        with LocalizationService(lab.plan.boundary) as reference:
+            expected = reference.batch(anchors)
+        config = ServingConfig(max_workers=2, lp_batch=2)
+        with LocalizationService(lab.plan.boundary, config=config) as service:
+            served = service.batch(anchors)
+            snap = service.metrics_snapshot()
+        assert [r.position for r in served] == [r.position for r in expected]
+        assert snap["completed"] == len(anchors)
+        assert snap["queue_depth"] == 0
+
+    def test_deadline_requests_take_scalar_path(self, lab, anchor_sets):
+        # A request with its own deadline cannot ride a stacked pass
+        # (deadlines are checked between piece solves); it must still be
+        # answered, in order, alongside its chunked batch mates.
+        _, anchors = anchor_sets[0]
+        requests = [
+            LocalizationRequest(a, query_id=f"q{i}")
+            for i, (_, a) in enumerate(anchor_sets)
+        ]
+        requests[2] = LocalizationRequest(
+            anchors, query_id="q2", timeout_s=30.0
+        )
+        config = ServingConfig(lp_batch=3)
+        with LocalizationService(lab.plan.boundary, config=config) as service:
+            served = service.batch(requests)
+        with LocalizationService(lab.plan.boundary) as reference:
+            expected = reference.batch(requests)
+        assert [r.query_id for r in served] == [f"q{i}" for i in range(6)]
+        assert [r.position for r in served] == [r.position for r in expected]
+
+    def test_poisoned_group_degrades_per_request(
+        self, lab, anchor_sets, monkeypatch
+    ):
+        # When the stacked solve blows up, the chunk falls back to scalar
+        # handling so only genuinely-failing queries degrade.
+        def broken_batch(*args, **kwargs):
+            raise RuntimeError("stacked solve corrupted")
+
+        monkeypatch.setattr(
+            localizer_module.NomLocLocalizer, "locate_batch", broken_batch
+        )
+        anchors = [a for _, a in anchor_sets]
+        config = ServingConfig(lp_batch=3)
+        with LocalizationService(lab.plan.boundary, config=config) as service:
+            served = service.batch(anchors)
+        with LocalizationService(lab.plan.boundary) as reference:
+            expected = reference.batch(anchors)
+        assert [r.position for r in served] == [r.position for r in expected]
+        assert all(not r.degraded for r in served)
+
+
 class TestMultiTenant:
     def test_request_area_override(self, lab, anchor_sets):
         _, anchors = anchor_sets[0]
