@@ -20,9 +20,14 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..geometry import HalfSpace, Point, Polygon, intersect_halfspaces
-from ..optimize import analytic_center, chebyshev_center
+from ..optimize import analytic_center, chebyshev_center, chebyshev_center_batch
 
-__all__ = ["CenterMethod", "region_center", "feasible_polygon"]
+__all__ = [
+    "CenterMethod",
+    "region_center",
+    "region_centers_batch",
+    "feasible_polygon",
+]
 
 
 class CenterMethod(enum.Enum):
@@ -73,17 +78,7 @@ def region_center(
 
     # LP-based centres work on the region's own halfspace description --
     # the polygon edges -- which already includes the bound.
-    a = []
-    b = []
-    for edge in region.edges():
-        normal = edge.normal()  # left of CCW direction = inward
-        # inward normal n satisfies n . z >= n . p on the region, i.e.
-        # (-n) . z <= -(n . p): outward halfspace row.
-        p = edge.a
-        a.append([-normal.x, -normal.y])
-        b.append(-(normal.x * p.x + normal.y * p.y))
-    a_arr = np.array(a)
-    b_arr = np.array(b)
+    a_arr, b_arr = _region_rows(region)
 
     if method is CenterMethod.CHEBYSHEV:
         result = chebyshev_center(a_arr, b_arr)
@@ -97,3 +92,55 @@ def region_center(
         # centroid is always available.
         return region.centroid()
     return Point(float(result.x[0]), float(result.x[1]))
+
+
+def _region_rows(region: Polygon) -> tuple[np.ndarray, np.ndarray]:
+    """The region's own halfspace description, one outward row per edge."""
+    a = []
+    b = []
+    for edge in region.edges():
+        normal = edge.normal()  # left of CCW direction = inward
+        # inward normal n satisfies n . z >= n . p on the region, i.e.
+        # (-n) . z <= -(n . p): outward halfspace row.
+        p = edge.a
+        a.append([-normal.x, -normal.y])
+        b.append(-(normal.x * p.x + normal.y * p.y))
+    return np.array(a), np.array(b)
+
+
+def region_centers_batch(
+    regions: Sequence[Polygon | None],
+    fallbacks: Sequence[np.ndarray],
+    method: CenterMethod = CenterMethod.CENTROID,
+) -> list[Point]:
+    """Centres of many already-clipped regions, LP methods stacked.
+
+    Bit-identical to calling :func:`region_center` per region with the
+    matching ``fallback`` and a precomputed ``region`` argument: empty
+    regions fall back to their LP feasible point, CENTROID takes each
+    polygon's exact centroid, and the LP-based centres (CHEBYSHEV via the
+    lockstep :func:`~repro.optimize.chebyshev_center_batch`, ANALYTIC via
+    the scalar barrier solve) run on each region's own edge rows with the
+    same thin-region centroid fallback.
+    """
+    centers: list[Point | None] = [None] * len(regions)
+    lp_lanes: list[int] = []
+    for i, (region, fallback) in enumerate(zip(regions, fallbacks)):
+        if region is None:
+            centers[i] = Point(float(fallback[0]), float(fallback[1]))
+        elif method is CenterMethod.CENTROID:
+            centers[i] = region.centroid()
+        elif method is CenterMethod.ANALYTIC:
+            centers[i] = region_center(
+                (), None, method, fallback=fallback, region=region
+            )
+        else:
+            lp_lanes.append(i)
+    if lp_lanes:
+        rows = [_region_rows(regions[i]) for i in lp_lanes]
+        for i, result in zip(lp_lanes, chebyshev_center_batch(rows)):
+            if not result.ok:
+                centers[i] = regions[i].centroid()
+            else:
+                centers[i] = Point(float(result.x[0]), float(result.x[1]))
+    return centers  # type: ignore[return-value]  # every slot is filled

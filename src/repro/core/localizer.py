@@ -15,12 +15,26 @@ Pipeline per location query:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
-from ..geometry import Point, Polygon, decompose_convex
+import numpy as np
+
+from ..geometry import (
+    Point,
+    Polygon,
+    decompose_convex,
+    distance_point_to_segment,
+    intersect_halfspaces_batch,
+)
 from ..obs import span
-from .center import CenterMethod, feasible_polygon, region_center
+from .center import (
+    CenterMethod,
+    feasible_polygon,
+    region_center,
+    region_centers_batch,
+)
 from .constraints import (
     BOUNDARY_WEIGHT,
     Anchor,
@@ -28,8 +42,14 @@ from .constraints import (
     WeightedConstraint,
     boundary_constraints,
     pairwise_constraints,
+    pairwise_constraints_batch,
 )
-from .relaxation import RelaxationResult, solve_relaxation, solve_relaxation_batch
+from .relaxation import (
+    _SLACK_TOL,
+    RelaxationResult,
+    solve_relaxation,
+    solve_relaxation_batch,
+)
 
 __all__ = [
     "LocalizerConfig",
@@ -94,12 +114,17 @@ class LocalizerConfig:
                 f"unknown confidence function {self.confidence_fn!r}; "
                 f"available: {sorted(CONFIDENCE_FUNCTIONS)}"
             )
+        # Resolve once at construction: the serving hot loop calls
+        # resolve_confidence_fn per query, and the registry import +
+        # dict lookup showed up in profiles.  Not a dataclass field, so
+        # equality/repr/pickling of the config are unaffected.
+        object.__setattr__(
+            self, "_confidence_impl", CONFIDENCE_FUNCTIONS[self.confidence_fn]
+        )
 
     def resolve_confidence_fn(self):
-        """The callable behind :attr:`confidence_fn`."""
-        from .pdp import CONFIDENCE_FUNCTIONS
-
-        return CONFIDENCE_FUNCTIONS[self.confidence_fn]
+        """The callable behind :attr:`confidence_fn` (cached at init)."""
+        return self._confidence_impl
 
 
 @dataclass(frozen=True)
@@ -115,6 +140,67 @@ class PieceSolution:
     @property
     def cost(self) -> float:
         return self.relaxation.cost
+
+
+class _LazyPieceSolution(PieceSolution):
+    """A piece solution whose geometry is computed on first access.
+
+    The batched locate path only ever *uses* the region/centre of the
+    co-optimal winner pieces (``estimate_from_solutions`` reads losing
+    pieces' cost alone), so losing pieces skip the polygon clip and
+    centring entirely.  Diagnostics stay available: ``region``/``center``
+    are data descriptors that materialize through the localizer's scalar
+    geometry path on first read — the identical code the eager path runs,
+    so the values are bit-identical, just late.
+
+    Pickling materializes into a plain eager :class:`PieceSolution`
+    (process pools ship solutions across workers; a thunk would not
+    survive the trip).
+    """
+
+    def __init__(
+        self,
+        piece_index: int,
+        piece: Polygon,
+        relaxation: RelaxationResult,
+        localizer: "NomLocLocalizer",
+    ) -> None:
+        # The parent dataclass is frozen; bypass its __setattr__.
+        object.__setattr__(self, "piece_index", piece_index)
+        object.__setattr__(self, "piece", piece)
+        object.__setattr__(self, "relaxation", relaxation)
+        object.__setattr__(self, "_localizer", localizer)
+        object.__setattr__(self, "_geometry", None)
+
+    def _materialized(self) -> tuple[Polygon | None, Point]:
+        geometry = self._geometry
+        if geometry is None:
+            eager = self._localizer._solution_from_relaxation(
+                self.piece_index, self.relaxation
+            )
+            geometry = (eager.region, eager.center)
+            object.__setattr__(self, "_geometry", geometry)
+        return geometry
+
+    @property  # shadows the dataclass field: descriptors win over __dict__
+    def region(self) -> Polygon | None:
+        return self._materialized()[0]
+
+    @property
+    def center(self) -> Point:
+        return self._materialized()[1]
+
+    def __reduce__(self):
+        return (
+            PieceSolution,
+            (
+                self.piece_index,
+                self.piece,
+                self.relaxation,
+                self.region,
+                self.center,
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -170,8 +256,6 @@ class LocationEstimate:
         """
         if self.region is None:
             return float("inf")
-        import math
-
         return math.sqrt(self.region.area() / math.pi)
 
     def error_to(self, truth: Point) -> float:
@@ -207,6 +291,11 @@ class NomLocLocalizer:
         self._boundary_rows: list[tuple[WeightedConstraint, ...] | None] = [
             None
         ] * len(self.pieces)
+        # Matching (A, b, w) stacks per piece, for preseeding assembled
+        # systems' matrices caches in the batched path.
+        self._boundary_mats: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ] = [None] * len(self.pieces)
 
     # ------------------------------------------------------------------
     # Constraint assembly, factored so a serving layer can cache the
@@ -263,11 +352,42 @@ class NomLocLocalizer:
             self.piece_boundary_rows(index)
         return self
 
+    def _piece_boundary_matrices(
+        self, index: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(A, b, w)`` stack of one piece's boundary rows."""
+        mats = self._boundary_mats[index]
+        if mats is None:
+            mats = ConstraintSystem(self.piece_boundary_rows(index)).matrices()
+            self._boundary_mats[index] = mats
+        return mats
+
     def assemble_piece_system(
-        self, index: int, shared: Sequence[WeightedConstraint]
+        self,
+        index: int,
+        shared: Sequence[WeightedConstraint],
+        shared_matrices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> ConstraintSystem:
-        """Full LP stack of one piece: shared rows + cached boundary rows."""
-        return ConstraintSystem(tuple(shared) + self.piece_boundary_rows(index))
+        """Full LP stack of one piece: shared rows + cached boundary rows.
+
+        ``shared_matrices`` optionally carries the precomputed ``(A, b,
+        w)`` stack of the shared rows (the batched assembly already has
+        it); the assembled system's matrices cache is then preseeded by
+        concatenating it with the piece's cached boundary stack —
+        bit-identical to rebuilding from the row objects, without
+        iterating them again per piece per query.
+        """
+        rows = tuple(shared) + self.piece_boundary_rows(index)
+        if shared_matrices is None:
+            return ConstraintSystem(rows)
+        a_sh, b_sh, w_sh = shared_matrices
+        a_bd, b_bd, w_bd = self._piece_boundary_matrices(index)
+        return ConstraintSystem.with_matrices(
+            rows,
+            np.concatenate([a_sh, a_bd]),
+            np.concatenate([b_sh, b_bd]),
+            np.concatenate([w_sh, w_bd]),
+        )
 
     # ------------------------------------------------------------------
     def locate(
@@ -296,20 +416,68 @@ class NomLocLocalizer:
             solutions = list(piece_mapper(solver, indices))
         return self.estimate_from_solutions(solutions)
 
+    def build_shared_constraints_batch(
+        self,
+        queries: Sequence[Sequence[Anchor]],
+        quality_weights: Sequence[Mapping[str, float] | None] | None = None,
+        bisector_cache=None,
+    ) -> list[
+        tuple[
+            tuple[WeightedConstraint, ...],
+            tuple[np.ndarray, np.ndarray, np.ndarray],
+        ]
+    ]:
+        """Shared pairwise rows for many queries via the stacked assembly.
+
+        Per query, the returned rows are bit-identical to
+        :meth:`build_shared_constraints`; the accompanying ``(A, b, w)``
+        arrays preseed the piece systems' matrices caches.  Queries are
+        validated in order, so the first offending query raises the same
+        error the scalar per-query loop would have raised first.
+        """
+        with span("constraints.build_batch", queries=len(queries)) as sp:
+            assembled = pairwise_constraints_batch(
+                queries,
+                include_nomadic_pairs=self.config.include_nomadic_pairs,
+                confidence_fn=self.config.resolve_confidence_fn(),
+                bisector_cache=bisector_cache,
+                quality_weights=quality_weights,
+            )
+            total = 0
+            for anchors, (rows, _mats) in zip(queries, assembled):
+                if len(anchors) < 2:
+                    raise ValueError(
+                        "need at least two anchors to partition space"
+                    )
+                if not rows:
+                    raise ValueError(
+                        "no usable anchor pairs "
+                        "(all anchors coincident or filtered)"
+                    )
+                total += len(rows)
+            sp.incr("rows", total)
+            return assembled
+
     def locate_batch(
         self,
         queries: Sequence[Sequence[Anchor]],
         quality_weights: Sequence[Mapping[str, float] | None] | None = None,
         bisector_cache=None,
     ) -> list[LocationEstimate]:
-        """Estimate positions for many queries in stacked LP passes.
+        """Estimate positions for many queries in stacked NumPy passes.
 
-        Every ``(query, piece)`` relaxation LP across the whole batch is
-        collected and solved through :func:`solve_relaxation_batch`, so
-        the effective stack is ``len(queries) * len(self.pieces)`` deep —
-        the batched simplex's sweet spot.  Estimates are **bit-identical**
-        to calling :meth:`locate` per query in order (same constraint
-        assembly, bit-identical relaxations, same geometry code).
+        The whole non-LP pipeline is batched alongside the stacked
+        relaxation LPs: constraint assembly runs through
+        :meth:`build_shared_constraints_batch` (one array pass over every
+        anchor pair of every query), every ``(query, piece)`` LP solves
+        through :func:`solve_relaxation_batch`, and region geometry runs
+        winner-only — pieces within ``cost_merge_tolerance`` of their
+        query's best cost clip/centre through
+        :func:`~repro.geometry.intersect_halfspaces_batch` and
+        :func:`~repro.core.center.region_centers_batch`, while losing
+        pieces get lazy solutions whose region/centre materialize only if
+        a diagnostic reads them.  Estimates are **bit-identical** to
+        calling :meth:`locate` per query in order.
         """
         if not queries:
             return []
@@ -317,33 +485,33 @@ class NomLocLocalizer:
         weights = quality_weights or [None] * len(queries)
         if len(weights) != len(queries):
             raise ValueError("quality_weights length must match queries")
-        shareds = [
-            self.build_shared_constraints(
-                anchors, bisector_cache=bisector_cache, quality_weights=w
-            )
-            for anchors, w in zip(queries, weights)
-        ]
+        shareds = self.build_shared_constraints_batch(
+            queries, quality_weights=weights, bisector_cache=bisector_cache
+        )
         indices = list(range(len(self.pieces)))
         with span(
             "lp.solve_batch", queries=len(queries), pieces=len(indices)
         ) as sp:
             systems = []
-            for shared in shareds:
+            for shared, mats in shareds:
                 for index in indices:
-                    systems.append(self.assemble_piece_system(index, shared))
+                    systems.append(
+                        self.assemble_piece_system(
+                            index, shared, shared_matrices=mats
+                        )
+                    )
             sp.incr("rows", sum(len(s) for s in systems))
             relaxations = solve_relaxation_batch(systems)
-        estimates = []
-        for qi in range(len(queries)):
-            solutions = [
-                self._solution_from_relaxation(index, relaxation)
-                for index, relaxation in zip(
-                    indices,
-                    relaxations[qi * len(indices) : (qi + 1) * len(indices)],
-                )
-            ]
-            estimates.append(self.estimate_from_solutions(solutions))
-        return estimates
+        npieces = len(indices)
+        groups = [
+            list(zip(indices, relaxations[qi * npieces : (qi + 1) * npieces]))
+            for qi in range(len(queries))
+        ]
+        solution_groups = self._winner_lazy_solutions(groups)
+        return [
+            self.estimate_from_solutions(solutions)
+            for solutions in solution_groups
+        ]
 
     def estimate_from_solutions(
         self, solutions: Sequence[PieceSolution]
@@ -381,8 +549,6 @@ class NomLocLocalizer:
         """
         if self.area.contains(p):
             return p
-        from ..geometry import distance_point_to_segment
-
         best_edge = min(
             self.area.edges(), key=lambda e: distance_point_to_segment(p, e)
         )
@@ -422,16 +588,122 @@ class NomLocLocalizer:
         Same results as calling :meth:`solve_piece` per index — the
         batched relaxation is bit-identical to the sequential one — but
         the LPs are stacked by shape so N solves advance per NumPy call
-        instead of per Python-level pivot loop.
+        instead of per Python-level pivot loop, and geometry runs
+        winner-only (losing pieces' region/centre materialize lazily on
+        access, with identical values).
+
+        Emits the ``lp.solve_pieces`` span: :meth:`locate_batch` owns the
+        ``lp.solve_batch`` name, and the two carry different attribute
+        sets, so sharing one name would corrupt per-stage aggregation.
         """
-        with span("lp.solve_batch", pieces=len(indices)) as sp:
+        with span("lp.solve_pieces", pieces=len(indices)) as sp:
             systems = [self.assemble_piece_system(i, shared) for i in indices]
             sp.incr("rows", sum(len(s) for s in systems))
             relaxations = solve_relaxation_batch(systems)
-            return [
-                self._solution_from_relaxation(index, relaxation)
-                for index, relaxation in zip(indices, relaxations)
+        groups = [list(zip(indices, relaxations))]
+        return self._winner_lazy_solutions(groups)[0]
+
+    def _winner_lazy_solutions(
+        self,
+        groups: Sequence[Sequence[tuple[int, RelaxationResult]]],
+    ) -> list[list[PieceSolution]]:
+        """Winner-only geometry over many queries' piece relaxations.
+
+        ``groups`` holds one ``(piece_index, relaxation)`` list per query.
+        Pieces within ``cost_merge_tolerance`` of their query's best cost
+        get eager regions/centres through one cross-query batched clip +
+        centring pass; the rest become :class:`_LazyPieceSolution`.  The
+        winner predicate is exactly the one
+        :meth:`estimate_from_solutions` applies, so every region/centre
+        that method reads is eager and bit-identical to the scalar path.
+        """
+        with span(
+            "geometry.batch", queries=len(groups)
+        ) as sp:
+            tol = self.config.cost_merge_tolerance
+            solutions: list[list[PieceSolution | None]] = [
+                [None] * len(group) for group in groups
             ]
+            winner_slots: list[tuple[int, int]] = []
+            winner_relaxations: list[RelaxationResult] = []
+            for gi, group in enumerate(groups):
+                best = min(r.cost for _, r in group)
+                for si, (index, relaxation) in enumerate(group):
+                    if relaxation.cost <= best + tol:
+                        winner_slots.append((gi, si))
+                        winner_relaxations.append(relaxation)
+                    else:
+                        solutions[gi][si] = _LazyPieceSolution(
+                            index, self.pieces[index], relaxation, self
+                        )
+            regions = self._regions_batch(winner_relaxations)
+            centers = region_centers_batch(
+                regions,
+                [r.feasible_point for r in winner_relaxations],
+                self.config.center_method,
+            )
+            sp.incr("winners", len(winner_slots))
+            sp.incr("lazy", sum(len(g) for g in groups) - len(winner_slots))
+            for (gi, si), relaxation, region, center in zip(
+                winner_slots, winner_relaxations, regions, centers
+            ):
+                index = groups[gi][si][0]
+                solutions[gi][si] = PieceSolution(
+                    index, self.pieces[index], relaxation, region, center
+                )
+        return solutions  # type: ignore[return-value]  # every slot filled
+
+    def _regions_batch(
+        self, relaxations: Sequence[RelaxationResult]
+    ) -> list[Polygon | None]:
+        """Batched candidate-round clipping, one lane per relaxation.
+
+        Replays :meth:`_solution_from_relaxation`'s candidate ladder —
+        satisfied rows, satisfied+ε, relaxed rows, relaxed+ε — directly on
+        each system's ``(A, b)`` arrays (no HalfSpace objects), clipping
+        all still-unresolved lanes per round through
+        :func:`~repro.geometry.intersect_halfspaces_batch`.  The array
+        arithmetic mirrors ``HalfSpace.relaxed`` exactly (``b + t``, then
+        ``+ ε`` as a second add), so regions are bit-identical to the
+        scalar rounds.
+        """
+        epsilon = 0.05  # metres (rows are unit-normalized)
+        n = len(relaxations)
+        regions: list[Polygon | None] = [None] * n
+        pending = list(range(n))
+        sat_systems: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n
+
+        def lane_rows(li: int, round_idx: int) -> tuple[np.ndarray, np.ndarray]:
+            relaxation = relaxations[li]
+            if round_idx < 2:
+                cached = sat_systems[li]
+                if cached is None:
+                    a, b, _w = relaxation.system.matrices()
+                    mask = relaxation.slacks <= _SLACK_TOL
+                    cached = (a[mask], b[mask])
+                    sat_systems[li] = cached
+                a_r, b_r = cached
+            else:
+                a_r, b_r, _w = relaxation.system.matrices()
+                b_r = b_r + relaxation.slacks
+            if round_idx % 2 == 1:
+                b_r = b_r + epsilon
+            return a_r, b_r
+
+        for round_idx in range(4):
+            if not pending:
+                break
+            clipped = intersect_halfspaces_batch(
+                [lane_rows(li, round_idx) for li in pending], self._bound
+            )
+            still = []
+            for li, region in zip(pending, clipped):
+                if region is not None:
+                    regions[li] = region
+                else:
+                    still.append(li)
+            pending = still
+        return regions
 
     def _solution_from_relaxation(
         self, index: int, relaxation: RelaxationResult

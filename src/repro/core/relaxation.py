@@ -173,11 +173,12 @@ def solve_relaxation_batch(
             results[idxs[0]] = solve_relaxation(systems[idxs[0]])
             continue
         nonneg = np.array([False, False] + [True] * m)
+        neg_eye = -np.eye(m)  # shared across the group: hstack copies it
         problems = []
         for i in idxs:
             a, b, w = systems[i].matrices()
             c = np.concatenate([[0.0, 0.0], w])
-            a_lp = np.hstack([a, -np.eye(m)])
+            a_lp = np.hstack([a, neg_eye])
             problems.append(InequalityLP(c, a_lp, b, nonneg))
         for i, result in zip(idxs, solve_lp_batch(problems)):
             if result.status is not LPStatus.OPTIMAL:

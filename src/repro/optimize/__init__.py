@@ -7,7 +7,7 @@ interior-point method.
 """
 
 from .batched import simplex_standard_form_batch
-from .chebyshev import chebyshev_center
+from .chebyshev import chebyshev_center, chebyshev_center_batch
 from .interior_point import analytic_center, barrier_solve_lp
 from .linprog import InequalityLP, solve_lp, solve_lp_batch
 from .simplex import simplex_standard_form
@@ -22,6 +22,7 @@ __all__ = [
     "simplex_standard_form",
     "simplex_standard_form_batch",
     "chebyshev_center",
+    "chebyshev_center_batch",
     "analytic_center",
     "barrier_solve_lp",
 ]

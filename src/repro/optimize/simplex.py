@@ -67,7 +67,9 @@ def simplex_standard_form(
 
     tableau, basis = _phase1_tableau(a, b)
 
-    status, iters1 = _run_pivots(tableau, basis, n + m, max_iterations)
+    status, iters1 = _run_pivots(
+        tableau, basis, tableau.shape[1] - 1, max_iterations
+    )
     if status is not LPStatus.OPTIMAL:
         return LPResult(status, iterations=iters1, message="phase 1 failed")
     if tableau[m, -1] < -_PHASE1_TOL:
@@ -93,32 +95,67 @@ def simplex_standard_form(
     return _extract_solution(tableau, basis, c, n, m, iterations)
 
 
+def _crash_basis(a: np.ndarray) -> np.ndarray:
+    """Starting-basis columns readable off the (sign-normalized) matrix.
+
+    A column that is exactly a unit vector ``e_i`` can serve as row
+    ``i``'s initial basic variable, so that row needs no artificial.
+    Inequality-form conversions always append a slack identity block, and
+    sign normalization turns ``-I`` blocks (e.g. the relaxation LP's
+    ``-t`` columns) into unit columns on their negated rows — so typical
+    NomLoc problems start fully crashed and skip Phase I outright.
+
+    Returns the chosen column per row (the lowest-index candidate, a
+    deterministic rule the batched solver replays), or ``-1`` where no
+    unit column exists and an artificial is required.
+    """
+    m, _ = a.shape
+    basis_col = np.full(m, -1, dtype=np.int64)
+    counts = np.count_nonzero(a, axis=0)
+    for j in np.flatnonzero(counts == 1):
+        i = int(np.argmax(a[:, j] != 0.0))
+        if a[i, j] == 1.0 and basis_col[i] < 0:
+            basis_col[i] = j
+    return basis_col
+
+
 def _phase1_tableau(
     a: np.ndarray, b: np.ndarray
 ) -> tuple[np.ndarray, list[int]]:
-    """Build the Phase-I tableau and its all-artificial starting basis.
+    """Build the Phase-I tableau and its crash/artificial starting basis.
 
-    Shared verbatim by the scalar solver above and the batched solver in
-    :mod:`repro.optimize.batched` (which stacks the per-problem tableaux
-    this function builds), so both paths start from bit-identical state.
+    The same construction is replayed in stacked form by the batched
+    solver in :mod:`repro.optimize.batched`, so both paths start from
+    bit-identical state.
     """
     m, n = a.shape
-    # Normalize to b >= 0 so the artificial basis is feasible.
+    # Normalize to b >= 0 so the starting basis is feasible.
     a = a.copy()
     b = b.copy()
     neg = b < 0
     a[neg] *= -1.0
     b[neg] *= -1.0
 
-    # Phase I: minimize the sum of artificial variables.
-    tableau = np.zeros((m + 1, n + m + 1))
+    # Phase I: minimize the sum of the artificial variables, one per row
+    # the crash scan could not cover.  Rows covered by a unit column start
+    # from that column instead; when every row is covered the Phase-I
+    # objective is identically zero and the phase ends without a pivot.
+    basis_col = _crash_basis(a)
+    art_rows = np.flatnonzero(basis_col < 0)
+    n_art = art_rows.size
+    tableau = np.zeros((m + 1, n + n_art + 1))
     tableau[:m, :n] = a
-    tableau[:m, n : n + m] = np.eye(m)
+    tableau[art_rows, n + np.arange(n_art)] = 1.0
     tableau[:m, -1] = b
-    # Phase-I objective row: sum of artificial rows (reduced costs).
-    tableau[m, :n] = -a.sum(axis=0)
-    tableau[m, -1] = -b.sum()
-    return tableau, list(range(n, n + m))
+    # Phase-I objective row: reduced costs in the starting basis — only
+    # the artificial (uncovered) rows contribute.
+    tableau[m, :n] = -a[art_rows].sum(axis=0)
+    tableau[m, -1] = -b[art_rows].sum()
+
+    basis = [int(v) for v in basis_col]
+    for k, row in enumerate(art_rows):
+        basis[row] = n + k
+    return tableau, basis
 
 
 def _drive_out_artificials(

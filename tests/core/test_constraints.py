@@ -11,6 +11,7 @@ from repro.core import (
     WeightedConstraint,
     boundary_constraints,
     pairwise_constraints,
+    pairwise_constraints_batch,
 )
 from repro.geometry import HalfSpace, Point, Polygon
 
@@ -164,3 +165,142 @@ class TestConstraintSystem:
         assert len(system) == 10
         assert len(system.of_kind(ConstraintKind.BOUNDARY)) == 4
         assert len(system.of_kind(ConstraintKind.PAIRWISE)) == 6
+
+
+class TestPairwiseConstraintsBatch:
+    """The batched builder must replay the scalar builder bit for bit."""
+
+    def _queries(self, nq=6, seed=11):
+        rng = np.random.default_rng(seed)
+        queries = []
+        for q in range(nq):
+            n = int(rng.integers(2, 7))
+            anchors = []
+            for i in range(n):
+                anchors.append(
+                    Anchor(
+                        f"A{q}_{i}",
+                        Point(
+                            float(rng.uniform(0, 20)), float(rng.uniform(0, 20))
+                        ),
+                        float(rng.uniform(0.05, 9.0)),
+                        nomadic=bool(rng.random() < 0.3),
+                    )
+                )
+            queries.append(tuple(anchors))
+        return queries
+
+    def assert_rows_identical(self, scalar_rows, batch_rows):
+        assert len(scalar_rows) == len(batch_rows)
+        for s, b in zip(scalar_rows, batch_rows):
+            assert s.halfspace.ax == b.halfspace.ax
+            assert s.halfspace.ay == b.halfspace.ay
+            assert s.halfspace.b == b.halfspace.b
+            assert s.weight == b.weight
+            assert s.kind is b.kind
+            assert s.label == b.label
+
+    def test_rows_match_scalar(self):
+        queries = self._queries()
+        batched = pairwise_constraints_batch(queries)
+        for anchors, (rows, _) in zip(queries, batched):
+            self.assert_rows_identical(pairwise_constraints(anchors), rows)
+
+    def test_matrices_match_listcomp_build(self):
+        queries = self._queries(seed=12)
+        for rows, (a, b, w) in pairwise_constraints_batch(queries):
+            system = ConstraintSystem(tuple(rows))
+            a2, b2, w2 = system.matrices()
+            assert a.tobytes() == a2.tobytes()
+            assert b.tobytes() == b2.tobytes()
+            assert w.tobytes() == w2.tobytes()
+
+    def test_nomadic_flag_and_normalization_parity(self):
+        queries = self._queries(seed=13)
+        for include in (False, True):
+            for norm in (False, True):
+                batched = pairwise_constraints_batch(
+                    queries, include_nomadic_pairs=include, normalize=norm
+                )
+                for anchors, (rows, _) in zip(queries, batched):
+                    self.assert_rows_identical(
+                        pairwise_constraints(
+                            anchors,
+                            include_nomadic_pairs=include,
+                            normalize=norm,
+                        ),
+                        rows,
+                    )
+
+    def test_quality_weights_parity_and_error(self):
+        queries = self._queries(nq=3, seed=14)
+        weights = [
+            {a.name: 0.5 for a in anchors} for anchors in queries
+        ]
+        batched = pairwise_constraints_batch(queries, quality_weights=weights)
+        for anchors, qw, (rows, _) in zip(queries, weights, batched):
+            self.assert_rows_identical(
+                pairwise_constraints(anchors, quality_weights=qw), rows
+            )
+        bad = [dict(w) for w in weights]
+        bad[1][queries[1][0].name] = 0.0
+        with pytest.raises(ValueError, match="must be in \\(0, 1\\]"):
+            pairwise_constraints_batch(queries, quality_weights=bad)
+
+    def test_cache_values_identical_lookups_deduped(self):
+        from repro.serving.cache import BisectorCache
+
+        queries = self._queries(seed=15)
+        scalar_cache = BisectorCache()
+        batch_cache = BisectorCache()
+        for anchors in queries:
+            pairwise_constraints(anchors, bisector_cache=scalar_cache)
+        batched = pairwise_constraints_batch(queries, bisector_cache=batch_cache)
+        for anchors, (rows, _) in zip(queries, batched):
+            self.assert_rows_identical(
+                pairwise_constraints(anchors, bisector_cache=scalar_cache),
+                rows,
+            )
+        # Second batched pass hits the warm cache and still matches.
+        rebatched = pairwise_constraints_batch(queries, bisector_cache=batch_cache)
+        for (rows, _), (rows2, _) in zip(batched, rebatched):
+            self.assert_rows_identical(rows, rows2)
+
+    def test_coincident_and_short_queries(self):
+        p = Point(5, 5)
+        coincident = (
+            Anchor("C0", p, 2.0),
+            Anchor("C1", p, 1.0),
+            Anchor("C2", Point(8, 1), 0.5),
+        )
+        short = (Anchor("S0", Point(1, 1), 1.0),)
+        batched = pairwise_constraints_batch([coincident, short, ()])
+        rows, (a, b, w) = batched[0]
+        self.assert_rows_identical(pairwise_constraints(coincident), rows)
+        assert a.shape == (len(rows), 2)
+        for rows, (a, b, w) in batched[1:]:
+            assert rows == ()
+            assert a.shape == (0, 2) and b.shape == (0,) and w.shape == (0,)
+
+
+class TestConstraintSystemMatricesCache:
+    def test_matrices_memoized(self):
+        rows = pairwise_constraints(anchors_square([4, 3, 2, 1]))
+        system = ConstraintSystem(tuple(rows))
+        first = system.matrices()
+        second = system.matrices()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_with_matrices_preseed_bitwise(self):
+        rows = tuple(pairwise_constraints(anchors_square([4, 3, 2, 1])))
+        reference = ConstraintSystem(rows)
+        a, b, w = reference.matrices()
+        preseeded = ConstraintSystem.with_matrices(
+            rows, a.copy(), b.copy(), w.copy()
+        )
+        a2, b2, w2 = preseeded.matrices()
+        assert a2.tobytes() == a.tobytes()
+        assert b2.tobytes() == b.tobytes()
+        assert w2.tobytes() == w.tobytes()
+        assert preseeded.constraints == reference.constraints

@@ -1,0 +1,87 @@
+"""Span names emitted by the batched locate pipeline.
+
+The per-stage aggregation in benchmarks and the profiler groups spans by
+name, so the batched entry points must keep their names disjoint from the
+scalar path's: ``locate_batch`` owns ``lp.solve_batch`` while
+``solve_pieces_batch`` owns ``lp.solve_pieces`` — the two carry different
+attribute sets and folding them under one name would corrupt any
+aggregate.  These tests pin the name partition and the counters each
+stage reports.
+"""
+
+import numpy as np
+
+from repro.core import NomLocLocalizer, NomLocSystem, SystemConfig
+from repro.environment import get_scenario
+from repro.obs import capture
+
+
+def lobby_queries(count=3, seed=23):
+    scenario = get_scenario("lobby")
+    system = NomLocSystem(scenario, SystemConfig(packets_per_link=6))
+    sites = scenario.test_sites
+    queries = []
+    for i in range(count):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, i]))
+        queries.append(system.gather_anchors(sites[i % len(sites)], rng))
+    return scenario, queries
+
+
+class TestPipelineSpanNames:
+    def test_locate_batch_stage_names(self):
+        scenario, queries = lobby_queries()
+        localizer = NomLocLocalizer(scenario.plan.boundary)
+        with capture() as tracer:
+            localizer.locate_batch(queries)
+        names = {s.name for s in tracer.finished()}
+        assert {
+            "constraints.build_batch",
+            "lp.solve_batch",
+            "geometry.batch",
+            "merge",
+        } <= names
+        # The batch entry points never route through the scalar stages
+        # (and never borrow their names).
+        assert "lp.solve" not in names
+        assert "lp.solve_pieces" not in names
+        assert "constraints.build_shared" not in names
+
+    def test_solve_pieces_batch_has_its_own_name(self):
+        scenario, queries = lobby_queries(count=1)
+        localizer = NomLocLocalizer(scenario.plan.boundary)
+        shared = localizer.build_shared_constraints(queries[0])
+        with capture() as tracer:
+            localizer.solve_pieces_batch(range(len(localizer.pieces)), shared)
+        names = {s.name for s in tracer.finished()}
+        assert "lp.solve_pieces" in names
+        assert "lp.solve_batch" not in names
+        assert "lp.solve" not in names
+
+    def test_scalar_locate_keeps_scalar_names(self):
+        scenario, queries = lobby_queries(count=1)
+        localizer = NomLocLocalizer(scenario.plan.boundary)
+        with capture() as tracer:
+            localizer.locate(queries[0])
+        names = {s.name for s in tracer.finished()}
+        assert {"constraints.build_shared", "lp.solve", "merge"} <= names
+        assert "lp.solve_batch" not in names
+        assert "lp.solve_pieces" not in names
+
+    def test_batch_span_counters(self):
+        scenario, queries = lobby_queries()
+        localizer = NomLocLocalizer(scenario.plan.boundary)
+        with capture() as tracer:
+            estimates = localizer.locate_batch(queries)
+        by_name = {}
+        for s in tracer.finished():
+            by_name.setdefault(s.name, []).append(s)
+        [solve] = by_name["lp.solve_batch"]
+        assert solve.attributes["queries"] == len(queries)
+        assert solve.attributes["pieces"] == len(localizer.pieces)
+        assert solve.counters["rows"] > 0
+        [geom] = by_name["geometry.batch"]
+        winners = geom.counters["winners"]
+        lazy = geom.counters.get("lazy", 0.0)
+        total_pieces = sum(len(est.pieces) for est in estimates)
+        assert winners + lazy == total_pieces
+        assert winners >= len(queries)  # every query has >= 1 winner

@@ -13,11 +13,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import NomLocLocalizer, NomLocSystem, SystemConfig
-from repro.core.relaxation import solve_relaxation, solve_relaxation_batch
+from repro.core.constraints import (
+    ConstraintKind,
+    ConstraintSystem,
+    WeightedConstraint,
+)
+from repro.core.relaxation import (
+    _LARGE_SYSTEM_ROWS,
+    solve_relaxation,
+    solve_relaxation_batch,
+)
 from repro.environment import SCENARIOS, get_scenario
+from repro.geometry import HalfSpace
 from repro.optimize import simplex_standard_form
-from repro.optimize.batched import simplex_standard_form_batch
+from repro.optimize.batched import _phase1_tableau_batch, simplex_standard_form_batch
 from repro.optimize.linprog import InequalityLP, solve_lp, solve_lp_batch
+from repro.optimize.simplex import _phase1_tableau
 
 
 def assert_bit_identical(scalar, batched):
@@ -143,6 +154,94 @@ class TestStackedInequalityLP:
             solve_lp_batch([p1, p2])
 
 
+class TestCrashBasisBatch:
+    """The stacked Phase-I builder vs the scalar one, lane by lane.
+
+    The scalar ``_phase1_tableau`` is the reference; the batched builder
+    must reproduce every lane's tableau and starting basis exactly, modulo
+    all-zero padding columns for lanes needing fewer artificials than the
+    batch maximum.
+    """
+
+    @staticmethod
+    def assert_lane_matches_scalar(tab_k, basis_k, a, b, n):
+        scalar_tab, scalar_basis = _phase1_tableau(a, b)
+        assert list(basis_k) == scalar_basis
+        n_art = scalar_tab.shape[1] - n - 1
+        trimmed = np.concatenate([tab_k[:, : n + n_art], tab_k[:, -1:]], axis=1)
+        # Constraint rows are byte-identical (incl. signed zeros).
+        assert trimmed[:-1].tobytes() == scalar_tab[:-1].tobytes()
+        if n_art:
+            # Same per-lane subset sums -> same bytes in the objective row.
+            assert trimmed[-1].tobytes() == scalar_tab[-1].tobytes()
+        else:
+            # Fully-crashed lanes: the scalar path negates an empty sum
+            # (-0.0) where the batched builder leaves +0.0.  Only the zero
+            # sign differs, and the Phase-I driver reads the row solely
+            # through ``< -_TOL`` before Phase II overwrites it.
+            assert np.array_equal(trimmed[-1], scalar_tab[-1])
+            assert not (trimmed[-1] != 0.0).any()
+        # Padding columns for shorter lanes must be identically zero so
+        # they can never enter the basis or perturb a pivot.
+        assert not tab_k[:, n + n_art : -1].any()
+
+    def test_random_mixed_sign_rhs(self):
+        rng = np.random.default_rng(29)
+        for _ in range(10):
+            m = int(rng.integers(1, 6))
+            n = int(rng.integers(m, m + 5))
+            a_stack = rng.normal(size=(6, m, n)).round(2)
+            b_stack = rng.normal(size=(6, m)).round(2)
+            tabs, basis = _phase1_tableau_batch(a_stack.copy(), b_stack.copy())
+            for k in range(6):
+                self.assert_lane_matches_scalar(
+                    tabs[k], basis[k], a_stack[k], b_stack[k], n
+                )
+
+    def test_relaxation_shape_is_fully_crashed(self):
+        # The relaxation LP's standard form is [A | -I | I-slacks]: rows
+        # with b >= 0 crash onto their +1 slack column, and negating a
+        # b < 0 row flips its -t column to +1 — so every row is covered
+        # and no artificial block exists regardless of RHS signs.
+        rng = np.random.default_rng(31)
+        m = 7
+        a_stack = np.stack(
+            [
+                np.hstack([rng.normal(size=(m, 2)), -np.eye(m), np.eye(m)])
+                for _ in range(5)
+            ]
+        )
+        b_stack = rng.normal(size=(5, m))
+        tabs, basis = _phase1_tableau_batch(a_stack.copy(), b_stack.copy())
+        n = 2 + m + m
+        assert tabs.shape == (5, m + 1, n + 1)  # no artificial columns
+        assert (basis < n).all()
+        # Phase-I objective rows are zero: the phase ends pivot-free.
+        assert not (tabs[:, m, :] != 0.0).any()
+        for k in range(5):
+            self.assert_lane_matches_scalar(
+                tabs[k], basis[k], a_stack[k], b_stack[k], n
+            )
+
+    def test_mixed_artificial_counts_pad_with_zero_columns(self):
+        # Lane 0: [A | I] with b >= 0 -> fully crashed (0 artificials).
+        # Lane 1: random normals -> no exact unit columns (3 artificials).
+        # Lane 2: [A | I] with one negative RHS -> 1 artificial.
+        rng = np.random.default_rng(37)
+        base = rng.normal(size=(3, 2)).round(2)
+        lane0 = np.hstack([base, np.eye(3)])
+        lane1 = rng.normal(size=(3, 5)).round(2)
+        lane2 = np.hstack([base, np.eye(3)])
+        a_stack = np.stack([lane0, lane1, lane2])
+        b_stack = np.array([[1.0, 2.0, 3.0], [1.5, -0.5, 2.0], [1.0, -2.0, 3.0]])
+        tabs, basis = _phase1_tableau_batch(a_stack.copy(), b_stack.copy())
+        assert tabs.shape[2] == 5 + 3 + 1  # widest lane sets the padding
+        for k in range(3):
+            self.assert_lane_matches_scalar(
+                tabs[k], basis[k], a_stack[k], b_stack[k], 5
+            )
+
+
 def scenario_systems(name, queries=6, seed=17):
     """Per-query constraint systems gathered from one scenario."""
     scenario = get_scenario(name)
@@ -181,6 +280,78 @@ class TestBatchedRelaxation:
             scalar = solve_relaxation(system)
             assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
             assert scalar.slacks.tobytes() == res.slacks.tobytes()
+
+
+def synthetic_system(rng, rows):
+    """A feasible hand-built constraint system with an exact row count."""
+    target = rng.uniform(2.0, 8.0, size=2)
+    constraints = []
+    for j in range(rows):
+        normal = rng.normal(size=2)
+        normal /= np.linalg.norm(normal)
+        offset = float(normal @ target + rng.uniform(0.1, 3.0))
+        constraints.append(
+            WeightedConstraint(
+                HalfSpace(float(normal[0]), float(normal[1]), offset),
+                weight=float(rng.uniform(0.1, 1.0)),
+                kind=ConstraintKind.PAIRWISE,
+                label=f"syn-{rows}-{j}",
+            )
+        )
+    return ConstraintSystem(tuple(constraints))
+
+
+class TestRelaxationBatchEdgeLanes:
+    """Grouping edges: the sparse-backend cutoff and singleton groups."""
+
+    def test_large_systems_route_to_sparse_backend_in_place(self):
+        # Systems above _LARGE_SYSTEM_ROWS bypass the stacked simplex for
+        # the sparse interior-point path; their batch mates still stack.
+        # Results land in input order either way and every lane matches
+        # its own scalar solve bitwise.
+        rng = np.random.default_rng(41)
+        small = [synthetic_system(rng, 12) for _ in range(3)]
+        large = [
+            synthetic_system(rng, _LARGE_SYSTEM_ROWS + 15) for _ in range(2)
+        ]
+        systems = [small[0], large[0], small[1], large[1], small[2]]
+        batched = solve_relaxation_batch(systems)
+        for system, res in zip(systems, batched):
+            scalar = solve_relaxation(system)
+            assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
+            assert scalar.slacks.tobytes() == res.slacks.tobytes()
+            assert scalar.cost == res.cost
+            assert res.system is system
+
+    def test_boundary_row_count_stays_on_dense_path(self):
+        # Exactly _LARGE_SYSTEM_ROWS rows is NOT "large": the scalar
+        # gate is strict (m > cutoff), and the batch must agree or the
+        # two paths would diverge bitwise at the boundary.
+        rng = np.random.default_rng(43)
+        systems = [synthetic_system(rng, _LARGE_SYSTEM_ROWS) for _ in range(2)]
+        batched = solve_relaxation_batch(systems)
+        for system, res in zip(systems, batched):
+            scalar = solve_relaxation(system)
+            assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
+            assert scalar.slacks.tobytes() == res.slacks.tobytes()
+
+    def test_singleton_groups_fall_back_to_scalar(self):
+        # Every system has a unique row count, so no group ever stacks;
+        # the batch API must quietly become a loop over solve_relaxation.
+        rng = np.random.default_rng(47)
+        systems = [synthetic_system(rng, rows) for rows in (5, 9, 14, 23)]
+        batched = solve_relaxation_batch(systems)
+        for system, res in zip(systems, batched):
+            scalar = solve_relaxation(system)
+            assert scalar.feasible_point.tobytes() == res.feasible_point.tobytes()
+            assert scalar.slacks.tobytes() == res.slacks.tobytes()
+            assert scalar.cost == res.cost
+
+    def test_empty_system_rejected_before_any_solve(self):
+        rng = np.random.default_rng(53)
+        systems = [synthetic_system(rng, 4), ConstraintSystem(())]
+        with pytest.raises(ValueError, match="empty constraint system"):
+            solve_relaxation_batch(systems)
 
 
 class TestLocalizerBatch:

@@ -11,6 +11,7 @@ from repro.optimize import (
     analytic_center,
     barrier_solve_lp,
     chebyshev_center,
+    chebyshev_center_batch,
 )
 
 
@@ -59,6 +60,91 @@ class TestChebyshevCenter:
         res = chebyshev_center(a, b)
         assert res.ok
         assert res.objective == pytest.approx(0.0, abs=1e-8)
+
+
+def random_polytope(rng, rows):
+    """A bounded polytope with ``rows`` random faces plus a box."""
+    centre = rng.uniform(-3, 3, 2)
+    a = rng.uniform(-1, 1, size=(rows, 2))
+    a[np.linalg.norm(a, axis=1) < 0.2] = [1.0, 0.3]
+    b = a @ centre + rng.uniform(0.3, 2.0, size=rows)
+    box_a = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]], dtype=float)
+    box_b = np.array([8.0, 8.0, 8.0, 8.0])
+    return np.vstack([a, box_a]), np.concatenate([b, box_b])
+
+
+def assert_center_identical(scalar, batched):
+    """Chebyshev results equal down to the last bit."""
+    assert scalar.status == batched.status
+    assert scalar.iterations == batched.iterations
+    assert scalar.message == batched.message
+    if scalar.x is None:
+        assert batched.x is None
+    else:
+        assert scalar.x.tobytes() == batched.x.tobytes()
+    if np.isnan(scalar.objective):
+        assert np.isnan(batched.objective)
+    else:
+        assert scalar.objective == batched.objective
+
+
+class TestChebyshevCenterBatch:
+    """The stacked centre path vs the scalar one, system by system."""
+
+    def test_mixed_shapes_group_and_match_scalar(self):
+        rng = np.random.default_rng(61)
+        systems = [random_polytope(rng, rows) for rows in (3, 5, 3, 7, 5, 3)]
+        batched = chebyshev_center_batch(systems)
+        assert len(batched) == len(systems)
+        for (a, b), res in zip(systems, batched):
+            assert_center_identical(chebyshev_center(a, b), res)
+
+    def test_singleton_group_takes_scalar_path(self):
+        rng = np.random.default_rng(67)
+        systems = [random_polytope(rng, 4)]
+        [res] = chebyshev_center_batch(systems)
+        assert_center_identical(chebyshev_center(*systems[0]), res)
+
+    def test_empty_batch(self):
+        assert chebyshev_center_batch([]) == []
+
+    def test_constraint_free_lane_short_circuits(self):
+        rng = np.random.default_rng(71)
+        systems = [
+            random_polytope(rng, 4),
+            (np.zeros((0, 2)), np.zeros(0)),
+            random_polytope(rng, 4),
+        ]
+        batched = chebyshev_center_batch(systems)
+        assert batched[1].status is LPStatus.UNBOUNDED
+        for (a, b), res in zip(systems, batched):
+            assert_center_identical(chebyshev_center(a, b), res)
+
+    def test_zero_normal_rejected_like_scalar(self):
+        good = random_polytope(np.random.default_rng(73), 3)
+        bad = (np.array([[0.0, 0.0]]), np.array([1.0]))
+        with pytest.raises(ValueError, match="non-zero normals"):
+            chebyshev_center_batch([good, bad])
+
+    def test_infeasible_and_unbounded_lanes_match_scalar(self):
+        rng = np.random.default_rng(79)
+        empty_a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        empty_b = np.array([0.0, -1.0, 1.0, 1.0])  # x <= 0 and x >= 1
+        halfplane = (
+            np.array([[1.0, 0.0], [0.5, 0.0], [0.25, 0.0], [2.0, 0.0]]),
+            np.array([1.0, 1.0, 1.0, 1.0]),
+        )
+        systems = [
+            random_polytope(rng, 0),
+            (empty_a, empty_b),
+            halfplane,
+            random_polytope(rng, 0),
+        ]
+        batched = chebyshev_center_batch(systems)
+        assert batched[1].status is LPStatus.INFEASIBLE
+        assert batched[2].status is LPStatus.UNBOUNDED
+        for (a, b), res in zip(systems, batched):
+            assert_center_identical(chebyshev_center(a, b), res)
 
 
 class TestAnalyticCenter:

@@ -125,3 +125,74 @@ class TestAgainstScipy:
         if res.ok:
             np.testing.assert_allclose(a @ res.x, b, atol=1e-6)
             assert np.all(res.x >= -1e-9)
+
+
+class TestCrashBasis:
+    """The Phase-I start reads unit columns off the matrix when it can."""
+
+    def test_slack_identity_skips_phase1(self):
+        from repro.optimize.simplex import _phase1_tableau
+
+        # [A | I] with b >= 0: every row is covered by its slack column,
+        # so no artificial columns are allocated at all.
+        a = np.hstack([np.array([[1.0, 2.0], [3.0, 4.0]]), np.eye(2)])
+        b = np.array([5.0, 6.0])
+        tableau, basis = _phase1_tableau(a, b)
+        assert tableau.shape == (3, a.shape[1] + 1)  # no artificial block
+        assert basis == [2, 3]
+        # Phase-I objective row is identically zero: no pivots needed.
+        assert not (tableau[2, :] < -1e-9).any()
+
+    def test_negated_row_uses_minus_identity_column(self):
+        from repro.optimize.simplex import _phase1_tableau
+
+        # The relaxation LP shape: [A | -I].  A negative RHS flips its
+        # row, turning that row's -1 into a usable +1 unit column.
+        a = np.hstack([np.array([[1.0, 2.0], [3.0, 4.0]]), -np.eye(2)])
+        b = np.array([5.0, -6.0])
+        tableau, basis = _phase1_tableau(a, b)
+        assert basis[1] == 3  # row 1 crashed onto its flipped -t column
+        assert basis[0] == a.shape[1]  # row 0 still needs an artificial
+        assert tableau.shape[1] == a.shape[1] + 1 + 1
+
+    def test_uncovered_rows_get_artificials(self):
+        from repro.optimize.simplex import _phase1_tableau
+
+        a = np.array([[1.0, 1.0], [1.0, -1.0]])  # no unit columns
+        b = np.array([3.0, 1.0])
+        tableau, basis = _phase1_tableau(a, b)
+        assert tableau.shape == (3, 2 + 2 + 1)
+        assert basis == [2, 3]
+
+    def test_lowest_index_candidate_wins(self):
+        from repro.optimize.simplex import _crash_basis
+
+        # Columns 0 and 2 are both unit columns for row 0.
+        a = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        cols = _crash_basis(a)
+        assert list(cols) == [0, 1]
+
+    def test_non_unit_coefficient_rejected(self):
+        from repro.optimize.simplex import _crash_basis
+
+        a = np.array([[2.0, 0.0], [0.0, 1.0]])
+        cols = _crash_basis(a)
+        assert list(cols) == [-1, 1]
+
+    def test_crash_start_solves_relaxation_shape(self):
+        # End to end on the actual hot-path structure: z free, t >= 0,
+        # minimize w.t with mixed-sign RHS.
+        rng = np.random.default_rng(3)
+        m = 12
+        a = rng.normal(size=(m, 2))
+        b = rng.normal(size=m)
+        from repro.optimize import solve_lp
+
+        c = np.concatenate([[0.0, 0.0], rng.uniform(0.1, 1.0, size=m)])
+        a_lp = np.hstack([a, -np.eye(m)])
+        nonneg = np.array([False, False] + [True] * m)
+        res = solve_lp(c, a_lp, b, nonneg)
+        assert res.ok
+        t = np.maximum(res.x[2:], 0.0)
+        slack = a @ res.x[:2] - t - b
+        assert (slack <= 1e-7).all()
