@@ -15,6 +15,8 @@ Usage::
     python -m repro profile lab --trace-out traces.jsonl
     python -m repro guard --selftest          # guard-layer corruption drill
     python -m repro guard lab --faults nan-burst:0.3:AP2
+    python -m repro track lab --objects 4     # streaming tracking sessions
+    python -m repro track lab --selftest      # deterministic-replay drill
 """
 
 from __future__ import annotations
@@ -212,6 +214,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=24, help="CSI packets per link"
     )
 
+    track = sub.add_parser(
+        "track",
+        help="streaming tracking sessions: walk seeded objects through "
+        "the venue, stream their estimates into per-object filters and "
+        "zone/geofence sessions, report occupancy analytics",
+    )
+    _add_serving_args(track)
+    track.add_argument(
+        "--objects", type=int, default=3, help="number of tracked objects"
+    )
+    track.add_argument(
+        "--steps", type=int, default=10, help="fix ticks per object"
+    )
+    track.add_argument(
+        "--zones",
+        metavar="ROWSxCOLS",
+        default="2x3",
+        help="zone grid partition of the venue (e.g. 2x3)",
+    )
+    track.add_argument(
+        "--filter",
+        choices=("kalman", "particle"),
+        default="kalman",
+        help="per-object motion filter",
+    )
+    track.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of fixes replaced by a far-off zero-confidence "
+        "position (models guard-flagged corruption)",
+    )
+    track.add_argument(
+        "--blind",
+        action="store_true",
+        help="ignore confidence when setting measurement noise (the "
+        "confidence-blind reference arm)",
+    )
+    track.add_argument(
+        "--selftest",
+        action="store_true",
+        help="deterministic-replay drill: seeded runs must produce "
+        "byte-identical event logs, and confidence-modulated filtering "
+        "must beat the blind arm under injected corruption",
+    )
+
     gateway = sub.add_parser(
         "gateway",
         help="network front door: asyncio HTTP/WebSocket server with a "
@@ -370,6 +419,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "guard": _cmd_guard,
+        "track": _cmd_track,
         "gateway": _cmd_gateway,
         "profile": _cmd_profile,
     }[args.command]
@@ -1032,6 +1082,209 @@ def _cmd_guard(args: argparse.Namespace) -> int:
             f"{sum(errors) / len(errors):.2f} m, {degraded_total} degraded "
             f"link(s), {rejected_total} rejected link(s)"
         )
+    return 0
+
+
+def _parse_zone_grid(spec: str) -> tuple[int, int]:
+    """``"2x3"`` → ``(2, 3)``, validating both factors."""
+    parts = spec.lower().split("x")
+    try:
+        rows, cols = (int(p) for p in parts)
+    except ValueError:
+        raise ValueError(f"--zones must look like ROWSxCOLS, got {spec!r}")
+    if rows < 1 or cols < 1:
+        raise ValueError("--zones needs at least a 1x1 grid")
+    return rows, cols
+
+
+def _track_run(args: argparse.Namespace, modulate: bool = True) -> dict:
+    """One seeded tracking run: objects walk, estimates stream, sessions
+    track.  Returns the manager plus per-fix errors and the log digest."""
+    from .core import NomLocSystem, SystemConfig
+    from .environment import get_scenario
+    from .geometry import Point
+    from .serving import LocalizationService, ServingConfig
+    from .sessions import GeofenceRule, SessionConfig, SessionManager, ZoneMap
+    from .tracking import random_trajectory
+
+    rows, cols = _parse_zone_grid(args.zones)
+    scenario = get_scenario(args.scenario)
+    system = NomLocSystem(
+        scenario, SystemConfig(packets_per_link=args.packets)
+    )
+    plan = scenario.plan
+    zones = ZoneMap.grid(plan.boundary, rows, cols)
+    # The far corner of the grid doubles as a geofenced demo zone so the
+    # drill exercises the alert path whenever a walk wanders into it.
+    rules = (GeofenceRule(zone=zones.names()[-1], forbidden=True),)
+    manager = SessionManager(
+        zones,
+        SessionConfig(
+            filter_kind=args.filter,
+            modulate_noise=modulate,
+            idle_timeout_s=max(30.0, 4.0 * args.steps),
+            seed=args.seed,
+        ),
+        rules,
+        plan=plan,
+    )
+    trajectories = [
+        random_trajectory(
+            plan,
+            np.random.default_rng(
+                np.random.SeedSequence([args.seed, 1000 + i])
+            ),
+            num_waypoints=4,
+        )
+        for i in range(args.objects)
+    ]
+    object_ids = [f"obj-{i:03d}" for i in range(args.objects)]
+    service = LocalizationService(
+        plan.boundary,
+        config=ServingConfig(
+            max_workers=args.workers,
+            worker_mode=args.worker_mode,
+            lp_batch=args.lp_batch,
+            cache_topologies=not args.no_cache,
+            cache_bisectors=not args.no_cache,
+        ),
+    )
+    errors: list[float] = []
+    try:
+        for tick in range(args.steps):
+            truths = []
+            batch = []
+            for i, traj in enumerate(trajectories):
+                truth = traj.positions[min(tick, len(traj) - 1)]
+                truths.append(truth)
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([args.seed, tick, i])
+                )
+                batch.append(tuple(system.gather_anchors(truth, rng)))
+            responses = service.batch(batch)
+            for i, (truth, resp) in enumerate(zip(truths, responses)):
+                fix, confidence = resp.position, resp.confidence
+                crng = np.random.default_rng(
+                    np.random.SeedSequence([args.seed, 77, tick, i])
+                )
+                if args.corrupt and crng.random() < args.corrupt:
+                    # A guard-flagged bad fix: way off, zero confidence.
+                    angle = crng.random() * 2.0 * np.pi
+                    fix = Point(
+                        fix.x + 6.0 * np.cos(angle),
+                        fix.y + 6.0 * np.sin(angle),
+                    )
+                    confidence = 0.0
+                update, _ = manager.observe(
+                    object_ids[i], float(tick), fix, confidence=confidence
+                )
+                errors.append(update.position.distance_to(truth))
+    finally:
+        service.close()
+    return {
+        "manager": manager,
+        "zones": zones,
+        "errors": errors,
+        "digest": manager.event_log.digest(),
+    }
+
+
+def _track_selftest(args: argparse.Namespace) -> int:
+    """Gate on the session layer's determinism + confidence contracts."""
+    first = _track_run(args)
+    second = _track_run(args)
+    corrupt_args = argparse.Namespace(**vars(args))
+    corrupt_args.corrupt = max(args.corrupt, 0.25)
+    modulated = _track_run(corrupt_args, modulate=True)
+    blind = _track_run(corrupt_args, modulate=False)
+
+    def median(values: list[float]) -> float:
+        return sorted(values)[len(values) // 2]
+
+    counts = first["manager"].event_log.counts()
+    checks = [
+        (
+            "seeded replay produces byte-identical event logs",
+            first["digest"] == second["digest"],
+        ),
+        (
+            "seeded replay produces identical track errors",
+            first["errors"] == second["errors"],
+        ),
+        (
+            "confidence-modulated filtering beats blind under "
+            f"{corrupt_args.corrupt:.0%} corruption "
+            f"({median(modulated['errors']):.2f} m vs "
+            f"{median(blind['errors']):.2f} m median)",
+            median(modulated["errors"]) < median(blind["errors"]),
+        ),
+        (
+            "zone events are well-formed (enters >= exits)",
+            counts.get("enter", 0) >= counts.get("exit", 0),
+        ),
+    ]
+    for name, passed in checks:
+        print(f"  {'ok  ' if passed else 'FAIL'} {name}")
+    if all(passed for _, passed in checks):
+        print("SELFTEST OK: tracking sessions deterministic and "
+              "confidence-aware")
+        return 0
+    print("SELFTEST FAIL", file=sys.stderr)
+    return 1
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from .environment import get_scenario
+
+    try:
+        get_scenario(args.scenario)
+        _parse_zone_grid(args.zones)
+        if args.objects < 1:
+            raise ValueError("--objects must be at least 1")
+        if args.steps < 2:
+            raise ValueError("--steps must be at least 2")
+        if not 0.0 <= args.corrupt < 1.0:
+            raise ValueError("--corrupt must be in [0, 1)")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.selftest:
+        return _track_selftest(args)
+    run = _track_run(args, modulate=not args.blind)
+    manager, zones = run["manager"], run["zones"]
+    rows, cols = _parse_zone_grid(args.zones)
+    arm = "blind" if args.blind else "confidence-modulated"
+    print(
+        f"tracked {args.objects} object(s) for {args.steps} ticks over a "
+        f"{rows}x{cols} zone grid ({args.filter} filter, {arm} noise)"
+    )
+    for object_id in manager.object_ids():
+        session = manager.session(object_id)
+        inside = ", ".join(session.fsm.inside_zones()) or "-"
+        print(
+            f"  {object_id}: {session.updates} fixes, "
+            f"sigma {session.filter.position_sigma_m():.2f} m, "
+            f"in [{inside}]"
+        )
+    errors = sorted(run["errors"])
+    print(
+        f"track error median {errors[len(errors) // 2]:.2f} m, "
+        f"max {errors[-1]:.2f} m over {len(errors)} fixes"
+    )
+    snapshot = manager.metrics_snapshot()
+    event_counts = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(snapshot["events"].items())
+    ) or "none"
+    print(f"events: {event_counts}")
+    for zone, stats in snapshot["zones"].items():
+        if stats["visits"] == 0:
+            continue
+        print(
+            f"  {zone}: occupancy {stats['occupancy']} "
+            f"(peak {stats['peak_occupancy']}), {stats['visits']} visit(s), "
+            f"mean dwell {stats['mean_dwell_s']:.1f} s"
+        )
+    print(f"event log digest {run['digest'][:16]}...")
     return 0
 
 

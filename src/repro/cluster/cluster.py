@@ -142,6 +142,18 @@ class ClusterResponse:
         """True when a replica served the full fresh SP estimate."""
         return not self.degraded
 
+    @property
+    def confidence(self) -> float:
+        """Measurement-layer confidence of the routed answer.
+
+        Mirrors :attr:`repro.serving.LocalizationResponse.confidence`:
+        the estimate's guard confidence, or 0.0 when the cluster fell
+        back to the weighted centroid (``estimate is None``) — so the
+        session layer and wire payloads read one field regardless of
+        which serving tier answered.
+        """
+        return self.estimate.confidence if self.estimate is not None else 0.0
+
     def error_to(self, truth: Point) -> float:
         """Euclidean error of the served position against ground truth."""
         return self.position.distance_to(truth)

@@ -57,6 +57,8 @@ __all__ = [
     "loads",
     "position_event",
     "response_to_dict",
+    "session_event",
+    "track_event",
 ]
 
 #: Current wire protocol version; bumped on any incompatible change.
@@ -249,10 +251,13 @@ def response_to_dict(response: Any) -> dict:
         "degraded": response.degraded,
         "reason": response.reason,
         "latency_s": response.latency_s,
+        # Always present (0.0 for degraded fallbacks): external clients
+        # and the session layer read confidence without caring whether
+        # the estimate block survived degradation.
+        "confidence": getattr(response, "confidence", 0.0),
     }
     estimate = response.estimate
     if estimate is not None:
-        wire["confidence"] = estimate.confidence
         wire["relaxation_cost"] = estimate.relaxation_cost
         if estimate.degradation_reasons:
             wire["degradation_reasons"] = list(estimate.degradation_reasons)
@@ -273,4 +278,30 @@ def position_event(object_id: str, batch_id: str, wire_response: dict) -> dict:
         "position": wire_response["position"],
         "degraded": wire_response["degraded"],
         "reason": wire_response["reason"],
+        "confidence": wire_response.get("confidence", 0.0),
     }
+
+
+def track_event(object_id: str, update: Any) -> dict:
+    """One WebSocket filtered-track push (session layer enabled).
+
+    ``update`` is a :class:`repro.sessions.SessionUpdate`; subscribers
+    get the smoothed position, its posterior uncertainty, and the
+    track's current zone alongside the raw position pushes.
+    """
+    event = {"v": PROTOCOL_VERSION, "type": "track"}
+    event.update(update.to_dict())
+    return event
+
+
+def session_event(object_id: str, record: Mapping) -> dict:
+    """One WebSocket zone/geofence event push.
+
+    ``record`` is a :meth:`repro.sessions.SessionEvent.to_dict` payload;
+    its ``kind`` (``enter``/``exit``/``alert``/``evicted``) tells the
+    client what happened, ``seq`` is the server-side total order.
+    """
+    event = {"v": PROTOCOL_VERSION, "type": "session-event"}
+    event.update(record)
+    event["object_id"] = object_id
+    return event

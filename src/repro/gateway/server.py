@@ -36,7 +36,9 @@ import asyncio
 import functools
 import json
 import signal
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..cluster import ClusterConfig, LocalizationCluster
 from ..core import LocalizerConfig
@@ -63,6 +65,9 @@ from .ws import (
     encode_frame,
     read_frame,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layer cycle
+    from ..sessions import SessionManager
 
 __all__ = ["GatewayConfig", "GatewayServer"]
 
@@ -138,6 +143,13 @@ class GatewayServer:
         SP and per-replica serving knobs, passed through to the cluster.
     config:
         Operational :class:`GatewayConfig`.
+    sessions:
+        Optional :class:`~repro.sessions.SessionManager`.  When set,
+        every answered measurement batch with an ``object_id`` also
+        feeds the session layer, and subscribers of that object receive
+        ``track`` (filtered position) and ``session-event``
+        (zone/geofence) pushes alongside the raw ``position`` events.
+        Session timestamps come from the gateway's monotonic clock.
     """
 
     def __init__(
@@ -146,9 +158,12 @@ class GatewayServer:
         localizer_config: LocalizerConfig | None = None,
         config: GatewayConfig | None = None,
         serving_config: ServingConfig | None = None,
+        sessions: "SessionManager | None" = None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.area = area
+        self.sessions = sessions
+        self._session_t0 = time.monotonic()
         self.cluster = LocalizationCluster(
             area,
             localizer_config,
@@ -433,7 +448,29 @@ class GatewayServer:
         await self.bridge.run(self.ledger.record_estimate, batch_id, wire)
         self.answered_total += 1
         self._publish(object_id, protocol.position_event(object_id, batch_id, wire))
+        if self.sessions is not None and object_id:
+            self._feed_sessions(object_id, response)
         return wire
+
+    def _feed_sessions(self, object_id: str, response) -> None:
+        """Feed one answered estimate to the session layer and fan out.
+
+        Runs on the event loop (SessionManager is not thread-safe);
+        ingest at gateway scale is a few filter multiplies and an O(1)
+        zone lookup.  Idle eviction piggybacks on the same tick so a
+        quiet gateway still ages out stale sessions as long as *any*
+        object keeps reporting.
+        """
+        now_s = time.monotonic() - self._session_t0
+        update, events = self.sessions.ingest(object_id, now_s, response)
+        self._publish(object_id, protocol.track_event(object_id, update))
+        for event in events:
+            self._publish(object_id, protocol.session_event(object_id, event.to_dict()))
+        for event in self.sessions.evict_idle(now_s):
+            self._publish(
+                event.object_id,
+                protocol.session_event(event.object_id, event.to_dict()),
+            )
 
     def _handle_get_estimate(self, batch_id: str) -> tuple[int, dict]:
         estimate = self.ledger.get_estimate(batch_id)
@@ -469,13 +506,14 @@ class GatewayServer:
             "closing": self._closing,
             "ledger": self.ledger.counts(),
         }
-        return json_safe(
-            {
-                "v": protocol.PROTOCOL_VERSION,
-                "gateway": gateway,
-                "cluster": self.cluster.metrics_json(),
-            }
-        )
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "gateway": gateway,
+            "cluster": self.cluster.metrics_json(),
+        }
+        if self.sessions is not None:
+            payload["sessions"] = self.sessions.metrics_json()
+        return json_safe(payload)
 
     # ------------------------------------------------------------------
     # WebSocket streaming

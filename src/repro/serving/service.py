@@ -222,6 +222,19 @@ class LocalizationResponse:
         """True when the full SP pipeline answered (not the fallback)."""
         return not self.degraded
 
+    @property
+    def confidence(self) -> float:
+        """Measurement-layer confidence of the served answer.
+
+        The estimate's guard confidence (1.0 on the ungated path), or
+        0.0 for degraded fallback answers — a weighted-centroid guess
+        deserves no measurement-layer trust.  This is the value
+        downstream consumers (the session layer's confidence-to-noise
+        mapping, wire payloads) read; before it existed, the gate's
+        confidence died here (ROADMAP item 2's "dropped on the floor").
+        """
+        return self.estimate.confidence if self.estimate is not None else 0.0
+
     def error_to(self, truth: Point) -> float:
         """Euclidean error of the served position against ground truth."""
         return self.position.distance_to(truth)

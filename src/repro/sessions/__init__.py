@@ -1,0 +1,54 @@
+"""Streaming tracking sessions: zones, geofences, occupancy analytics.
+
+The live-product layer over the per-query localization stack (ROADMAP
+item 2).  Serving estimates stream in per object; this package turns
+them into *tracks* and *events*:
+
+* :class:`SessionManager` owns per-object sessions — a motion filter
+  (:class:`~repro.tracking.KalmanTracker` or
+  :class:`~repro.tracking.ParticleFilterTracker` behind the
+  :class:`~repro.tracking.TrackFilter` protocol) fed by fixes whose
+  guard confidence is mapped into per-update measurement noise (a
+  low-confidence fix is de-weighted, never dropped);
+* a :class:`ZoneMap` assigns each track a primary zone, per-object
+  :mod:`FSMs <repro.sessions.fsm>` debounce entry/exit transitions,
+  :class:`GeofenceRule` policies raise alerts, and
+  :class:`~repro.sessions.analytics.ZoneAnalytics` rolls up
+  occupancy/dwell metrics;
+* every emitted event lands in an :class:`EventLog` whose canonical
+  digest is the subsystem's determinism witness — a seeded scenario
+  replays byte-identically, across repeat runs and across
+  thread/process serving workers.
+
+Wired end to end: service/cluster responses feed
+:meth:`SessionManager.ingest`, the gateway pushes zone/geofence events
+over its per-object WebSocket streams, ``repro track`` drives it from
+the CLI, and ``benchmarks/bench_tracking.py`` holds the fleet-scale
+floor.
+"""
+
+from .analytics import ZoneAnalytics, ZoneStats
+from .events import EVENT_KINDS, EventLog, GeofenceRule, SessionEvent
+from .fsm import FSMConfig, ObjectZoneTracker, ZoneState
+from .manager import SessionConfig, SessionManager
+from .session import SessionUpdate, TrackingSession, confidence_to_sigma
+from .zones import Zone, ZoneMap
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "FSMConfig",
+    "GeofenceRule",
+    "ObjectZoneTracker",
+    "SessionConfig",
+    "SessionEvent",
+    "SessionManager",
+    "SessionUpdate",
+    "TrackingSession",
+    "Zone",
+    "ZoneAnalytics",
+    "ZoneMap",
+    "ZoneState",
+    "ZoneStats",
+    "confidence_to_sigma",
+]

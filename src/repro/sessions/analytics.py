@@ -1,0 +1,113 @@
+"""Occupancy and dwell-time analytics over confirmed zone transitions.
+
+The analytics layer consumes the *same* confirmed enter/exit stream the
+event log records — never raw fixes — so every number here inherits the
+FSM's debounce semantics: occupancy is "objects confirmedly inside",
+visits are confirmed entries, dwell is confirmed-entry to
+confirmed-exit.  That also makes the analytics deterministic whenever
+the event stream is.
+
+One :class:`ZoneAnalytics` instance aggregates a whole fleet;
+:meth:`ZoneAnalytics.snapshot` is the plain-dict form the session
+manager folds into its metrics snapshot (the same shape-and-
+``json_safe`` contract the serving/cluster/gateway metrics follow).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ZoneStats", "ZoneAnalytics"]
+
+
+class ZoneStats:
+    """Mutable rollup of one zone's occupancy history."""
+
+    __slots__ = (
+        "occupancy",
+        "peak_occupancy",
+        "visits",
+        "completed_visits",
+        "total_dwell_s",
+        "max_dwell_s",
+    )
+
+    def __init__(self) -> None:
+        self.occupancy = 0
+        self.peak_occupancy = 0
+        self.visits = 0
+        self.completed_visits = 0
+        self.total_dwell_s = 0.0
+        self.max_dwell_s = 0.0
+
+    def mean_dwell_s(self) -> float:
+        """Mean dwell over completed visits (0.0 before any exit)."""
+        if self.completed_visits == 0:
+            return 0.0
+        return self.total_dwell_s / self.completed_visits
+
+    def as_dict(self) -> dict:
+        """Snapshot form of this zone's stats."""
+        return {
+            "occupancy": self.occupancy,
+            "peak_occupancy": self.peak_occupancy,
+            "visits": self.visits,
+            "completed_visits": self.completed_visits,
+            "total_dwell_s": self.total_dwell_s,
+            "mean_dwell_s": self.mean_dwell_s(),
+            "max_dwell_s": self.max_dwell_s,
+        }
+
+
+class ZoneAnalytics:
+    """Fleet-wide per-zone occupancy/dwell aggregation.
+
+    Parameters
+    ----------
+    zone_names:
+        Every zone to pre-register (zones with no traffic still appear
+        in snapshots, with zeros — dashboards want the full grid).
+    """
+
+    def __init__(self, zone_names) -> None:
+        self._stats: dict[str, ZoneStats] = {
+            name: ZoneStats() for name in zone_names
+        }
+
+    def zone(self, name: str) -> ZoneStats:
+        """One zone's live stats (register-on-first-use for ad-hoc
+        zones)."""
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = ZoneStats()
+        return stats
+
+    # ------------------------------------------------------------------
+    def record_enter(self, zone: str) -> int:
+        """Account one confirmed entry; returns the new occupancy."""
+        stats = self.zone(zone)
+        stats.occupancy += 1
+        stats.visits += 1
+        stats.peak_occupancy = max(stats.peak_occupancy, stats.occupancy)
+        return stats.occupancy
+
+    def record_exit(self, zone: str, dwell_s: float) -> int:
+        """Account one confirmed exit; returns the new occupancy."""
+        stats = self.zone(zone)
+        stats.occupancy = max(0, stats.occupancy - 1)
+        stats.completed_visits += 1
+        stats.total_dwell_s += dwell_s
+        stats.max_dwell_s = max(stats.max_dwell_s, dwell_s)
+        return stats.occupancy
+
+    # ------------------------------------------------------------------
+    def occupancy(self, zone: str) -> int:
+        """Current confirmed occupancy of one zone."""
+        stats = self._stats.get(zone)
+        return stats.occupancy if stats is not None else 0
+
+    def total_occupancy(self) -> int:
+        """Objects confirmedly inside any zone right now."""
+        return sum(s.occupancy for s in self._stats.values())
+
+    def snapshot(self) -> dict:
+        """``{zone: stats-dict}`` over every registered zone."""
+        return {name: s.as_dict() for name, s in sorted(self._stats.items())}

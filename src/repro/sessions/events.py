@@ -1,0 +1,213 @@
+"""Session events: zone transitions, geofence alerts, and the event log.
+
+Everything the tracking layer *tells the world* flows through one
+vocabulary — :class:`SessionEvent` records with a small closed set of
+kinds — and one sink, the :class:`EventLog`.  The log is the subsystem's
+determinism witness: events are appended in emission order, serialized
+with sorted keys and exact float reprs, and digested with SHA-256, so
+"the seeded scenario replays byte-identically" is a one-line assertion
+on :meth:`EventLog.digest` (and is asserted, across repeat runs and
+across thread/process serving workers, by tests and
+``benchmarks/bench_tracking.py``).
+
+Geofence policy lives here too: a :class:`GeofenceRule` names a zone and
+the condition that should raise an alert — entry into a forbidden zone,
+occupancy above a cap, or a dwell overstay.  Rules are evaluated by the
+:class:`~repro.sessions.manager.SessionManager` against confirmed FSM
+transitions (never raw fixes), so debounce protects alerts from fix
+jitter exactly as it protects the zone statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "GeofenceRule",
+    "SessionEvent",
+]
+
+#: Closed set of event kinds the session layer emits.
+#:
+#: * ``"enter"`` / ``"exit"`` — a confirmed (debounced) zone transition;
+#:   exits carry ``dwell_s``.
+#: * ``"alert"`` — a geofence rule fired; carries ``rule`` and
+#:   ``detail``.
+#: * ``"evicted"`` — a session timed out idle and was removed; preceded
+#:   by synthetic exits for any zone it was still inside.
+EVENT_KINDS = ("enter", "exit", "alert", "evicted")
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One emitted tracking event.
+
+    Attributes
+    ----------
+    seq:
+        Position in the emitting log (0-based, gap-free) — the total
+        order every consumer sees.
+    kind:
+        One of :data:`EVENT_KINDS`.
+    object_id:
+        The tracked object.
+    zone:
+        Zone the event concerns (empty for ``"evicted"``).
+    t_s:
+        Logical event time — the timestamp of the fix that *confirmed*
+        the transition (not the first pending sample), or the eviction
+        sweep time.  Callers supply timestamps, so replays with the same
+        inputs produce the same times.
+    dwell_s:
+        Confirmed time inside the zone, on ``"exit"`` events (0.0
+        otherwise).
+    rule / detail:
+        Alert metadata, on ``"alert"`` events (empty otherwise).
+    """
+
+    seq: int
+    kind: str
+    object_id: str
+    zone: str
+    t_s: float
+    dwell_s: float = 0.0
+    rule: str = ""
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        """Wire/ledger form (stable keys; floats round-trip exactly)."""
+        record = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "object_id": self.object_id,
+            "zone": self.zone,
+            "t_s": self.t_s,
+        }
+        if self.kind == "exit":
+            record["dwell_s"] = self.dwell_s
+        if self.kind == "alert":
+            record["rule"] = self.rule
+            record["detail"] = self.detail
+        return record
+
+
+@dataclass(frozen=True)
+class GeofenceRule:
+    """One alerting rule over a zone.
+
+    Exactly one of the three conditions is active per rule:
+
+    * ``forbidden=True`` — alert on every confirmed entry;
+    * ``max_occupancy=N`` — alert when confirmed occupancy first
+      exceeds ``N`` (re-armed once occupancy drops back to the cap);
+    * ``max_dwell_s=T`` — alert once per visit when an object's
+      confirmed dwell exceeds ``T`` seconds.
+
+    Attributes
+    ----------
+    zone:
+        Zone name the rule watches.
+    name:
+        Rule identifier carried on alerts (defaults to a derived one).
+    """
+
+    zone: str
+    forbidden: bool = False
+    max_occupancy: int | None = None
+    max_dwell_s: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        active = (
+            int(self.forbidden)
+            + int(self.max_occupancy is not None)
+            + int(self.max_dwell_s is not None)
+        )
+        if active != 1:
+            raise ValueError(
+                "a geofence rule needs exactly one of forbidden, "
+                "max_occupancy, max_dwell_s"
+            )
+        if self.max_occupancy is not None and self.max_occupancy < 1:
+            raise ValueError("max_occupancy must be at least 1")
+        if self.max_dwell_s is not None and self.max_dwell_s <= 0:
+            raise ValueError("max_dwell_s must be positive")
+        if not self.name:
+            object.__setattr__(self, "name", self._derived_name())
+
+    def _derived_name(self) -> str:
+        if self.forbidden:
+            return f"forbidden:{self.zone}"
+        if self.max_occupancy is not None:
+            return f"occupancy:{self.zone}>{self.max_occupancy}"
+        return f"dwell:{self.zone}>{self.max_dwell_s:g}s"
+
+
+class EventLog:
+    """Append-only, digestible record of every emitted event.
+
+    The log assigns sequence numbers (events arrive without one) and
+    keeps the emission order; :meth:`digest` hashes the canonical JSONL
+    serialization, which is the byte-identity witness the determinism
+    tests and benchmarks compare.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[SessionEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SessionEvent]:
+        return iter(self._events)
+
+    def append(self, event: SessionEvent) -> SessionEvent:
+        """Re-stamp ``event`` with the next sequence number and keep it."""
+        stamped = SessionEvent(
+            seq=len(self._events),
+            kind=event.kind,
+            object_id=event.object_id,
+            zone=event.zone,
+            t_s=event.t_s,
+            dwell_s=event.dwell_s,
+            rule=event.rule,
+            detail=event.detail,
+        )
+        self._events.append(stamped)
+        return stamped
+
+    def events(self) -> tuple[SessionEvent, ...]:
+        """All events, in emission order."""
+        return tuple(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """``{kind: count}`` over the whole log (all kinds present)."""
+        out = {kind: 0 for kind in EVENT_KINDS}
+        for event in self._events:
+            out[event.kind] += 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """Canonical serialization: one sorted-keys JSON object per line.
+
+        Floats serialize as Python's shortest round-tripping repr, so
+        two logs are byte-identical exactly when every event field is
+        bit-identical.
+        """
+        return "\n".join(
+            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+            for e in self._events
+        )
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`to_jsonl` — the replay witness."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()

@@ -1,0 +1,198 @@
+"""Zone entry/exit finite-state machines with hysteresis.
+
+Raw position fixes jitter; a meter-scale fix near a zone edge would
+flap enter/exit every tick if transitions were taken at face value.
+Each (object, zone) pair therefore runs a four-state machine::
+
+    OUTSIDE ──in──▶ ENTER_PENDING ──in x N──▶ INSIDE
+       ▲               │ out                    │ out
+       │               ▼                        ▼
+       └──out x M── EXIT_PENDING ◀──────────────┘
+                       │ in
+                       └────────▶ INSIDE   (re-confirmed, no event)
+
+A transition only becomes an *event* after ``enter_debounce``
+consecutive in-zone fixes (resp. ``exit_debounce`` out-of-zone fixes);
+a single contradicting fix resets the pending counter back to the
+confirmed state.  Event timestamps are the **confirming** fix's time,
+and dwell is measured between confirmed entry and confirmed exit — the
+statistics debounce reports are the ones a human watching the track
+would count.
+
+Zone membership is exclusive (the :class:`~repro.sessions.zones.ZoneMap`
+primary assignment), so at most two machines per object are ever away
+from OUTSIDE: the zone being left and the zone being approached.  The
+:class:`ObjectZoneTracker` exploits that — it stores only non-OUTSIDE
+machines — which is what keeps per-fix cost flat as the zone count
+grows (fleet-scale benchmarks run thousands of objects over dozens of
+zones).
+
+Within one tick, exits are emitted before enters: a same-tick handoff
+between adjacent zones reads exit(A) then enter(B), never a transient
+double-occupancy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ZoneState", "FSMConfig", "ObjectZoneTracker"]
+
+
+class ZoneState(enum.Enum):
+    """Per-(object, zone) machine state."""
+
+    OUTSIDE = "outside"
+    ENTER_PENDING = "enter-pending"
+    INSIDE = "inside"
+    EXIT_PENDING = "exit-pending"
+
+
+@dataclass(frozen=True)
+class FSMConfig:
+    """Debounce thresholds shared by every machine of a session layer.
+
+    Attributes
+    ----------
+    enter_debounce:
+        Consecutive in-zone fixes required to confirm an entry.  ``1``
+        confirms immediately (no hysteresis).
+    exit_debounce:
+        Consecutive out-of-zone fixes required to confirm an exit.
+    """
+
+    enter_debounce: int = 2
+    exit_debounce: int = 2
+
+    def __post_init__(self) -> None:
+        if self.enter_debounce < 1 or self.exit_debounce < 1:
+            raise ValueError("debounce thresholds must be at least 1")
+
+
+class _Cell:
+    """Mutable state of one non-OUTSIDE (object, zone) machine."""
+
+    __slots__ = ("state", "count", "entered_at")
+
+    def __init__(self, state: ZoneState, count: int) -> None:
+        self.state = state
+        self.count = count
+        self.entered_at = 0.0
+
+
+class ObjectZoneTracker:
+    """All zone machines of one tracked object.
+
+    Feed it the object's primary zone per fix (:meth:`observe`); it
+    returns the confirmed transitions as ``(kind, zone, t_s, dwell_s)``
+    tuples, exits first.  The caller (the session manager) turns those
+    into :class:`~repro.sessions.events.SessionEvent` records.
+    """
+
+    def __init__(self, config: FSMConfig | None = None) -> None:
+        self.config = config or FSMConfig()
+        #: zone name -> machine, for machines away from OUTSIDE only.
+        self._cells: dict[str, _Cell] = {}
+
+    # ------------------------------------------------------------------
+    def state(self, zone: str) -> ZoneState:
+        """Current machine state for ``zone``."""
+        cell = self._cells.get(zone)
+        return cell.state if cell is not None else ZoneState.OUTSIDE
+
+    def inside_zones(self) -> tuple[str, ...]:
+        """Zones this object confirmedly occupies (INSIDE/EXIT_PENDING),
+        in insertion order (at most one under exclusive membership)."""
+        return tuple(
+            zone
+            for zone, cell in self._cells.items()
+            if cell.state in (ZoneState.INSIDE, ZoneState.EXIT_PENDING)
+        )
+
+    def entered_at(self, zone: str) -> float | None:
+        """Confirmed entry time into ``zone`` (None when not inside)."""
+        cell = self._cells.get(zone)
+        if cell is None or cell.state not in (
+            ZoneState.INSIDE,
+            ZoneState.EXIT_PENDING,
+        ):
+            return None
+        return cell.entered_at
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, t_s: float, primary: str | None
+    ) -> list[tuple[str, str, float, float]]:
+        """Advance every live machine with one fix's zone assignment.
+
+        Returns confirmed transitions as ``(kind, zone, t_s, dwell_s)``
+        with exits ordered before enters.
+        """
+        exits: list[tuple[str, str, float, float]] = []
+        enters: list[tuple[str, str, float, float]] = []
+        cfg = self.config
+
+        # Existing machines first (dict order = first-touched order,
+        # deterministic under deterministic input order).
+        for zone in list(self._cells):
+            cell = self._cells[zone]
+            member = zone == primary
+            if cell.state is ZoneState.ENTER_PENDING:
+                if member:
+                    cell.count += 1
+                    if cell.count >= cfg.enter_debounce:
+                        cell.state = ZoneState.INSIDE
+                        cell.entered_at = t_s
+                        enters.append(("enter", zone, t_s, 0.0))
+                else:
+                    # A contradicting fix kills the pending entry.
+                    del self._cells[zone]
+            elif cell.state is ZoneState.INSIDE:
+                if not member:
+                    if cfg.exit_debounce <= 1:
+                        dwell = t_s - cell.entered_at
+                        del self._cells[zone]
+                        exits.append(("exit", zone, t_s, dwell))
+                    else:
+                        cell.state = ZoneState.EXIT_PENDING
+                        cell.count = 1
+            elif cell.state is ZoneState.EXIT_PENDING:
+                if member:
+                    # Re-confirmed inside; the excursion never happened.
+                    cell.state = ZoneState.INSIDE
+                    cell.count = 0
+                else:
+                    cell.count += 1
+                    if cell.count >= cfg.exit_debounce:
+                        dwell = t_s - cell.entered_at
+                        del self._cells[zone]
+                        exits.append(("exit", zone, t_s, dwell))
+
+        # A first fix inside a zone with no machine yet starts one.
+        if primary is not None and primary not in self._cells:
+            if cfg.enter_debounce <= 1:
+                cell = _Cell(ZoneState.INSIDE, 0)
+                cell.entered_at = t_s
+                self._cells[primary] = cell
+                enters.append(("enter", primary, t_s, 0.0))
+            else:
+                self._cells[primary] = _Cell(ZoneState.ENTER_PENDING, 1)
+
+        return exits + enters
+
+    # ------------------------------------------------------------------
+    def flush(self, t_s: float) -> list[tuple[str, str, float, float]]:
+        """Force-exit every confirmed zone (session eviction path).
+
+        Pending entries are discarded (they were never confirmed);
+        confirmed occupancy gets a synthetic exit with dwell measured to
+        ``t_s``.
+        """
+        exits: list[tuple[str, str, float, float]] = []
+        for zone in list(self._cells):
+            cell = self._cells[zone]
+            if cell.state in (ZoneState.INSIDE, ZoneState.EXIT_PENDING):
+                exits.append(("exit", zone, t_s, t_s - cell.entered_at))
+            del self._cells[zone]
+        return exits

@@ -1,0 +1,181 @@
+"""Polygon zones over a venue and deterministic zone assignment.
+
+A :class:`Zone` is a named polygon region of interest (a room, an aisle,
+a restricted cage).  A :class:`ZoneMap` is an *ordered* collection of
+zones with one job: map a position to its **primary zone** — the first
+zone, in map order, whose polygon contains the point.  Ordering is the
+tie-break: a fix landing exactly on a shared boundary edge belongs to
+the lower-indexed zone, deterministically, on every run and platform.
+That single rule is what makes the session layer's zone-event streams
+byte-identical across replays.
+
+Zone maps are usually derived from the floor plan with
+:meth:`ZoneMap.grid` (an R x C partition of the boundary's bounding
+box); arbitrary hand-drawn zones compose the same way via the
+constructor.  Grid maps answer :meth:`ZoneMap.primary` in O(1) by cell
+arithmetic, falling back to the generic ordered containment scan only
+on the degenerate cells — the fast path and the scan agree everywhere
+by construction (the arithmetic only *nominates* candidate cells; the
+containment predicate always gets the final word).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..geometry import Point, Polygon
+
+__all__ = ["Zone", "ZoneMap"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One named region of interest.
+
+    Attributes
+    ----------
+    name:
+        Unique zone identifier (``"z0-0"`` for grid cells, or a
+        caller-chosen label like ``"storeroom"``).
+    polygon:
+        The zone's extent.  Zones may overlap; the :class:`ZoneMap`
+        order resolves membership.
+    """
+
+    name: str
+    polygon: Polygon
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a zone needs a non-empty name")
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` is inside the zone (boundary inclusive)."""
+        return self.polygon.contains(p, boundary=True)
+
+
+class ZoneMap:
+    """An ordered set of zones with deterministic primary assignment.
+
+    Parameters
+    ----------
+    zones:
+        The zones, in priority order.  Names must be unique.
+
+    The map's one semantic guarantee: :meth:`primary` returns the *first*
+    zone in this order containing the point (boundary inclusive), or
+    ``None`` when no zone does.  Every consumer — FSMs, occupancy
+    counters, geofence rules — sees the world through that assignment,
+    so an object is in at most one zone at a time and zone handoffs are
+    exact exit/enter pairs.
+    """
+
+    def __init__(self, zones: Iterable[Zone]) -> None:
+        self.zones: tuple[Zone, ...] = tuple(zones)
+        if not self.zones:
+            raise ValueError("a zone map needs at least one zone")
+        names = [z.name for z in self.zones]
+        if len(set(names)) != len(names):
+            raise ValueError("zone names must be unique")
+        self._index = {z.name: i for i, z in enumerate(self.zones)}
+        # Grid acceleration state; populated by ``grid()``.
+        self._grid: tuple[float, float, float, float, int, int] | None = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __iter__(self):
+        return iter(self.zones)
+
+    def names(self) -> tuple[str, ...]:
+        """Zone names in map (priority) order."""
+        return tuple(z.name for z in self.zones)
+
+    def zone(self, name: str) -> Zone:
+        """Look one zone up by name."""
+        try:
+            return self.zones[self._index[name]]
+        except KeyError:
+            raise KeyError(f"unknown zone {name!r}") from None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(cls, area: Polygon, rows: int, cols: int) -> "ZoneMap":
+        """An ``rows x cols`` partition of ``area``'s bounding box.
+
+        Cells are named ``z<row>-<col>`` and ordered row-major, so a
+        point on an interior cell edge resolves to the lower-indexed
+        (north/west) cell.  Cells that fall entirely outside a
+        non-convex venue simply never match a fix — fixes are always
+        inside the venue.
+        """
+        if rows < 1 or cols < 1:
+            raise ValueError("grid shape must be at least 1x1")
+        x0, y0, x1, y1 = area.bounding_box()
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError("area bounding box is degenerate")
+        dx = (x1 - x0) / cols
+        dy = (y1 - y0) / rows
+        zones = []
+        for r in range(rows):
+            for c in range(cols):
+                zones.append(
+                    Zone(
+                        f"z{r}-{c}",
+                        Polygon.rectangle(
+                            x0 + c * dx,
+                            y0 + r * dy,
+                            x0 + (c + 1) * dx,
+                            y0 + (r + 1) * dy,
+                        ),
+                    )
+                )
+        built = cls(zones)
+        built._grid = (x0, y0, dx, dy, rows, cols)
+        return built
+
+    # ------------------------------------------------------------------
+    def primary(self, p: Point) -> str | None:
+        """Name of the first zone containing ``p``, or ``None``.
+
+        Grid maps nominate the point's cell plus its north/west
+        neighbours by arithmetic (a point exactly on a shared edge is
+        contained by both cells; the lower index must win) and run the
+        ordered containment scan over just those candidates.  Arbitrary
+        maps scan all zones in order.
+        """
+        if self._grid is not None:
+            return self._primary_grid(p)
+        for zone in self.zones:
+            if zone.contains(p):
+                return zone.name
+        return None
+
+    def _primary_grid(self, p: Point) -> str | None:
+        x0, y0, dx, dy, rows, cols = self._grid  # type: ignore[misc]
+        ci = math.floor((p.x - x0) / dx)
+        ri = math.floor((p.y - y0) / dy)
+        # Candidate cells in index (priority) order: the north/west
+        # neighbours come first so shared-edge ties resolve low.
+        candidates = []
+        for r in (ri - 1, ri):
+            for c in (ci - 1, ci):
+                if 0 <= r < rows and 0 <= c < cols:
+                    candidates.append(r * cols + c)
+        for idx in candidates:
+            if self.zones[idx].contains(p):
+                return self.zones[idx].name
+        return None
+
+    # ------------------------------------------------------------------
+    def membership(self, p: Point) -> tuple[str, ...]:
+        """Names of *every* zone containing ``p`` (diagnostics only).
+
+        The session layer never uses this — membership is exclusive via
+        :meth:`primary` — but overlap inspection is handy in tests and
+        tooling.
+        """
+        return tuple(z.name for z in self.zones if z.contains(p))

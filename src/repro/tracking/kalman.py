@@ -85,8 +85,22 @@ class KalmanTracker:
         self.state = f @ self.state
         self.covariance = f @ self.covariance @ f.T + q
 
-    def update(self, fix: Point) -> None:
-        """Condition on one position fix."""
+    def update(
+        self, fix: Point, measurement_sigma_m: float | None = None
+    ) -> None:
+        """Condition on one position fix.
+
+        ``measurement_sigma_m`` overrides the configured fix noise for
+        this update only — the hook the session layer uses to inflate R
+        for low-confidence fixes instead of dropping them.
+        """
+        sigma = (
+            self.config.measurement_sigma_m
+            if measurement_sigma_m is None
+            else measurement_sigma_m
+        )
+        if sigma <= 0:
+            raise ValueError("measurement sigma must be positive")
         z = np.array([fix.x, fix.y])
         if not self._initialized:
             self.state[:2] = z
@@ -95,7 +109,7 @@ class KalmanTracker:
             return
         h = np.zeros((2, 4))
         h[0, 0] = h[1, 1] = 1.0
-        r = np.eye(2) * self.config.measurement_sigma_m**2
+        r = np.eye(2) * sigma**2
         innovation = z - h @ self.state
         s = h @ self.covariance @ h.T + r
         gain = self.covariance @ h.T @ np.linalg.solve(s, np.eye(2))
@@ -105,10 +119,15 @@ class KalmanTracker:
         self.covariance = (self.covariance + self.covariance.T) / 2.0
         self.updates += 1
 
-    def step(self, dt_s: float, fix: Point) -> Point:
+    def step(
+        self,
+        dt_s: float,
+        fix: Point,
+        measurement_sigma_m: float | None = None,
+    ) -> Point:
         """Predict, update, and return the posterior mean position."""
         self.predict(dt_s)
-        self.update(fix)
+        self.update(fix, measurement_sigma_m=measurement_sigma_m)
         return self.estimate()
 
     # ------------------------------------------------------------------
@@ -119,6 +138,10 @@ class KalmanTracker:
     def velocity(self) -> tuple[float, float]:
         """Posterior mean velocity (m/s)."""
         return (float(self.state[2]), float(self.state[3]))
+
+    def position_covariance(self) -> np.ndarray:
+        """Posterior 2x2 position covariance (a copy)."""
+        return self.covariance[:2, :2].copy()
 
     def position_sigma_m(self) -> float:
         """RMS of the position marginal std devs."""

@@ -100,9 +100,23 @@ class ParticleFilterTracker:
         self.states[:, 0] += self.states[:, 2] * dt_s
         self.states[:, 1] += self.states[:, 3] * dt_s
 
-    def update(self, fix: Point) -> None:
-        """Condition on one NomLoc fix and resample when degenerate."""
-        sigma = self.config.measurement_sigma_m
+    def update(
+        self, fix: Point, measurement_sigma_m: float | None = None
+    ) -> None:
+        """Condition on one NomLoc fix and resample when degenerate.
+
+        ``measurement_sigma_m`` overrides the configured fix noise for
+        this update only — a low-confidence fix flattens the likelihood
+        instead of being dropped (the session layer's
+        confidence-to-noise mapping).
+        """
+        sigma = (
+            self.config.measurement_sigma_m
+            if measurement_sigma_m is None
+            else measurement_sigma_m
+        )
+        if sigma <= 0:
+            raise ValueError("measurement sigma must be positive")
         dx = self.states[:, 0] - fix.x
         dy = self.states[:, 1] - fix.y
         likelihood = np.exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma))
@@ -125,10 +139,15 @@ class ParticleFilterTracker:
         ):
             self._systematic_resample()
 
-    def step(self, dt_s: float, fix: Point) -> Point:
+    def step(
+        self,
+        dt_s: float,
+        fix: Point,
+        measurement_sigma_m: float | None = None,
+    ) -> Point:
         """Predict, update, and return the posterior mean position."""
         self.predict(dt_s)
-        self.update(fix)
+        self.update(fix, measurement_sigma_m=measurement_sigma_m)
         return self.estimate()
 
     # ------------------------------------------------------------------
@@ -141,6 +160,21 @@ class ParticleFilterTracker:
     def effective_sample_size(self) -> float:
         """``1 / sum(w^2)`` — the usual degeneracy diagnostic."""
         return float(1.0 / np.sum(self.weights**2))
+
+    def position_covariance(self) -> np.ndarray:
+        """Weighted 2x2 covariance of the particle positions."""
+        mean = np.average(self.states[:, :2], weights=self.weights, axis=0)
+        centered = self.states[:, :2] - mean
+        return np.einsum(
+            "n,ni,nj->ij", self.weights, centered, centered
+        ) / float(np.sum(self.weights))
+
+    def position_sigma_m(self) -> float:
+        """RMS of the position marginal std devs (matches the Kalman
+        tracker's definition, so session-level track confidence reads
+        the same for either filter)."""
+        cov = self.position_covariance()
+        return float(np.sqrt((cov[0, 0] + cov[1, 1]) / 2.0))
 
     def spread_m(self) -> float:
         """Weighted RMS distance of particles from the estimate."""

@@ -22,12 +22,31 @@ __all__ = ["TrackFilter", "TrackingResult", "NomLocTracker"]
 
 
 class TrackFilter(Protocol):
-    """Anything that fuses a fix stream: particle filter, Kalman, ..."""
+    """Anything that fuses a fix stream: particle filter, Kalman, ...
+
+    Beyond stepping, a filter exposes its posterior position uncertainty
+    (:meth:`position_sigma_m`) so the session layer can report per-track
+    confidence, and accepts a per-update measurement-noise override so
+    low-confidence fixes are *de-weighted* instead of dropped.
+    """
 
     updates: int
 
-    def step(self, dt_s: float, fix: Point) -> Point:
-        """Advance ``dt_s``, fuse ``fix``, return the new estimate."""
+    def step(
+        self,
+        dt_s: float,
+        fix: Point,
+        measurement_sigma_m: float | None = None,
+    ) -> Point:
+        """Advance ``dt_s``, fuse ``fix``, return the new estimate.
+
+        ``measurement_sigma_m`` overrides the filter's configured fix
+        noise for this update only (``None`` keeps the configured one).
+        """
+        ...
+
+    def position_sigma_m(self) -> float:
+        """Posterior position uncertainty (RMS of the marginal stds)."""
         ...
 
 

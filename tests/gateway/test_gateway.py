@@ -253,6 +253,72 @@ class TestStreaming:
         assert published == 2  # cart-9's estimate went to nobody
 
 
+class TestSessionStreaming:
+    def test_track_and_session_events_reach_subscribers(
+        self, lab, anchor_sets, tmp_path
+    ):
+        from repro.sessions import SessionConfig, SessionManager, ZoneMap
+
+        sessions = SessionManager(
+            ZoneMap.grid(lab.plan.boundary, 2, 3),
+            SessionConfig(enter_debounce=1, exit_debounce=1),
+        )
+
+        async def scenario():
+            server = GatewayServer(
+                lab.plan.boundary,
+                config=GatewayConfig(port=0, db_path=str(tmp_path / "s.db")),
+                sessions=sessions,
+            )
+            async with server:
+                client = AsyncGatewayClient(server.host, server.port)
+                stream = client.stream("cart-7")
+                events = []
+
+                async def consume():
+                    async for event in stream:
+                        events.append(event)
+                        if len(events) == 5:
+                            return
+
+                consumer = asyncio.ensure_future(consume())
+                await asyncio.sleep(0.05)  # let the subscribe land
+                async with client:
+                    await client.submit_batch(
+                        "s1", anchor_sets[0], object_id="cart-7", wait=True
+                    )
+                    await client.submit_batch(
+                        "s2", anchor_sets[1], object_id="cart-7", wait=True
+                    )
+                    metrics = await client.metrics()
+                await asyncio.wait_for(consumer, timeout=5.0)
+                await stream.aclose()
+                return events, metrics
+
+        events, metrics = run(scenario())
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["type"], []).append(event)
+        # Each answered batch pushes position + track; the first fix also
+        # confirms a zone entry (enter_debounce=1) -> one session-event.
+        assert len(by_type["position"]) == 2
+        assert len(by_type["track"]) == 2
+        assert len(by_type["session-event"]) == 1
+        for event in by_type["position"]:
+            assert event["confidence"] == 1.0
+        for event in by_type["track"]:
+            assert event["object_id"] == "cart-7"
+            assert event["sigma_m"] > 0
+            assert set(event["position"]) == {"x", "y"}
+        entry = by_type["session-event"][0]
+        assert entry["kind"] == "enter"
+        assert entry["object_id"] == "cart-7"
+        assert entry["zone"] in sessions.zones.names()
+        # The /metrics document grows a sessions section when enabled.
+        assert metrics["sessions"]["sessions_active"] == 1
+        assert metrics["sessions"]["updates_total"] == 2
+
+
 class TestDurability:
     def test_no_acked_write_lost_across_drain(self, lab, anchor_sets, tmp_path):
         """Satellite 2's contract: drain answers every acked batch."""

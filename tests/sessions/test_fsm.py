@@ -1,0 +1,120 @@
+"""Tests for the zone FSM: hysteresis, handoffs, and eviction flushes."""
+
+import pytest
+
+from repro.sessions import FSMConfig, ObjectZoneTracker, ZoneState
+
+
+def kinds(transitions):
+    return [(kind, zone) for kind, zone, _, _ in transitions]
+
+
+class TestFSMConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FSMConfig(enter_debounce=0)
+        with pytest.raises(ValueError):
+            FSMConfig(exit_debounce=0)
+
+
+class TestDebounce:
+    def test_enter_confirmed_after_debounce(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=2, exit_debounce=2))
+        assert fsm.observe(0.0, "a") == []
+        assert fsm.state("a") is ZoneState.ENTER_PENDING
+        transitions = fsm.observe(1.0, "a")
+        assert kinds(transitions) == [("enter", "a")]
+        # Event time is the confirming fix's, not the first pending one.
+        assert transitions[0][2] == 1.0
+        assert fsm.state("a") is ZoneState.INSIDE
+
+    def test_exit_confirmed_after_debounce(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=2))
+        fsm.observe(0.0, "a")
+        assert fsm.observe(1.0, None) == []
+        assert fsm.state("a") is ZoneState.EXIT_PENDING
+        transitions = fsm.observe(2.0, None)
+        assert kinds(transitions) == [("exit", "a")]
+        # Dwell runs from confirmed entry to confirmed exit.
+        assert transitions[0][3] == 2.0
+        assert fsm.state("a") is ZoneState.OUTSIDE
+
+    def test_debounce_one_is_immediate(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=1))
+        assert kinds(fsm.observe(0.0, "a")) == [("enter", "a")]
+        assert kinds(fsm.observe(1.0, None)) == [("exit", "a")]
+
+    def test_jitter_never_flaps(self):
+        # A fix stream oscillating every tick under debounce=2 confirms
+        # nothing: each contradiction resets the pending counter.
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=2, exit_debounce=2))
+        for t in range(10):
+            zone = "a" if t % 2 == 0 else None
+            assert fsm.observe(float(t), zone) == []
+        assert fsm.inside_zones() == ()
+
+    def test_jitter_inside_zone_never_exits(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=2))
+        fsm.observe(0.0, "a")
+        # Single-tick excursions keep getting re-confirmed inside.
+        for t in range(1, 9):
+            zone = None if t % 2 == 1 else "a"
+            assert fsm.observe(float(t), zone) == []
+        assert fsm.inside_zones() == ("a",)
+
+
+class TestHandoffs:
+    def test_same_tick_handoff_orders_exit_before_enter(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=1))
+        fsm.observe(0.0, "a")
+        transitions = fsm.observe(1.0, "b")
+        assert kinds(transitions) == [("exit", "a"), ("enter", "b")]
+
+    def test_debounced_handoff_between_adjacent_zones(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=2, exit_debounce=2))
+        fsm.observe(0.0, "a")
+        fsm.observe(1.0, "a")  # enter a confirmed
+        fsm.observe(2.0, "b")  # a exit-pending, b enter-pending
+        transitions = fsm.observe(3.0, "b")
+        assert kinds(transitions) == [("exit", "a"), ("enter", "b")]
+        assert fsm.inside_zones() == ("b",)
+
+    def test_contradiction_kills_pending_entry(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=3, exit_debounce=1))
+        fsm.observe(0.0, "a")
+        fsm.observe(1.0, "a")
+        fsm.observe(2.0, "b")  # contradiction before confirmation
+        assert fsm.state("a") is ZoneState.OUTSIDE
+        # "a" must start over from scratch.
+        fsm.observe(3.0, "a")
+        fsm.observe(4.0, "a")
+        assert kinds(fsm.observe(5.0, "a")) == [("enter", "a")]
+
+
+class TestBookkeeping:
+    def test_entered_at_tracks_confirmed_entry(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=2, exit_debounce=2))
+        assert fsm.entered_at("a") is None
+        fsm.observe(0.0, "a")
+        assert fsm.entered_at("a") is None  # pending != inside
+        fsm.observe(1.5, "a")
+        assert fsm.entered_at("a") == 1.5
+
+    def test_only_live_machines_are_stored(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=1))
+        fsm.observe(0.0, "a")
+        fsm.observe(1.0, "b")
+        assert set(fsm._cells) == {"b"}
+
+    def test_flush_force_exits_confirmed_zones(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=1, exit_debounce=2))
+        fsm.observe(0.0, "a")
+        transitions = fsm.flush(7.0)
+        assert kinds(transitions) == [("exit", "a")]
+        assert transitions[0][3] == 7.0  # dwell measured to flush time
+        assert fsm.inside_zones() == ()
+
+    def test_flush_discards_pending_entries(self):
+        fsm = ObjectZoneTracker(FSMConfig(enter_debounce=2, exit_debounce=2))
+        fsm.observe(0.0, "a")  # never confirmed
+        assert fsm.flush(1.0) == []

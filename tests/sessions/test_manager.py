@@ -1,0 +1,196 @@
+"""Tests for the session manager: fleet, geofences, eviction, metrics."""
+
+import json
+
+import pytest
+
+from repro.environment import FloorPlan
+from repro.geometry import Point, Polygon
+from repro.sessions import (
+    GeofenceRule,
+    SessionConfig,
+    SessionManager,
+    ZoneMap,
+)
+
+
+def _zones():
+    # 2x3 grid over a 12x8 venue: 4x4 m cells named z<row>-<col>.
+    return ZoneMap.grid(Polygon.rectangle(0, 0, 12, 8), 2, 3)
+
+
+def _manager(rules=(), **overrides):
+    overrides.setdefault("enter_debounce", 1)
+    overrides.setdefault("exit_debounce", 1)
+    return SessionManager(_zones(), SessionConfig(**overrides), rules)
+
+
+class TestSessionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(filter_kind="magic")
+        with pytest.raises(ValueError):
+            SessionConfig(base_sigma_m=0)
+        with pytest.raises(ValueError):
+            SessionConfig(confidence_floor=0)
+        with pytest.raises(ValueError):
+            SessionConfig(idle_timeout_s=0)
+        with pytest.raises(ValueError):
+            SessionConfig(max_sessions=0)
+        with pytest.raises(ValueError):
+            SessionConfig(enter_debounce=0)
+
+
+class TestConstruction:
+    def test_particle_needs_plan(self):
+        with pytest.raises(ValueError):
+            SessionManager(_zones(), SessionConfig(filter_kind="particle"))
+        plan = FloorPlan("room", Polygon.rectangle(0, 0, 12, 8))
+        manager = SessionManager(
+            _zones(), SessionConfig(filter_kind="particle"), plan=plan
+        )
+        update, _ = manager.observe("tag-1", 0.0, Point(2, 2))
+        assert update.position is not None
+
+    def test_rules_must_watch_known_zones(self):
+        with pytest.raises(ValueError):
+            _manager(rules=(GeofenceRule(zone="narnia", forbidden=True),))
+
+
+class TestLifecycle:
+    def test_sessions_created_on_first_fix(self):
+        manager = _manager()
+        assert len(manager) == 0
+        manager.observe("a", 0.0, Point(2, 2))
+        manager.observe("b", 0.0, Point(6, 2))
+        assert len(manager) == 2
+        assert manager.object_ids() == ("a", "b")
+        assert manager.session("a").updates == 1
+        assert manager.session("missing") is None
+
+    def test_session_cap_enforced(self):
+        manager = _manager(max_sessions=1)
+        manager.observe("a", 0.0, Point(2, 2))
+        with pytest.raises(RuntimeError):
+            manager.observe("b", 0.0, Point(2, 2))
+
+    def test_enter_logged_and_counted(self):
+        manager = _manager()
+        _, events = manager.observe("a", 0.0, Point(2, 2))
+        assert [(e.kind, e.zone) for e in events] == [("enter", "z0-0")]
+        assert manager.analytics.occupancy("z0-0") == 1
+
+    def test_track_crosses_zones(self):
+        manager = _manager()
+        for t in range(3):
+            manager.observe("a", float(t), Point(2, 2))
+        emitted = []
+        for t in range(3, 20):
+            _, events = manager.observe("a", float(t), Point(10, 6))
+            emitted.extend(events)
+        kinds = [(e.kind, e.zone) for e in emitted]
+        assert ("exit", "z0-0") in kinds
+        assert kinds[-1] == ("enter", "z1-2")
+        assert manager.session("a").fsm.inside_zones() == ("z1-2",)
+        # The z0-0 exit carries the confirmed dwell.
+        exit_event = next(e for e in emitted if e.kind == "exit" and e.zone == "z0-0")
+        assert exit_event.dwell_s > 0
+
+    def test_ingest_reads_response_fields(self):
+        class FakeResponse:
+            position = Point(2, 2)
+            confidence = 0.25
+
+        manager = _manager(base_sigma_m=1.5)
+        update, _ = manager.ingest("a", 0.0, FakeResponse())
+        assert update.measurement_sigma_m == pytest.approx(3.0)
+
+    def test_ingest_defaults_confidence_when_absent(self):
+        class BareResponse:
+            position = Point(2, 2)
+
+        manager = _manager(base_sigma_m=1.5)
+        update, _ = manager.ingest("a", 0.0, BareResponse())
+        assert update.measurement_sigma_m == 1.5
+
+
+class TestEviction:
+    def test_idle_sessions_evicted_with_synthetic_exits(self):
+        manager = _manager(idle_timeout_s=10.0)
+        manager.observe("a", 0.0, Point(2, 2))
+        manager.observe("b", 8.0, Point(6, 2))
+        events = manager.evict_idle(15.0)
+        # Only "a" idled past 10 s; dwell measured to its last fix.
+        assert [(e.kind, e.object_id) for e in events] == [
+            ("exit", "a"),
+            ("evicted", "a"),
+        ]
+        assert events[0].zone == "z0-0"
+        assert events[0].t_s == 0.0
+        assert len(manager) == 1
+        assert manager.analytics.occupancy("z0-0") == 0
+        assert manager.sessions_evicted_total == 1
+
+    def test_fresh_fix_restarts_session(self):
+        manager = _manager(idle_timeout_s=10.0)
+        manager.observe("a", 0.0, Point(2, 2))
+        manager.evict_idle(20.0)
+        manager.observe("a", 21.0, Point(2, 2))
+        assert manager.sessions_started_total == 2
+
+
+class TestGeofences:
+    def test_forbidden_zone_alerts_on_every_entry(self):
+        rule = GeofenceRule(zone="z0-2", forbidden=True)
+        manager = _manager(rules=(rule,))
+        _, events = manager.observe("a", 0.0, Point(10, 2))
+        assert [e.kind for e in events] == ["enter", "alert"]
+        assert events[1].rule == "forbidden:z0-2"
+        _, events = manager.observe("b", 0.0, Point(10, 2))
+        assert [e.kind for e in events] == ["enter", "alert"]
+
+    def test_occupancy_cap_trips_once_and_rearms(self):
+        rule = GeofenceRule(zone="z0-0", max_occupancy=1)
+        manager = _manager(rules=(rule,), idle_timeout_s=5.0)
+        manager.observe("a", 0.0, Point(2, 2))
+        _, events = manager.observe("b", 0.0, Point(2, 2))
+        assert [e.kind for e in events] == ["enter", "alert"]
+        # Already tripped: a third entrant does not re-alert.
+        _, events = manager.observe("c", 0.0, Point(2, 2))
+        assert [e.kind for e in events] == ["enter"]
+        # Drop occupancy back to the cap: rule re-arms.
+        manager.observe("a", 6.0, Point(2, 2))
+        manager.evict_idle(6.0)  # evicts b and c (idle since t=0)
+        assert manager.analytics.occupancy("z0-0") == 1
+        _, events = manager.observe("d", 7.0, Point(2, 2))
+        assert [e.kind for e in events] == ["enter", "alert"]
+
+    def test_dwell_overstay_alerts_once_per_visit(self):
+        rule = GeofenceRule(zone="z0-0", max_dwell_s=5.0)
+        manager = _manager(rules=(rule,), idle_timeout_s=100.0)
+        alerts = []
+        for t in range(9):
+            _, events = manager.observe("a", float(t), Point(2, 2))
+            alerts.extend(e for e in events if e.kind == "alert")
+        assert len(alerts) == 1
+        assert alerts[0].rule == "dwell:z0-0>5s"
+        assert "exceeds 5s" in alerts[0].detail
+
+
+class TestMetrics:
+    def test_snapshot_shape(self):
+        manager = _manager()
+        manager.observe("a", 0.0, Point(2, 2))
+        snapshot = manager.metrics_snapshot()
+        assert snapshot["sessions_active"] == 1
+        assert snapshot["sessions_started_total"] == 1
+        assert snapshot["updates_total"] == 1
+        assert snapshot["events_total"] == 1
+        assert snapshot["occupancy_total"] == 1
+        assert snapshot["zones"]["z0-0"]["visits"] == 1
+        assert len(snapshot["event_log_digest"]) == 64
+
+    def test_metrics_json_serializable(self):
+        manager = _manager()
+        manager.observe("a", 0.0, Point(2, 2))
+        json.dumps(manager.metrics_json())

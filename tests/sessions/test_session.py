@@ -1,0 +1,110 @@
+"""Tests for per-object sessions and the confidence-to-noise mapping."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.sessions import (
+    FSMConfig,
+    TrackingSession,
+    ZoneMap,
+    confidence_to_sigma,
+)
+from repro.tracking import KalmanTracker
+
+
+def _zones():
+    return ZoneMap.grid(Polygon.rectangle(0, 0, 12, 8), 2, 3)
+
+
+def _session(**kwargs):
+    kwargs.setdefault("fsm_config", FSMConfig(1, 1))
+    return TrackingSession("tag-1", KalmanTracker(), _zones(), **kwargs)
+
+
+class TestConfidenceToSigma:
+    def test_full_confidence_is_identity(self):
+        assert confidence_to_sigma(1.5, 1.0) == 1.5
+
+    def test_low_confidence_inflates(self):
+        assert confidence_to_sigma(1.5, 0.25) == pytest.approx(3.0)
+
+    def test_floor_bounds_inflation(self):
+        capped = confidence_to_sigma(1.5, 0.0, floor=0.04)
+        assert capped == pytest.approx(1.5 / math.sqrt(0.04))
+        assert confidence_to_sigma(1.5, -5.0, floor=0.04) == capped
+
+    def test_overconfidence_clamped(self):
+        assert confidence_to_sigma(1.5, 7.0) == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confidence_to_sigma(0.0, 0.5)
+        with pytest.raises(ValueError):
+            confidence_to_sigma(1.5, 0.5, floor=0.0)
+        with pytest.raises(ValueError):
+            confidence_to_sigma(1.5, 0.5, floor=1.5)
+
+
+class TestTrackingSession:
+    def test_needs_object_id(self):
+        with pytest.raises(ValueError):
+            TrackingSession("", KalmanTracker(), _zones())
+
+    def test_observe_reports_zone_and_sigma(self):
+        session = _session(base_sigma_m=1.5)
+        update = session.observe(0.0, Point(2, 2))
+        assert update.zone == "z0-0"
+        assert update.measurement_sigma_m == 1.5
+        assert update.transitions == [("enter", "z0-0", 0.0, 0.0)]
+        assert update.sigma_m > 0
+
+    def test_confidence_modulates_measurement_noise(self):
+        session = _session(base_sigma_m=1.5)
+        update = session.observe(0.0, Point(2, 2), confidence=0.25)
+        assert update.measurement_sigma_m == pytest.approx(3.0)
+
+    def test_blind_arm_ignores_confidence(self):
+        session = _session(base_sigma_m=1.5, modulate_noise=False)
+        update = session.observe(0.0, Point(2, 2), confidence=0.01)
+        assert update.measurement_sigma_m == 1.5
+
+    def test_low_confidence_fix_deweighted_not_dropped(self):
+        wary = _session()
+        blind = _session(modulate_noise=False)
+        for s in (wary, blind):
+            for t in range(5):
+                s.observe(float(t), Point(2, 2))
+        outlier = Point(10, 6)
+        wary_pos = wary.observe(5.0, outlier, confidence=0.0).position
+        blind_pos = blind.observe(5.0, outlier, confidence=0.0).position
+        # Both moved (never dropped)...
+        assert wary_pos.distance_to(Point(2, 2)) > 0
+        # ...but the modulated arm moved far less.
+        assert wary_pos.distance_to(Point(2, 2)) < blind_pos.distance_to(
+            Point(2, 2)
+        )
+
+    def test_time_must_not_go_backwards(self):
+        session = _session()
+        session.observe(5.0, Point(2, 2))
+        with pytest.raises(ValueError):
+            session.observe(4.0, Point(2, 2))
+
+    def test_zone_computed_from_filtered_position(self):
+        # After a long dwell the filter barely moves on one outlier fix:
+        # the raw fix is in another zone, the track (and FSM) is not.
+        session = _session()
+        for t in range(10):
+            session.observe(float(t), Point(2, 2))
+        update = session.observe(10.0, Point(11, 7), confidence=0.0)
+        assert update.zone == "z0-0"
+
+    def test_idle_and_close(self):
+        session = _session()
+        assert session.idle_for(100.0) == math.inf
+        session.observe(1.0, Point(2, 2))
+        assert session.idle_for(5.0) == 4.0
+        exits = session.close(9.0)
+        assert exits == [("exit", "z0-0", 9.0, 8.0)]

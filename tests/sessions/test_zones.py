@@ -1,0 +1,89 @@
+"""Tests for zones: deterministic primary assignment and grid maps."""
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.sessions import Zone, ZoneMap
+
+
+def _rect(x0, y0, x1, y1):
+    return Polygon.rectangle(x0, y0, x1, y1)
+
+
+class TestZone:
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            Zone("", _rect(0, 0, 1, 1))
+
+    def test_contains_boundary_inclusive(self):
+        zone = Zone("a", _rect(0, 0, 4, 4))
+        assert zone.contains(Point(2, 2))
+        assert zone.contains(Point(0, 0))
+        assert zone.contains(Point(4, 2))
+        assert not zone.contains(Point(5, 2))
+
+
+class TestZoneMap:
+    def test_needs_zones_and_unique_names(self):
+        with pytest.raises(ValueError):
+            ZoneMap([])
+        with pytest.raises(ValueError):
+            ZoneMap([Zone("a", _rect(0, 0, 1, 1)), Zone("a", _rect(1, 0, 2, 1))])
+
+    def test_lookup(self):
+        zones = ZoneMap([Zone("a", _rect(0, 0, 1, 1))])
+        assert zones.zone("a").name == "a"
+        with pytest.raises(KeyError):
+            zones.zone("nope")
+
+    def test_primary_is_first_match(self):
+        # Overlapping zones: the earlier one wins everywhere it contains.
+        zones = ZoneMap(
+            [Zone("first", _rect(0, 0, 6, 4)), Zone("second", _rect(4, 0, 10, 4))]
+        )
+        assert zones.primary(Point(5, 2)) == "first"
+        assert zones.primary(Point(7, 2)) == "second"
+        assert zones.primary(Point(11, 2)) is None
+
+    def test_membership_reports_all(self):
+        zones = ZoneMap(
+            [Zone("first", _rect(0, 0, 6, 4)), Zone("second", _rect(4, 0, 10, 4))]
+        )
+        assert zones.membership(Point(5, 2)) == ("first", "second")
+
+
+class TestGridMap:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ZoneMap.grid(_rect(0, 0, 10, 10), 0, 3)
+
+    def test_names_row_major(self):
+        zones = ZoneMap.grid(_rect(0, 0, 12, 8), 2, 3)
+        assert zones.names() == ("z0-0", "z0-1", "z0-2", "z1-0", "z1-1", "z1-2")
+
+    def test_interior_points(self):
+        zones = ZoneMap.grid(_rect(0, 0, 12, 8), 2, 3)
+        assert zones.primary(Point(2, 2)) == "z0-0"
+        assert zones.primary(Point(10, 6)) == "z1-2"
+
+    def test_boundary_tie_resolves_to_lower_index(self):
+        # A fix exactly on a shared edge belongs to both cells; the
+        # lower-indexed (north/west) one must win, deterministically.
+        zones = ZoneMap.grid(_rect(0, 0, 12, 8), 2, 3)
+        assert zones.primary(Point(4.0, 2.0)) == "z0-0"  # z0-0 | z0-1 edge
+        assert zones.primary(Point(2.0, 4.0)) == "z0-0"  # z0-0 | z1-0 edge
+        assert zones.primary(Point(4.0, 4.0)) == "z0-0"  # four-corner point
+
+    def test_fast_path_agrees_with_ordered_scan(self):
+        grid = ZoneMap.grid(_rect(0, 0, 12, 8), 3, 4)
+        scan = ZoneMap(list(grid))  # same zones, no grid acceleration
+        points = [
+            Point(x * 0.75, y * 0.5) for x in range(17) for y in range(17)
+        ]
+        for p in points:
+            assert grid.primary(p) == scan.primary(p), p
+
+    def test_outside_bounding_box(self):
+        zones = ZoneMap.grid(_rect(0, 0, 12, 8), 2, 3)
+        assert zones.primary(Point(-1, -1)) is None
+        assert zones.primary(Point(13, 9)) is None

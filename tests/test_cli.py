@@ -291,6 +291,49 @@ class TestGuardCommand:
         assert args.seed == 7
 
 
+class TestTrackCommand:
+    def test_small_run_reports_sessions(self, capsys):
+        rc = main(
+            ["track", "lab", "--objects", "2", "--steps", "4",
+             "--packets", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tracked 2 object(s) for 4 ticks" in out
+        assert "obj-000" in out and "obj-001" in out
+        assert "track error median" in out
+        assert "event log digest" in out
+
+    def test_blind_arm_flagged_in_output(self, capsys):
+        rc = main(
+            ["track", "lab", "--objects", "1", "--steps", "3",
+             "--packets", "3", "--blind"]
+        )
+        assert rc == 0
+        assert "blind noise" in capsys.readouterr().out
+
+    def test_bad_args_rejected(self, capsys):
+        assert main(["track", "lab", "--zones", "3by3"]) == 2
+        assert "ROWSxCOLS" in capsys.readouterr().err
+        assert main(["track", "lab", "--objects", "0"]) == 2
+        assert main(["track", "lab", "--steps", "1"]) == 2
+        assert main(["track", "lab", "--corrupt", "1.5"]) == 2
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["track", "nowhere"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["track", "lab"])
+        assert args.objects == 3
+        assert args.steps == 10
+        assert args.zones == "2x3"
+        assert args.filter == "kalman"
+        assert args.corrupt == 0.0
+        assert not args.blind
+        assert not args.selftest
+
+
 class TestProfileCommand:
     def test_stage_breakdown_covers_pipeline(self, capsys):
         rc = main(["profile", "lab", "-n", "2", "--packets", "3"])

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.guard",
     "repro.extensions",
     "repro.tracking",
+    "repro.sessions",
     "repro.planning",
     "repro.viz",
     "repro.data",

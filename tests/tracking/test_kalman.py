@@ -84,6 +84,67 @@ class TestKalmanTracker:
         np.testing.assert_allclose(kf.covariance, kf.covariance.T)
 
 
+class TestCovarianceAccessors:
+    def test_position_covariance_converges_on_stationary_target(self):
+        # Repeated fixes on a stationary target must shrink the posterior
+        # position covariance monotonically toward its steady state.
+        kf = KalmanTracker(KalmanConfig(acceleration_noise=0.05))
+        traces = []
+        for _ in range(30):
+            kf.step(1.0, Point(5, 5))
+            traces.append(float(np.trace(kf.position_covariance())))
+        assert traces[-1] < traces[0] / 10
+        assert all(b <= a + 1e-9 for a, b in zip(traces, traces[1:]))
+
+    def test_position_covariance_matches_sigma(self):
+        kf = KalmanTracker()
+        kf.step(0.0, Point(1, 2))
+        kf.step(1.0, Point(2, 2))
+        cov = kf.position_covariance()
+        assert cov.shape == (2, 2)
+        sigma = np.sqrt((cov[0, 0] + cov[1, 1]) / 2)
+        assert kf.position_sigma_m() == pytest.approx(sigma)
+
+    def test_position_covariance_is_a_copy(self):
+        kf = KalmanTracker()
+        kf.step(0.0, Point(0, 0))
+        cov = kf.position_covariance()
+        cov[0, 0] = 1e9
+        assert kf.position_covariance()[0, 0] != 1e9
+
+
+class TestMeasurementSigmaOverride:
+    def test_inflated_sigma_deweights_fix(self):
+        # Same prior, same outlier fix: the high-sigma update must move
+        # the estimate less than the configured-sigma update.
+        trusting, wary = KalmanTracker(), KalmanTracker()
+        for kf in (trusting, wary):
+            for _ in range(5):
+                kf.step(1.0, Point(0, 0))
+        outlier = Point(8, 0)
+        moved_trusting = trusting.step(1.0, outlier).distance_to(Point(0, 0))
+        moved_wary = wary.step(
+            1.0, outlier, measurement_sigma_m=30.0
+        ).distance_to(Point(0, 0))
+        assert moved_wary < moved_trusting / 2
+
+    def test_none_override_matches_config(self):
+        default, explicit = KalmanTracker(), KalmanTracker()
+        sigma = KalmanConfig().measurement_sigma_m
+        for k in range(8):
+            a = default.step(1.0, Point(k, 0.5 * k))
+            b = explicit.step(1.0, Point(k, 0.5 * k), measurement_sigma_m=sigma)
+            assert a == b
+
+    def test_invalid_override_rejected(self):
+        kf = KalmanTracker()
+        kf.step(0.0, Point(0, 0))
+        with pytest.raises(ValueError):
+            kf.update(Point(1, 1), measurement_sigma_m=0.0)
+        with pytest.raises(ValueError):
+            kf.step(1.0, Point(1, 1), measurement_sigma_m=-2.0)
+
+
 class TestFilterComparison:
     def test_kalman_as_tracker_backend(self):
         scen = get_scenario("lab")

@@ -117,6 +117,43 @@ class TestParticleFilter:
         est = pf.estimate()
         assert est.distance_to(Point(19.9, 19.9)) < 4.0
 
+    def test_position_covariance_accessor(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        for k in range(10):
+            pf.step(1.0, Point(10, 10))
+        cov = pf.position_covariance()
+        assert cov.shape == (2, 2)
+        np.testing.assert_allclose(cov, cov.T)
+        assert cov[0, 0] >= 0 and cov[1, 1] >= 0
+        sigma = np.sqrt((cov[0, 0] + cov[1, 1]) / 2)
+        assert pf.position_sigma_m() == pytest.approx(sigma)
+
+    def test_sigma_shrinks_as_cloud_concentrates(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(1))
+        pf.step(0.0, Point(10, 10))
+        spread_before = pf.position_sigma_m()
+        for _ in range(10):
+            pf.step(1.0, Point(10, 10))
+        assert pf.position_sigma_m() < spread_before
+
+    def test_inflated_sigma_deweights_fix(self, room):
+        # Identical clouds, identical outlier fix: the inflated-sigma arm
+        # must end up farther from the outlier (it trusted it less).
+        trusting = ParticleFilterTracker(room, rng=np.random.default_rng(2))
+        wary = ParticleFilterTracker(room, rng=np.random.default_rng(2))
+        for pf in (trusting, wary):
+            for _ in range(5):
+                pf.step(1.0, Point(5, 5))
+        outlier = Point(15, 5)
+        trusted = trusting.step(1.0, outlier)
+        doubted = wary.step(1.0, outlier, measurement_sigma_m=25.0)
+        assert doubted.distance_to(outlier) > trusted.distance_to(outlier)
+
+    def test_invalid_sigma_override_rejected(self, room):
+        pf = ParticleFilterTracker(room, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pf.step(1.0, Point(5, 5), measurement_sigma_m=0.0)
+
 
 class TestTrackingResult:
     def test_alignment_validation(self):
