@@ -22,6 +22,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from typing import Sequence
 
@@ -259,6 +261,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic-replay drill: seeded runs must produce "
         "byte-identical event logs, and confidence-modulated filtering "
         "must beat the blind arm under injected corruption",
+    )
+    track.add_argument(
+        "--durable",
+        action="store_true",
+        help="journal every applied fix to a WAL SQLite session store "
+        "with periodic full snapshots (see repro.sessions.durable)",
+    )
+    track.add_argument(
+        "--db",
+        default="track.db",
+        help="session store path for --durable (default: track.db)",
+    )
+    track.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        metavar="N",
+        help="journal entries between full snapshots (--durable)",
+    )
+    track.add_argument(
+        "--group-commit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="journal rows per fsynced transaction (--durable)",
+    )
+    track.add_argument(
+        "--kill-after",
+        type=int,
+        default=0,
+        metavar="K",
+        help="SIGKILL this process after K applied fixes — the "
+        "crash half of the recovery drill (needs --durable)",
+    )
+    track.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from the --db store (snapshot + journal replay) "
+        "and continue the run where the journal ends",
     )
 
     gateway = sub.add_parser(
@@ -1117,17 +1158,41 @@ def _track_run(args: argparse.Namespace, modulate: bool = True) -> dict:
     # The far corner of the grid doubles as a geofenced demo zone so the
     # drill exercises the alert path whenever a walk wanders into it.
     rules = (GeofenceRule(zone=zones.names()[-1], forbidden=True),)
-    manager = SessionManager(
-        zones,
-        SessionConfig(
-            filter_kind=args.filter,
-            modulate_noise=modulate,
-            idle_timeout_s=max(30.0, 4.0 * args.steps),
-            seed=args.seed,
-        ),
-        rules,
-        plan=plan,
+    session_config = SessionConfig(
+        filter_kind=args.filter,
+        modulate_noise=modulate,
+        idle_timeout_s=max(30.0, 4.0 * args.steps),
+        seed=args.seed,
     )
+    store = None
+    recovery = None
+    applied_skip = 0  # fixes already journaled (resume skips them)
+    if getattr(args, "durable", False):
+        from .sessions import SessionStore
+        from .sessions.durable import recover
+
+        store = SessionStore(args.db, group_commit=args.group_commit)
+        if getattr(args, "resume", False):
+            manager, recovery = recover(
+                store,
+                zones,
+                session_config,
+                rules,
+                plan=plan,
+                checkpoint_every=args.checkpoint_every,
+            )
+            applied_skip = store.fix_count()
+        else:
+            manager = SessionManager(
+                zones,
+                session_config,
+                rules,
+                plan=plan,
+                store=store,
+                checkpoint_every=args.checkpoint_every,
+            )
+    else:
+        manager = SessionManager(zones, session_config, rules, plan=plan)
     trajectories = [
         random_trajectory(
             plan,
@@ -1150,8 +1215,15 @@ def _track_run(args: argparse.Namespace, modulate: bool = True) -> dict:
         ),
     )
     errors: list[float] = []
+    kill_after = getattr(args, "kill_after", 0) or 0
+    applied = 0  # fixes applied by THIS process
     try:
         for tick in range(args.steps):
+            # Ticks fully covered by the journal need no re-solving —
+            # the fix stream is seeded per (tick, object), not
+            # sequential, so skipping is exact.
+            if (tick + 1) * args.objects <= applied_skip:
+                continue
             truths = []
             batch = []
             for i, traj in enumerate(trajectories):
@@ -1163,6 +1235,8 @@ def _track_run(args: argparse.Namespace, modulate: bool = True) -> dict:
                 batch.append(tuple(system.gather_anchors(truth, rng)))
             responses = service.batch(batch)
             for i, (truth, resp) in enumerate(zip(truths, responses)):
+                if tick * args.objects + i < applied_skip:
+                    continue  # journaled by the pre-crash process
                 fix, confidence = resp.position, resp.confidence
                 crng = np.random.default_rng(
                     np.random.SeedSequence([args.seed, 77, tick, i])
@@ -1179,14 +1253,27 @@ def _track_run(args: argparse.Namespace, modulate: bool = True) -> dict:
                     object_ids[i], float(tick), fix, confidence=confidence
                 )
                 errors.append(update.position.distance_to(truth))
+                applied += 1
+                if kill_after and applied >= kill_after:
+                    # The crash half of the recovery drill: die without
+                    # flushing, cleanup, or goodbyes — exactly SIGKILL.
+                    os.kill(os.getpid(), signal.SIGKILL)
     finally:
         service.close()
-    return {
+        if store is not None:
+            manager.sync()
+    result = {
         "manager": manager,
         "zones": zones,
         "errors": errors,
         "digest": manager.event_log.digest(),
+        "chain": manager.event_log.chain(),
+        "recovery": recovery,
     }
+    if store is not None:
+        result["store_counts"] = store.counts()
+        store.close()
+    return result
 
 
 def _track_selftest(args: argparse.Namespace) -> int:
@@ -1245,6 +1332,14 @@ def _cmd_track(args: argparse.Namespace) -> int:
             raise ValueError("--steps must be at least 2")
         if not 0.0 <= args.corrupt < 1.0:
             raise ValueError("--corrupt must be in [0, 1)")
+        if args.checkpoint_every < 1:
+            raise ValueError("--checkpoint-every must be at least 1")
+        if args.group_commit < 1:
+            raise ValueError("--group-commit must be at least 1")
+        if args.kill_after < 0:
+            raise ValueError("--kill-after must be non-negative")
+        if (args.kill_after or args.resume) and not args.durable:
+            raise ValueError("--kill-after/--resume need --durable")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1258,6 +1353,19 @@ def _cmd_track(args: argparse.Namespace) -> int:
         f"tracked {args.objects} object(s) for {args.steps} ticks over a "
         f"{rows}x{cols} zone grid ({args.filter} filter, {arm} noise)"
     )
+    if run["recovery"] is not None:
+        report = run["recovery"]
+        print(
+            f"recovered from {args.db}: snapshot@{report.snapshot_seq}, "
+            f"{report.replayed} journal entries replayed, "
+            f"{report.events} events verified onto the pre-crash chain"
+        )
+    if "store_counts" in run:
+        counts = run["store_counts"]
+        print(
+            f"session store {args.db}: {counts['journal']} journal rows "
+            f"({counts['fixes']} fixes), {counts['snapshots']} snapshot(s)"
+        )
     for object_id in manager.object_ids():
         session = manager.session(object_id)
         inside = ", ".join(session.fsm.inside_zones()) or "-"
@@ -1284,7 +1392,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
             f"(peak {stats['peak_occupancy']}), {stats['visits']} visit(s), "
             f"mean dwell {stats['mean_dwell_s']:.1f} s"
         )
-    print(f"event log digest {run['digest'][:16]}...")
+    print(f"event log digest {run['digest']}")
     return 0
 
 

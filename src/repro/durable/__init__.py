@@ -1,0 +1,15 @@
+"""Shared durability primitives (WAL SQLite) for the serving stack.
+
+Two subsystems persist state today — the gateway's measurement ledger
+(:mod:`repro.gateway.store`) and the session layer's crash-consistent
+tracking store (:mod:`repro.sessions.durable`) — and both need exactly
+the same SQLite discipline: WAL journaling, an explicit ``synchronous``
+level so "committed" means "fsynced", serialized ``BEGIN IMMEDIATE``
+writers, a schema-version gate that fails loudly on incompatible files,
+and checkpoint-on-close.  :class:`WalDatabase` owns that discipline
+once; the stores own only their schemas and queries.
+"""
+
+from .wal import WalDatabase, WalError
+
+__all__ = ["WalDatabase", "WalError"]

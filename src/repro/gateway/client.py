@@ -139,12 +139,16 @@ class AsyncGatewayClient:
 
     # -- streaming ------------------------------------------------------
     async def stream(
-        self, object_id: str
+        self, object_id: str, resume_from: int | None = None
     ) -> AsyncIterator[dict]:
         """Subscribe to one object's position pushes (fresh connection).
 
         Yields every event after the ``subscribed`` confirmation; exits
-        when the server closes the stream.
+        when the server closes the stream.  ``resume_from`` is the last
+        ``stream_seq`` this client saw on a previous connection: the
+        server first replays every buffered frame after it (no dupes,
+        no gaps while the replay ring covers the position), then
+        continues live.
         """
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
@@ -164,17 +168,16 @@ class AsyncGatewayClient:
             raw = await reader.readuntil(b"\r\n\r\n")
             if b" 101 " not in raw.split(b"\r\n", 1)[0]:
                 raise GatewayError(0, f"websocket upgrade refused: {raw[:120]!r}")
+            subscribe = {
+                "v": protocol.PROTOCOL_VERSION,
+                "type": "subscribe",
+                "object_id": object_id,
+            }
+            if resume_from is not None:
+                subscribe["resume_from"] = resume_from
             writer.write(
                 encode_frame(
-                    OP_TEXT,
-                    protocol.dumps(
-                        {
-                            "v": protocol.PROTOCOL_VERSION,
-                            "type": "subscribe",
-                            "object_id": object_id,
-                        }
-                    ).encode(),
-                    mask=True,
+                    OP_TEXT, protocol.dumps(subscribe).encode(), mask=True
                 )
             )
             await writer.drain()
@@ -185,7 +188,7 @@ class AsyncGatewayClient:
                     return
                 if opcode == OP_CLOSE:
                     return
-                if opcode == OP_PING:  # pragma: no cover - server never pings
+                if opcode == OP_PING:  # heartbeat: pong proves liveness
                     writer.write(encode_frame(OP_PONG, payload, mask=True))
                     await writer.drain()
                     continue
@@ -231,18 +234,25 @@ class GatewayClient:
     def get_estimate(self, batch_id: str) -> dict:
         return self._run(self._client.get_estimate(batch_id))
 
-    def stream_events(self, object_id: str, count: int, timeout_s: float = 10.0):
-        """Collect ``count`` position events for one object (blocking)."""
+    def stream_events(
+        self,
+        object_id: str,
+        count: int,
+        timeout_s: float = 10.0,
+        resume_from: int | None = None,
+        kinds: tuple = ("position",),
+    ):
+        """Collect ``count`` events of the given kinds (blocking)."""
 
         async def collect():
             events = []
-            stream = self._client.stream(object_id)
+            stream = self._client.stream(object_id, resume_from=resume_from)
             try:
                 while len(events) < count:
                     event = await asyncio.wait_for(
                         stream.__anext__(), timeout=timeout_s
                     )
-                    if event.get("type") == "position":
+                    if event.get("type") in kinds:
                         events.append(event)
             finally:
                 await stream.aclose()

@@ -37,6 +37,7 @@ import functools
 import json
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -96,6 +97,16 @@ class GatewayConfig:
     trace_out:
         When set and tracing is enabled, finished spans are flushed to
         this JSONL path on shutdown.
+    ws_replay_buffer:
+        Events retained per object for ``resume_from`` replay after a
+        dropped stream (0 disables resume).
+    ws_heartbeat_s:
+        Seconds of stream silence before the server pings a WebSocket
+        client (0 disables heartbeats — streams then live until the
+        peer closes).
+    ws_idle_pings:
+        Consecutive unanswered heartbeats before the connection is
+        declared dead and closed.
     """
 
     host: str = "127.0.0.1"
@@ -108,6 +119,9 @@ class GatewayConfig:
     synchronous: str = "FULL"
     drain_timeout_s: float = 10.0
     trace_out: str | None = None
+    ws_replay_buffer: int = 256
+    ws_heartbeat_s: float = 0.0
+    ws_idle_pings: int = 2
 
     def __post_init__(self) -> None:
         if self.num_shards < 1 or self.replicas_per_shard < 1:
@@ -118,6 +132,12 @@ class GatewayConfig:
             raise ValueError("max_inflight must be at least 1")
         if self.drain_timeout_s <= 0:
             raise ValueError("drain_timeout_s must be positive")
+        if self.ws_replay_buffer < 0:
+            raise ValueError("ws_replay_buffer must be non-negative")
+        if self.ws_heartbeat_s < 0:
+            raise ValueError("ws_heartbeat_s must be non-negative")
+        if self.ws_idle_pings < 1:
+            raise ValueError("ws_idle_pings must be at least 1")
 
 
 class _Connection:
@@ -189,6 +209,10 @@ class GatewayServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._solve_tasks: set[asyncio.Task] = set()
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
+        #: per-object monotonic stream sequence (stamped on every push).
+        self._stream_seq: dict[str, int] = {}
+        #: per-object bounded replay ring for `resume_from` reconnects.
+        self._replay: dict[str, deque] = {}
         self._closing = False
         self._stopped = False
         self.requests_total = 0
@@ -196,6 +220,8 @@ class GatewayServer:
         self.duplicates_total = 0
         self.answered_total = 0
         self.published_total = 0
+        self.resumed_total = 0
+        self.idle_closed_total = 0
         self.errors_total = 0
 
     # ------------------------------------------------------------------
@@ -498,6 +524,9 @@ class GatewayServer:
             "duplicates_total": self.duplicates_total,
             "answered_total": self.answered_total,
             "published_total": self.published_total,
+            "resumed_total": self.resumed_total,
+            "idle_closed_total": self.idle_closed_total,
+            "replay_buffered": sum(len(r) for r in self._replay.values()),
             "errors_total": self.errors_total,
             "replayed_on_start": self.replayed,
             "solve_backlog": len(self._solve_tasks),
@@ -519,7 +548,25 @@ class GatewayServer:
     # WebSocket streaming
     # ------------------------------------------------------------------
     def _publish(self, object_id: str, event: dict) -> None:
-        """Fan one position event out to the object's subscribers."""
+        """Stamp, buffer, and fan one event out to the subscribers.
+
+        Every push for an object gets the next ``stream_seq`` (1-based,
+        per object, across position/track/session-event kinds alike)
+        and lands in the object's bounded replay ring — stamping happens
+        whether or not anyone is subscribed, so a client that drops and
+        reconnects with ``resume_from`` receives exactly the frames it
+        missed, including ones published while it was away.
+        """
+        seq = self._stream_seq.get(object_id, 0) + 1
+        self._stream_seq[object_id] = seq
+        event["stream_seq"] = seq
+        if self.config.ws_replay_buffer > 0:
+            ring = self._replay.get(object_id)
+            if ring is None:
+                ring = self._replay[object_id] = deque(
+                    maxlen=self.config.ws_replay_buffer
+                )
+            ring.append(event)
         for queue in self._subscribers.get(object_id, ()):
             queue.put_nowait(event)
             self.published_total += 1
@@ -546,16 +593,37 @@ class GatewayServer:
         conn.queue = asyncio.Queue()
         subscribed: set[str] = set()
         pump = asyncio.ensure_future(self._ws_pump(conn.queue, writer))
+        heartbeat_s = self.config.ws_heartbeat_s
+        unanswered = 0
         try:
             while not self._closing:
                 try:
-                    opcode, payload = await read_frame(reader)
+                    if heartbeat_s > 0:
+                        try:
+                            opcode, payload = await asyncio.wait_for(
+                                read_frame(reader), timeout=heartbeat_s
+                            )
+                        except asyncio.TimeoutError:
+                            # Silence: ping, and give up after enough
+                            # unanswered heartbeats (dead peer / half-
+                            # open TCP — the socket would otherwise pin
+                            # its queue and subscriber slots forever).
+                            unanswered += 1
+                            if unanswered > self.config.ws_idle_pings:
+                                self.idle_closed_total += 1
+                                break
+                            writer.write(encode_frame(OP_PING, b"hb"))
+                            await writer.drain()
+                            continue
+                    else:
+                        opcode, payload = await read_frame(reader)
                 except (
                     asyncio.IncompleteReadError,
                     WebSocketError,
                     ConnectionError,
                 ):
                     break
+                unanswered = 0  # any frame (incl. PONG) proves liveness
                 if opcode == OP_CLOSE:
                     break
                 if opcode == OP_PING:
@@ -584,6 +652,7 @@ class GatewayServer:
         self, conn: _Connection, subscribed: set[str], payload: bytes
     ) -> None:
         """Handle one client text frame (subscribe/unsubscribe/ping)."""
+        backlog: list[dict] = []
         try:
             message = protocol.loads(payload)
             protocol.check_version(message)
@@ -594,9 +663,33 @@ class GatewayServer:
                     raise protocol.ProtocolError(
                         "bad-field", "'object_id' must be a non-empty string"
                     )
+                resume_from = message.get("resume_from")
+                if resume_from is not None and (
+                    not isinstance(resume_from, int) or resume_from < 0
+                ):
+                    raise protocol.ProtocolError(
+                        "bad-field",
+                        "'resume_from' must be a non-negative integer",
+                    )
                 self._subscribers.setdefault(object_id, set()).add(conn.queue)
                 subscribed.add(object_id)
-                reply = {"type": "subscribed", "object_id": object_id}
+                reply = {
+                    "type": "subscribed",
+                    "object_id": object_id,
+                    "stream_seq": self._stream_seq.get(object_id, 0),
+                }
+                if resume_from is not None:
+                    backlog = self._resume_backlog(object_id, resume_from)
+                    reply["resumed"] = len(backlog)
+                    # The oldest retained frame tells the client whether
+                    # the ring still covers its position; a gap means
+                    # frames were evicted and a full resync is needed.
+                    ring = self._replay.get(object_id)
+                    oldest = ring[0]["stream_seq"] if ring else None
+                    reply["gap"] = bool(
+                        resume_from < self._stream_seq.get(object_id, 0)
+                        and (oldest is None or oldest > resume_from + 1)
+                    )
             elif kind == "unsubscribe":
                 object_id = message.get("object_id", "")
                 queues = self._subscribers.get(object_id)
@@ -626,6 +719,19 @@ class GatewayServer:
                 "detail": str(exc),
             }
         conn.queue.put_nowait(reply)
+        # Replayed frames follow the ack, before any live push can
+        # interleave (this whole handler is one event-loop step).
+        for event in backlog:
+            conn.queue.put_nowait(event)
+            self.published_total += 1
+            self.resumed_total += 1
+
+    def _resume_backlog(self, object_id: str, resume_from: int) -> list[dict]:
+        """Buffered events after ``resume_from``, in stream order."""
+        ring = self._replay.get(object_id)
+        if not ring:
+            return []
+        return [e for e in ring if e["stream_seq"] > resume_from]
 
     async def _ws_pump(
         self, queue: asyncio.Queue, writer: asyncio.StreamWriter

@@ -6,6 +6,13 @@ fsync-synchronous SQLite database**, so a gateway killed at any instant
 recovers every acked batch on restart and can re-serve the queries it
 never answered.
 
+The WAL/pragma/transaction discipline (serialized ``BEGIN IMMEDIATE``
+writers, the ``synchronous`` fsync level, the schema-version gate,
+checkpoint-on-close) lives in the shared
+:class:`repro.durable.WalDatabase` helper — the session layer's
+:class:`repro.sessions.durable.SessionStore` rides the same machinery.
+This module owns only the measurement schema and its queries.
+
 Schema (version :data:`SCHEMA_VERSION`, guarded by an explicit
 ``schema_version`` table — opening a ledger written by an incompatible
 gateway fails loudly instead of corrupting it):
@@ -28,24 +35,18 @@ gateway fails loudly instead of corrupting it):
 ``guard_verdicts``
     Per-link guard rulings of gated batches (status, quality, reasons)
     — the durable form of :class:`repro.guard.LinkVerdict`.
-
-Writers are serialized by an internal lock *and* a dedicated
-``BEGIN IMMEDIATE`` transaction per mutation, so concurrent threads
-(the gateway's store executor, tests hammering it directly) never
-interleave partial writes; readers go straight through (WAL readers
-don't block writers).
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-import threading
 import time
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..core import Anchor
+from ..durable import WalDatabase
 
 __all__ = ["LedgerError", "MeasurementLedger", "SCHEMA_VERSION"]
 
@@ -55,9 +56,6 @@ SCHEMA_VERSION = 1
 #: Individual statements (``executescript`` would auto-commit the
 #: surrounding transaction, breaking the all-or-nothing schema init).
 _SCHEMA = """
-CREATE TABLE IF NOT EXISTS schema_version (
-    version INTEGER NOT NULL
-);
 CREATE TABLE IF NOT EXISTS access_points (
     name         TEXT PRIMARY KEY,
     x            REAL NOT NULL,
@@ -97,7 +95,7 @@ class LedgerError(RuntimeError):
     """The ledger file is unusable (wrong schema version, closed, ...)."""
 
 
-class MeasurementLedger:
+class MeasurementLedger(WalDatabase):
     """One gateway's durable store, safe for multi-threaded writers.
 
     Parameters
@@ -112,102 +110,13 @@ class MeasurementLedger:
     """
 
     def __init__(self, path: str | Path, synchronous: str = "FULL") -> None:
-        if synchronous.upper() not in ("OFF", "NORMAL", "FULL", "EXTRA"):
-            raise ValueError(f"unknown synchronous level {synchronous!r}")
-        self.path = str(path)
-        if self.path != ":memory:":
-            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
-        # autocommit mode (isolation_level=None): transactions are
-        # explicit BEGIN IMMEDIATE blocks in _write(), nothing implicit.
-        self._conn = sqlite3.connect(
-            self.path, check_same_thread=False, isolation_level=None
+        super().__init__(
+            path,
+            schema=_SCHEMA,
+            schema_version=SCHEMA_VERSION,
+            synchronous=synchronous,
+            error_cls=LedgerError,
         )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute(f"PRAGMA synchronous={synchronous.upper()}")
-        self._conn.execute("PRAGMA foreign_keys=ON")
-        self._closed = False
-        self._init_schema()
-
-    # ------------------------------------------------------------------
-    # Schema / lifecycle
-    # ------------------------------------------------------------------
-    def _init_schema(self) -> None:
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                for statement in _SCHEMA.split(";"):
-                    if statement.strip():
-                        self._conn.execute(statement)
-                row = self._conn.execute(
-                    "SELECT version FROM schema_version"
-                ).fetchone()
-                if row is None:
-                    self._conn.execute(
-                        "INSERT INTO schema_version(version) VALUES (?)",
-                        (SCHEMA_VERSION,),
-                    )
-                elif row[0] != SCHEMA_VERSION:
-                    raise LedgerError(
-                        f"ledger {self.path!r} has schema version {row[0]}, "
-                        f"this gateway requires {SCHEMA_VERSION}"
-                    )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-
-    def schema_version(self) -> int:
-        """The version recorded in the ledger file."""
-        row = self._conn.execute("SELECT version FROM schema_version").fetchone()
-        if row is None:  # pragma: no cover - _init_schema guarantees a row
-            raise LedgerError("ledger has no schema_version row")
-        return int(row[0])
-
-    @property
-    def closed(self) -> bool:
-        """True once :meth:`close` ran."""
-        return self._closed
-
-    def checkpoint(self) -> None:
-        """Flush the WAL into the main database file (fsync included)."""
-        with self._lock:
-            self._check_open()
-            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-
-    def close(self) -> None:
-        """Checkpoint and close the connection (idempotent)."""
-        with self._lock:
-            if self._closed:
-                return
-            try:
-                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-            finally:
-                self._closed = True
-                self._conn.close()
-
-    def __enter__(self) -> "MeasurementLedger":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _check_open(self) -> None:
-        if self._closed:
-            raise LedgerError("ledger is closed")
-
-    def _write(self, fn) -> object:
-        """Run one mutation inside a serialized BEGIN IMMEDIATE block."""
-        with self._lock:
-            self._check_open()
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                result = fn(self._conn)
-                self._conn.execute("COMMIT")
-                return result
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
 
     # ------------------------------------------------------------------
     # Ingest
@@ -270,7 +179,7 @@ class MeasurementLedger:
             )
             return True
 
-        return bool(self._write(txn))
+        return bool(self.write(txn))
 
     def record_estimate(self, batch_id: str, wire_response: Mapping) -> None:
         """Durably record the answer of one batch (idempotent).
@@ -301,41 +210,41 @@ class MeasurementLedger:
                 ),
             )
 
-        self._write(txn)
+        self.write(txn)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def get_batch(self, batch_id: str) -> dict | None:
         """The stored ingest payload of one batch (None when unknown)."""
-        row = self._conn.execute(
+        rows = self.query(
             "SELECT object_id, received_s, payload FROM batches"
             " WHERE batch_id = ?",
             (batch_id,),
-        ).fetchone()
-        if row is None:
+        )
+        if not rows:
             return None
         return {
             "batch_id": batch_id,
-            "object_id": row[0],
-            "received_s": row[1],
-            "payload": json.loads(row[2]),
+            "object_id": rows[0][0],
+            "received_s": rows[0][1],
+            "payload": json.loads(rows[0][2]),
         }
 
     def get_estimate(self, batch_id: str) -> dict | None:
         """The stored wire response of one batch (None when unanswered)."""
-        row = self._conn.execute(
+        rows = self.query(
             "SELECT payload FROM estimates WHERE batch_id = ?", (batch_id,)
-        ).fetchone()
-        return None if row is None else json.loads(row[0])
+        )
+        return None if not rows else json.loads(rows[0][0])
 
     def get_verdicts(self, batch_id: str) -> list[dict]:
         """The persisted guard rulings of one batch (link order by name)."""
-        rows = self._conn.execute(
+        rows = self.query(
             "SELECT link, status, quality, reasons FROM guard_verdicts"
             " WHERE batch_id = ? ORDER BY link",
             (batch_id,),
-        ).fetchall()
+        )
         return [
             {
                 "name": link,
@@ -351,11 +260,11 @@ class MeasurementLedger:
 
         Ordered by receive time so recovery re-serves in arrival order.
         """
-        rows = self._conn.execute(
+        rows = self.query(
             "SELECT b.batch_id, b.object_id, b.payload FROM batches b"
             " LEFT JOIN estimates e ON e.batch_id = b.batch_id"
             " WHERE e.batch_id IS NULL ORDER BY b.received_s, b.batch_id"
-        ).fetchall()
+        )
         return [
             {
                 "batch_id": batch_id,
@@ -370,7 +279,7 @@ class MeasurementLedger:
         out = {}
         for table in ("access_points", "batches", "estimates", "guard_verdicts"):
             out[table] = int(
-                self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                self.query(f"SELECT COUNT(*) FROM {table}")[0][0]
             )
         out["pending"] = out["batches"] - out["estimates"]
         return out

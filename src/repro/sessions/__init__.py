@@ -28,21 +28,35 @@ floor.
 """
 
 from .analytics import ZoneAnalytics, ZoneStats
-from .events import EVENT_KINDS, EventLog, GeofenceRule, SessionEvent
+from .durable import (
+    JournalEntry,
+    RecoveryError,
+    RecoveryReport,
+    SessionStore,
+    SessionStoreError,
+    recover,
+)
+from .events import CHAIN_SEED, EVENT_KINDS, EventLog, GeofenceRule, SessionEvent
 from .fsm import FSMConfig, ObjectZoneTracker, ZoneState
 from .manager import SessionConfig, SessionManager
 from .session import SessionUpdate, TrackingSession, confidence_to_sigma
 from .zones import Zone, ZoneMap
 
 __all__ = [
+    "CHAIN_SEED",
     "EVENT_KINDS",
     "EventLog",
     "FSMConfig",
     "GeofenceRule",
+    "JournalEntry",
     "ObjectZoneTracker",
+    "RecoveryError",
+    "RecoveryReport",
     "SessionConfig",
     "SessionEvent",
     "SessionManager",
+    "SessionStore",
+    "SessionStoreError",
     "SessionUpdate",
     "TrackingSession",
     "Zone",
@@ -51,4 +65,5 @@ __all__ = [
     "ZoneState",
     "ZoneStats",
     "confidence_to_sigma",
+    "recover",
 ]

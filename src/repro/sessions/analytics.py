@@ -56,6 +56,15 @@ class ZoneStats:
             "max_dwell_s": self.max_dwell_s,
         }
 
+    def restore(self, state: dict) -> None:
+        """Overwrite from an :meth:`as_dict` record (recovery path)."""
+        self.occupancy = int(state["occupancy"])
+        self.peak_occupancy = int(state["peak_occupancy"])
+        self.visits = int(state["visits"])
+        self.completed_visits = int(state["completed_visits"])
+        self.total_dwell_s = float(state["total_dwell_s"])
+        self.max_dwell_s = float(state["max_dwell_s"])
+
 
 class ZoneAnalytics:
     """Fleet-wide per-zone occupancy/dwell aggregation.
@@ -111,3 +120,21 @@ class ZoneAnalytics:
     def snapshot(self) -> dict:
         """``{zone: stats-dict}`` over every registered zone."""
         return {name: s.as_dict() for name, s in sorted(self._stats.items())}
+
+    # ------------------------------------------------------------------
+    # State capture (crash-consistent snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe full state, preserving registration order (ad-hoc
+        zones registered after construction must restore in the same
+        position)."""
+        return {name: s.as_dict() for name, s in self._stats.items()}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        stats: dict[str, ZoneStats] = {}
+        for name, recorded in state.items():
+            zone = ZoneStats()
+            zone.restore(recorded)
+            stats[name] = zone
+        self._stats = stats

@@ -22,15 +22,21 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
-from typing import Iterator
+from pathlib import Path
+from typing import Iterator, Mapping
 
 __all__ = [
+    "CHAIN_SEED",
     "EVENT_KINDS",
     "EventLog",
     "GeofenceRule",
     "SessionEvent",
 ]
+
+#: Digest-chain genesis value (the chain head of an empty log).
+CHAIN_SEED = hashlib.sha256(b"repro.sessions.events/chain-v1").hexdigest()
 
 #: Closed set of event kinds the session layer emits.
 #:
@@ -99,6 +105,24 @@ class SessionEvent:
             record["detail"] = self.detail
         return record
 
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "SessionEvent":
+        """Rebuild one event from its :meth:`to_dict` form.
+
+        The inverse the replay paths need: floats round-trip through
+        JSON bit-exactly, so ``from_dict(to_dict(e)) == e``.
+        """
+        return cls(
+            seq=int(record["seq"]),
+            kind=str(record["kind"]),
+            object_id=str(record["object_id"]),
+            zone=str(record["zone"]),
+            t_s=float(record["t_s"]),
+            dwell_s=float(record.get("dwell_s", 0.0)),
+            rule=str(record.get("rule", "")),
+            detail=str(record.get("detail", "")),
+        )
+
 
 @dataclass(frozen=True)
 class GeofenceRule:
@@ -158,11 +182,58 @@ class EventLog:
     The log assigns sequence numbers (events arrive without one) and
     keeps the emission order; :meth:`digest` hashes the canonical JSONL
     serialization, which is the byte-identity witness the determinism
-    tests and benchmarks compare.
+    tests and benchmarks compare.  Alongside the whole-log digest the
+    log maintains a **digest chain** — ``chain_i = SHA-256(chain_{i-1}
+    || line_i)`` per appended event, seeded at :data:`CHAIN_SEED` — so
+    two logs can be compared *prefix-wise*: a recovered log "chains
+    onto" a pre-crash log exactly when :meth:`chain_at` agrees at the
+    shared length (the recovery contract of
+    :mod:`repro.sessions.durable`).
+
+    Durability (optional): give the log a ``path`` and every appended
+    event is written to that JSONL file as it is emitted — with
+    ``fsync=True`` each line is flushed *and* fsynced before
+    :meth:`append` returns, so the file itself can serve as a replay
+    source after a SIGKILL.  ``rotate_bytes`` bounds the live file:
+    when it would grow past the bound it is renamed to ``<path>.<k>``
+    (k increasing) and a fresh file is started;
+    :meth:`load_jsonl` reads the rotated segments in order and detects
+    (and discards) a torn final line left by a mid-write crash.
+
+    Parameters
+    ----------
+    path:
+        JSONL sink path (``None`` keeps the log memory-only, the
+        default — behavior-identical to the pre-durability log).
+    fsync:
+        Fsync the sink after every appended line.  Durable but slow;
+        the session store's group-commit journal is the fast path, this
+        flag makes the *log file itself* a standalone replay source.
+    rotate_bytes:
+        Rotate the live file before it exceeds this size (``None``
+        never rotates).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        fsync: bool = False,
+        rotate_bytes: int | None = None,
+    ) -> None:
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise ValueError("rotate_bytes must be positive")
         self._events: list[SessionEvent] = []
+        self._chains: list[str] = []
+        self.path = None if path is None else Path(path)
+        self.fsync = fsync
+        self.rotate_bytes = rotate_bytes
+        self.rotations = 0
+        self._sink = None
+        self._sink_bytes = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(self.path, "a", encoding="utf-8")
+            self._sink_bytes = self._sink.tell()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -182,8 +253,120 @@ class EventLog:
             rule=event.rule,
             detail=event.detail,
         )
+        line = json.dumps(
+            stamped.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        previous = self._chains[-1] if self._chains else CHAIN_SEED
         self._events.append(stamped)
+        self._chains.append(
+            hashlib.sha256((previous + line).encode()).hexdigest()
+        )
+        if self._sink is not None:
+            self._write_line(line)
         return stamped
+
+    # ------------------------------------------------------------------
+    # Durable sink
+    # ------------------------------------------------------------------
+    def _write_line(self, line: str) -> None:
+        encoded = line + "\n"
+        if (
+            self.rotate_bytes is not None
+            and self._sink_bytes > 0
+            and self._sink_bytes + len(encoded.encode()) > self.rotate_bytes
+        ):
+            self._rotate()
+        self._sink.write(encoded)
+        self._sink.flush()
+        if self.fsync:
+            os.fsync(self._sink.fileno())
+        self._sink_bytes += len(encoded.encode())
+
+    def _rotate(self) -> None:
+        """Rename the live file aside and start a fresh one."""
+        self._sink.flush()
+        if self.fsync:
+            os.fsync(self._sink.fileno())
+        self._sink.close()
+        self.rotations += 1
+        self.path.rename(self.path.with_name(f"{self.path.name}.{self.rotations}"))
+        self._sink = open(self.path, "a", encoding="utf-8")
+        self._sink_bytes = 0
+
+    def close(self) -> None:
+        """Flush and close the sink (no-op for memory-only logs)."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self.fsync:
+                os.fsync(self._sink.fileno())
+            self._sink.close()
+            self._sink = None
+
+    @staticmethod
+    def segment_paths(path: str | Path) -> list[Path]:
+        """Every on-disk segment of one log, rotation order then live."""
+        path = Path(path)
+        rotated = []
+        for candidate in path.parent.glob(f"{path.name}.*"):
+            suffix = candidate.name[len(path.name) + 1 :]
+            if suffix.isdigit():
+                rotated.append((int(suffix), candidate))
+        ordered = [p for _, p in sorted(rotated)]
+        if path.exists():
+            ordered.append(path)
+        return ordered
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> tuple["EventLog", int]:
+        """Rebuild a log from its JSONL file(s); returns (log, dropped).
+
+        Reads rotated segments in order, then the live file.  A final
+        line that does not parse (or is not newline-terminated) is a
+        torn write from a crash mid-append: it is discarded and counted
+        in ``dropped``.  A malformed line anywhere *else* means real
+        corruption and raises ``ValueError``.  Sequence numbers must be
+        gap-free from 0 — the loaded log re-derives its digest chain,
+        so prefix comparison against a live log works immediately.
+        """
+        segments = cls.segment_paths(path)
+        if not segments:
+            raise FileNotFoundError(f"no event log at {path}")
+        log = cls()
+        dropped = 0
+        for si, segment in enumerate(segments):
+            raw = segment.read_text(encoding="utf-8")
+            lines = raw.split("\n")
+            # A well-formed file ends with a newline -> last split is "".
+            torn_tail = lines and lines[-1] != ""
+            if not torn_tail:
+                lines = lines[:-1]
+            final_segment = si == len(segments) - 1
+            for li, line in enumerate(lines):
+                last_line = li == len(lines) - 1
+                try:
+                    record = json.loads(line)
+                    event = SessionEvent.from_dict(record)
+                except (ValueError, KeyError) as exc:
+                    if final_segment and last_line:
+                        dropped += 1  # torn final write: discard
+                        break
+                    raise ValueError(
+                        f"corrupt event log line {li} in {segment}: {exc}"
+                    )
+                if final_segment and last_line and torn_tail:
+                    # Parsed, but the newline never made it to disk: the
+                    # write may still be partial (e.g. a truncated float
+                    # that happens to parse). Only a terminated line is
+                    # a committed line.
+                    dropped += 1
+                    break
+                if event.seq != len(log._events):
+                    raise ValueError(
+                        f"event log {segment} has sequence gap: expected "
+                        f"{len(log._events)}, found {event.seq}"
+                    )
+                log.append(event)
+        return log, dropped
 
     def events(self) -> tuple[SessionEvent, ...]:
         """All events, in emission order."""
@@ -211,3 +394,26 @@ class EventLog:
     def digest(self) -> str:
         """SHA-256 hex digest of :meth:`to_jsonl` — the replay witness."""
         return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+    def chain(self) -> str:
+        """Current digest-chain head (:data:`CHAIN_SEED` when empty).
+
+        Incrementally maintained on append — O(1) to read, unlike
+        :meth:`digest` which re-serializes the whole log.
+        """
+        return self._chains[-1] if self._chains else CHAIN_SEED
+
+    def chain_at(self, length: int) -> str:
+        """Chain head after the first ``length`` events.
+
+        The prefix-verification primitive: a recovered log *chains onto*
+        a pre-crash log of length ``n`` iff
+        ``recovered.chain_at(n) == pre_crash.chain_at(n)`` — and because
+        each link hashes the previous head, agreement at ``n`` certifies
+        byte-identity of all ``n`` event lines, not just the last.
+        """
+        if not 0 <= length <= len(self._chains):
+            raise ValueError(
+                f"chain length {length} outside [0, {len(self._chains)}]"
+            )
+        return self._chains[length - 1] if length else CHAIN_SEED

@@ -182,6 +182,34 @@ class ObjectZoneTracker:
         return exits + enters
 
     # ------------------------------------------------------------------
+    # State capture (crash-consistent snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe machine states, in first-touched order.
+
+        Order matters: :meth:`observe` iterates machines in insertion
+        order, so a restored tracker must replay with the same order to
+        keep the event stream byte-identical.
+        """
+        return {
+            zone: {
+                "state": cell.state.value,
+                "count": cell.count,
+                "entered_at": cell.entered_at,
+            }
+            for zone, cell in self._cells.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        cells: dict[str, _Cell] = {}
+        for zone, recorded in state.items():
+            cell = _Cell(ZoneState(recorded["state"]), int(recorded["count"]))
+            cell.entered_at = float(recorded["entered_at"])
+            cells[zone] = cell
+        self._cells = cells
+
+    # ------------------------------------------------------------------
     def flush(self, t_s: float) -> list[tuple[str, str, float, float]]:
         """Force-exit every confirmed zone (session eviction path).
 

@@ -127,6 +127,8 @@ class SessionManager:
         config: SessionConfig | None = None,
         rules: Sequence[GeofenceRule] = (),
         plan: FloorPlan | None = None,
+        store: Any | None = None,
+        checkpoint_every: int = 512,
     ) -> None:
         self.zones = zones
         self.config = config or SessionConfig()
@@ -154,6 +156,15 @@ class SessionManager:
         self.sessions_started_total = 0
         self.sessions_evicted_total = 0
         self.updates_total = 0
+        # Durability (optional): a SessionStore journals every applied
+        # input and takes a full snapshot every ``checkpoint_every``
+        # journal entries; ``_replaying`` suppresses journaling while
+        # recovery drives this very apply path from the journal.
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        self.store = store
+        self.checkpoint_every = checkpoint_every
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -226,6 +237,16 @@ class SessionManager:
         self.updates_total += 1
         events = self._commit_transitions(object_id, update.transitions)
         events.extend(self._check_dwell_rules(session, t_s))
+        self._journal(
+            "fix",
+            object_id,
+            t_s,
+            {
+                "x": position.x,
+                "y": position.y,
+                "confidence": confidence,
+            },
+        )
         return update, events
 
     def ingest(
@@ -277,7 +298,94 @@ class SessionManager:
                 )
             )
             self.sessions_evicted_total += 1
+        if events:
+            # A sweep that evicted nothing changed nothing — journaling
+            # it would only grow the journal without moving any state.
+            self._journal("evict", "", now_s, {})
         return events
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _journal(self, kind: str, object_id: str, t_s: float, payload: dict) -> None:
+        """Journal one applied input and checkpoint on cadence.
+
+        The journaled row carries the event log's *post-apply* chain
+        head, so replaying the journal self-verifies: after each
+        replayed entry the recovered log must be at exactly this chain
+        value, or recovery diverged from the pre-crash run.
+        """
+        if self.store is None or self._replaying:
+            return
+        seq = self.store.append_journal(
+            kind, object_id, t_s, payload, self.log.chain()
+        )
+        if seq % self.checkpoint_every == 0:
+            self.store.save_snapshot(seq, self.state_dict())
+
+    def sync(self) -> None:
+        """Force any group-commit-buffered journal rows to disk."""
+        if self.store is not None:
+            self.store.flush()
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of everything mutable about the fleet.
+
+        Restoring this on a manager built with the same construction
+        arguments (zones, config, rules, plan) continues the input
+        stream bit-identically — filters carry their RNG state, FSMs
+        their pending counters, the log its full event history.
+        """
+        return {
+            "sessions": {
+                oid: s.state_dict() for oid, s in self._sessions.items()
+            },
+            "analytics": self.analytics.state_dict(),
+            "events": [e.to_dict() for e in self.log],
+            "tripped": sorted(self._tripped),
+            "dwell_alerted": sorted(list(k) for k in self._dwell_alerted),
+            "counters": {
+                "sessions_started_total": self.sessions_started_total,
+                "sessions_evicted_total": self.sessions_evicted_total,
+                "updates_total": self.updates_total,
+            },
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Sessions are rebuilt through the normal constructor path (so
+        particle RNGs get their object-keyed seeding) and then
+        overwritten with the captured filter/FSM state; the event log is
+        re-appended event by event, which re-derives its digest chain.
+        """
+        sessions: dict[str, TrackingSession] = {}
+        for object_id, recorded in state["sessions"].items():
+            session = TrackingSession(
+                object_id,
+                self._build_filter(object_id),
+                self.zones,
+                fsm_config=self._fsm_config,
+                base_sigma_m=self.config.base_sigma_m,
+                confidence_floor=self.config.confidence_floor,
+                modulate_noise=self.config.modulate_noise,
+            )
+            session.restore_state(recorded)
+            sessions[object_id] = session
+        self._sessions = sessions
+        self.analytics.restore_state(state["analytics"])
+        log = EventLog()
+        for record in state["events"]:
+            log.append(SessionEvent.from_dict(record))
+        self.log = log
+        self._tripped = set(state["tripped"])
+        self._dwell_alerted = {
+            (rule, oid) for rule, oid in state["dwell_alerted"]
+        }
+        counters = state["counters"]
+        self.sessions_started_total = int(counters["sessions_started_total"])
+        self.sessions_evicted_total = int(counters["sessions_evicted_total"])
+        self.updates_total = int(counters["updates_total"])
 
     # ------------------------------------------------------------------
     # Event + rule plumbing
@@ -414,6 +522,7 @@ class SessionManager:
             "occupancy_total": self.analytics.total_occupancy(),
             "zones": self.analytics.snapshot(),
             "event_log_digest": self.log.digest(),
+            "event_log_chain": self.log.chain(),
         }
 
     def metrics_json(self) -> dict:

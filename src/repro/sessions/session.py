@@ -185,6 +185,31 @@ class TrackingSession:
         )
 
     # ------------------------------------------------------------------
+    # State capture (crash-consistent snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe full session state (filter, FSMs, clock)."""
+        return {
+            "filter": self.filter.state_dict(),
+            "fsm": self.fsm.state_dict(),
+            "last_seen_s": self.last_seen_s,
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The session must have been constructed with the same
+        configuration (and, for particle filters, the same
+        object-keyed RNG seed) as the one that was captured.
+        """
+        self.filter.restore_state(state["filter"])
+        self.fsm.restore_state(state["fsm"])
+        last = state["last_seen_s"]
+        self.last_seen_s = None if last is None else float(last)
+        self.updates = int(state["updates"])
+
+    # ------------------------------------------------------------------
     def idle_for(self, now_s: float) -> float:
         """Seconds since the last fix (``inf`` before any fix)."""
         if self.last_seen_s is None:

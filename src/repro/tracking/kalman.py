@@ -131,6 +131,35 @@ class KalmanTracker:
         return self.estimate()
 
     # ------------------------------------------------------------------
+    # State capture (crash-consistent snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe full filter state.
+
+        Python floats serialize through JSON as their shortest
+        round-tripping repr, so a snapshot restored on another process
+        continues the stream bit-identically.
+        """
+        return {
+            "kind": "kalman",
+            "state": [float(v) for v in self.state],
+            "covariance": [[float(v) for v in row] for row in self.covariance],
+            "initialized": self._initialized,
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if state.get("kind") != "kalman":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} is not 'kalman'"
+            )
+        self.state = np.array(state["state"], dtype=float)
+        self.covariance = np.array(state["covariance"], dtype=float)
+        self._initialized = bool(state["initialized"])
+        self.updates = int(state["updates"])
+
+    # ------------------------------------------------------------------
     def estimate(self) -> Point:
         """Posterior mean position."""
         return Point(float(self.state[0]), float(self.state[1]))

@@ -151,6 +151,56 @@ class ParticleFilterTracker:
         return self.estimate()
 
     # ------------------------------------------------------------------
+    # State capture (crash-consistent snapshots)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe full filter state, including the RNG.
+
+        The particle cloud *and* the generator's bit-level state are
+        captured (``Generator.bit_generator.state`` is a plain dict of
+        Python ints), so a restored filter draws the exact same noise,
+        resampling positions and roughening as the uninterrupted one —
+        the bit-identical-continuation contract the durable session
+        store snapshots depend on.
+        """
+        return {
+            "kind": "particle",
+            "states": [[float(v) for v in row] for row in self.states],
+            "weights": [float(w) for w in self.weights],
+            "updates": self.updates,
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def restore_state(self, state) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The tracker must have been constructed with the same
+        configuration (particle count) and an RNG of the same bit
+        generator family; the snapshot then overwrites the cloud and
+        rewinds the generator to the captured stream position.
+        """
+        if state.get("kind") != "particle":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} is not 'particle'"
+            )
+        states = np.array(state["states"], dtype=float)
+        if states.shape != self.states.shape:
+            raise ValueError(
+                f"snapshot particle cloud {states.shape} does not match "
+                f"the configured {self.states.shape}"
+            )
+        rng_state = state["rng"]
+        if rng_state["bit_generator"] != type(self.rng.bit_generator).__name__:
+            raise ValueError(
+                f"snapshot RNG {rng_state['bit_generator']!r} does not "
+                f"match {type(self.rng.bit_generator).__name__!r}"
+            )
+        self.states = states
+        self.weights = np.array(state["weights"], dtype=float)
+        self.updates = int(state["updates"])
+        self.rng.bit_generator.state = rng_state
+
+    # ------------------------------------------------------------------
     def estimate(self) -> Point:
         """Weighted posterior mean position."""
         x = float(np.average(self.states[:, 0], weights=self.weights))

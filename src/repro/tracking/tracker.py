@@ -49,6 +49,20 @@ class TrackFilter(Protocol):
         """Posterior position uncertainty (RMS of the marginal stds)."""
         ...
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full filter state (incl. RNG).
+
+        The durability contract: ``restore_state(state_dict())`` on a
+        same-configured filter continues the fix stream bit-identically
+        — exactly what :class:`repro.sessions.durable.SessionStore`
+        snapshots rely on.
+        """
+        ...
+
+    def restore_state(self, state) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        ...
+
 
 @dataclass(frozen=True)
 class TrackingResult:

@@ -319,6 +319,195 @@ class TestSessionStreaming:
         assert metrics["sessions"]["updates_total"] == 2
 
 
+class TestStreamResume:
+    def test_reconnect_resumes_exactly_missed_frames(
+        self, lab, anchor_sets, tmp_path
+    ):
+        """Drop mid-stream, reconnect with resume_from, get exactly the
+        frames published while away — no dupes, no gaps."""
+
+        async def scenario():
+            async with make_server(lab, tmp_path / "r.db") as server:
+                client = AsyncGatewayClient(server.host, server.port)
+                first = client.stream("cart-7")
+                got = []
+
+                async def consume_one():
+                    async for event in first:
+                        got.append(event)
+                        return
+
+                consumer = asyncio.ensure_future(consume_one())
+                await asyncio.sleep(0.05)  # let the subscribe land
+                async with client:
+                    await client.submit_batch(
+                        "s1", anchor_sets[0], object_id="cart-7", wait=True
+                    )
+                    await asyncio.wait_for(consumer, timeout=5.0)
+                    await first.aclose()  # connection drops mid-stream
+                    # Published while this subscriber is away: stamped
+                    # into the replay ring even with zero listeners.
+                    await client.submit_batch(
+                        "s2", anchor_sets[1], object_id="cart-7", wait=True
+                    )
+                    await client.submit_batch(
+                        "s3", anchor_sets[2], object_id="cart-7", wait=True
+                    )
+                    second = client.stream(
+                        "cart-7", resume_from=got[0]["stream_seq"]
+                    )
+                    resumed = []
+
+                    async def consume_rest():
+                        async for event in second:
+                            resumed.append(event)
+                            if len(resumed) == 3:
+                                return
+
+                    rest = asyncio.ensure_future(consume_rest())
+                    await asyncio.sleep(0.05)
+                    await client.submit_batch(
+                        "s4", anchor_sets[3], object_id="cart-7", wait=True
+                    )
+                    await asyncio.wait_for(rest, timeout=5.0)
+                    await second.aclose()
+                return got, resumed, server.resumed_total
+
+        got, resumed, resumed_total = run(scenario())
+        assert [e["batch_id"] for e in got] == ["s1"]
+        # The two missed frames replay first, then live push continues.
+        assert [e["batch_id"] for e in resumed] == ["s2", "s3", "s4"]
+        seqs = [e["stream_seq"] for e in got + resumed]
+        assert seqs == list(range(seqs[0], seqs[0] + 4))  # contiguous
+        assert resumed_total == 2
+
+    def test_resume_past_ring_eviction_skips_to_oldest_buffered(
+        self, lab, anchor_sets, tmp_path
+    ):
+        async def scenario():
+            server = GatewayServer(
+                lab.plan.boundary,
+                config=GatewayConfig(
+                    port=0,
+                    db_path=str(tmp_path / "rb.db"),
+                    ws_replay_buffer=2,
+                ),
+            )
+            async with server:
+                client = AsyncGatewayClient(server.host, server.port)
+                async with client:
+                    for i, anchors in enumerate(anchor_sets):
+                        await client.submit_batch(
+                            f"b{i}", anchors, object_id="cart-7", wait=True
+                        )
+                    stream = client.stream("cart-7", resume_from=0)
+                    events = []
+
+                    async def consume():
+                        async for event in stream:
+                            events.append(event)
+                            if len(events) == 2:
+                                return
+
+                    await asyncio.wait_for(consume(), timeout=5.0)
+                    await stream.aclose()
+                return events
+
+        events = run(scenario())
+        # Four frames were published but the ring holds two: the resume
+        # replays what survives, and the seq jump makes the gap visible.
+        assert [e["stream_seq"] for e in events] == [3, 4]
+        assert [e["batch_id"] for e in events] == ["b2", "b3"]
+
+    def test_unresponsive_subscriber_is_idle_closed(self, lab, tmp_path):
+        from repro.gateway import protocol
+        from repro.gateway.ws import OP_TEXT, encode_frame
+
+        async def scenario():
+            server = GatewayServer(
+                lab.plan.boundary,
+                config=GatewayConfig(
+                    port=0,
+                    db_path=str(tmp_path / "hb.db"),
+                    ws_heartbeat_s=0.05,
+                    ws_idle_pings=1,
+                ),
+            )
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    (
+                        f"GET /v1/stream HTTP/1.1\r\n"
+                        f"Host: {server.host}:{server.port}\r\n"
+                        "Upgrade: websocket\r\n"
+                        "Connection: Upgrade\r\n"
+                        "Sec-WebSocket-Key: aWRsZS1zdWJzY3JpYmVy\r\n"
+                        "Sec-WebSocket-Version: 13\r\n\r\n"
+                    ).encode("latin-1")
+                )
+                await writer.drain()
+                await reader.readuntil(b"\r\n\r\n")
+                subscribe = {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "type": "subscribe",
+                    "object_id": "cart-7",
+                }
+                writer.write(
+                    encode_frame(
+                        OP_TEXT, protocol.dumps(subscribe).encode(), mask=True
+                    )
+                )
+                await writer.drain()
+                # Never answer the heartbeat pings: the server must hang
+                # up on its own instead of pinning the dead socket.
+                await asyncio.wait_for(reader.read(), timeout=5.0)
+                writer.close()
+                return server.idle_closed_total
+
+        assert run(scenario()) == 1
+
+    def test_responsive_subscriber_survives_heartbeats(
+        self, lab, anchor_sets, tmp_path
+    ):
+        async def scenario():
+            server = GatewayServer(
+                lab.plan.boundary,
+                config=GatewayConfig(
+                    port=0,
+                    db_path=str(tmp_path / "hb2.db"),
+                    ws_heartbeat_s=0.05,
+                    ws_idle_pings=1,
+                ),
+            )
+            async with server:
+                client = AsyncGatewayClient(server.host, server.port)
+                stream = client.stream("cart-7")
+                events = []
+
+                async def consume():
+                    async for event in stream:
+                        events.append(event)
+                        return
+
+                consumer = asyncio.ensure_future(consume())
+                # Several heartbeat windows of silence: the client's
+                # automatic pongs keep the subscription alive.
+                await asyncio.sleep(0.3)
+                async with client:
+                    await client.submit_batch(
+                        "hb1", anchor_sets[0], object_id="cart-7", wait=True
+                    )
+                await asyncio.wait_for(consumer, timeout=5.0)
+                await stream.aclose()
+                return events, server.idle_closed_total
+
+        events, idle_closed = run(scenario())
+        assert [e["batch_id"] for e in events] == ["hb1"]
+        assert idle_closed == 0
+
+
 class TestDurability:
     def test_no_acked_write_lost_across_drain(self, lab, anchor_sets, tmp_path):
         """Satellite 2's contract: drain answers every acked batch."""

@@ -5,12 +5,33 @@ import json
 import pytest
 
 from repro.sessions import (
+    CHAIN_SEED,
     EVENT_KINDS,
     EventLog,
     GeofenceRule,
     SessionEvent,
     ZoneAnalytics,
 )
+
+
+def _sample_events(n):
+    kinds = ("enter", "exit", "alert", "evicted")
+    out = []
+    for i in range(n):
+        kind = kinds[i % 4]
+        out.append(
+            SessionEvent(
+                0,
+                kind,
+                f"tag-{i % 3}",
+                "" if kind == "evicted" else "a",
+                float(i),
+                dwell_s=1.5 if kind == "exit" else 0.0,
+                rule="r" if kind == "alert" else "",
+                detail="d" if kind == "alert" else "",
+            )
+        )
+    return out
 
 
 class TestSessionEvent:
@@ -86,6 +107,136 @@ class TestEventLog:
         c.append(SessionEvent(0, "exit", "tag-1", "a", 1.0))
         assert a.digest() != b.digest()
         assert a.digest() == c.digest()
+
+
+class TestDigestChain:
+    def test_empty_log_chain_is_seed(self):
+        log = EventLog()
+        assert log.chain() == CHAIN_SEED
+        assert log.chain_at(0) == CHAIN_SEED
+
+    def test_chain_advances_per_event_and_prefixes_agree(self):
+        a, b = EventLog(), EventLog()
+        events = _sample_events(6)
+        for event in events:
+            a.append(event)
+        heads = [a.chain_at(i) for i in range(len(events) + 1)]
+        assert len(set(heads)) == len(heads)  # every link moves the head
+        for i, event in enumerate(events[:4]):
+            b.append(event)
+            # Same prefix -> same head; the recovery comparison primitive.
+            assert b.chain() == a.chain_at(i + 1)
+
+    def test_chain_at_bounds_raise(self):
+        log = EventLog()
+        log.append(SessionEvent(0, "enter", "tag-1", "a", 0.0))
+        with pytest.raises(ValueError):
+            log.chain_at(2)
+        with pytest.raises(ValueError):
+            log.chain_at(-1)
+
+    def test_from_dict_round_trips(self):
+        for event in _sample_events(4):
+            stamped = EventLog().append(event)
+            assert SessionEvent.from_dict(stamped.to_dict()) == stamped
+
+
+class TestEventLogSink:
+    def test_sink_writes_canonical_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for event in _sample_events(5):
+            log.append(event)
+        log.close()
+        assert path.read_text() == log.to_jsonl() + "\n"
+
+    def test_load_round_trips_digest_and_chain(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, fsync=True)
+        for event in _sample_events(7):
+            log.append(event)
+        log.close()
+        loaded, dropped = EventLog.load_jsonl(path)
+        assert dropped == 0
+        assert loaded.to_jsonl() == log.to_jsonl()
+        assert loaded.digest() == log.digest()
+        assert loaded.chain() == log.chain()
+
+    def test_rotation_bounds_live_file_and_load_reads_segments(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, rotate_bytes=200)
+        for event in _sample_events(12):
+            log.append(event)
+        log.close()
+        assert log.rotations >= 2
+        segments = EventLog.segment_paths(path)
+        assert segments[-1] == path
+        assert len(segments) == log.rotations + 1
+        for segment in segments:
+            assert segment.stat().st_size <= 200
+        loaded, dropped = EventLog.load_jsonl(path)
+        assert dropped == 0
+        assert loaded.digest() == log.digest()
+
+    def test_truncated_final_line_detected_and_discarded(self, tmp_path):
+        """A crash mid-append leaves a torn tail; load drops exactly it."""
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for event in _sample_events(6):
+            log.append(event)
+        log.close()
+        raw = path.read_text()
+        lines = raw.splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        loaded, dropped = EventLog.load_jsonl(path)
+        assert dropped == 1
+        assert len(loaded) == 5
+        # The survivors chain onto the original prefix byte for byte.
+        assert loaded.chain() == log.chain_at(5)
+
+    def test_unterminated_but_parseable_final_line_discarded(self, tmp_path):
+        # The newline never hit disk: the write may still be partial
+        # (e.g. a truncated float that happens to parse), so only a
+        # terminated line counts as committed.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for event in _sample_events(3):
+            log.append(event)
+        log.close()
+        path.write_text(path.read_text().rstrip("\n"))
+        loaded, dropped = EventLog.load_jsonl(path)
+        assert dropped == 1
+        assert len(loaded) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for event in _sample_events(4):
+            log.append(event)
+        log.close()
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = "{garbage\n"
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="corrupt"):
+            EventLog.load_jsonl(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for event in _sample_events(4):
+            log.append(event)
+        log.close()
+        lines = path.read_text().splitlines(keepends=True)
+        del lines[1]
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="sequence gap"):
+            EventLog.load_jsonl(path)
+
+    def test_missing_file_and_bad_rotate_bytes(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            EventLog.load_jsonl(tmp_path / "never-written.jsonl")
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "x.jsonl", rotate_bytes=0)
 
 
 class TestZoneAnalytics:
